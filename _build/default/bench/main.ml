@@ -1,0 +1,161 @@
+(* Benchmark harness.
+
+   Default mode regenerates every table and figure of the paper's
+   evaluation section, printing the same rows/series the paper reports
+   (paper values alongside, for shape comparison):
+
+     dune exec bench/main.exe                   # full scale
+     VSWAPPER_BENCH_SCALE=0.25 dune exec bench/main.exe
+     dune exec bench/main.exe -- fig9 fig10     # a subset
+
+   `--micro` instead runs Bechamel microbenchmarks of the simulator's
+   hot paths — one Test.make per experiment (a small-scale end-to-end
+   run) plus the core data-structure operations — and prints their
+   measured costs. *)
+
+let scale () =
+  match Sys.getenv_opt "VSWAPPER_BENCH_SCALE" with
+  | Some s -> (try float_of_string s with Failure _ -> 1.0)
+  | None -> 1.0
+
+(* ------------------------------------------------------------------ *)
+(* Experiment reproduction mode                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_experiments ids =
+  let scale = scale () in
+  let chosen =
+    match ids with
+    | [] -> Experiments.Registry.all
+    | ids ->
+        List.filter_map
+          (fun id ->
+            match Experiments.Registry.find id with
+            | Some e -> Some e
+            | None ->
+                Printf.eprintf "unknown experiment %S (try: %s)\n" id
+                  (String.concat " " (Experiments.Registry.ids ()));
+                None)
+          ids
+  in
+  Printf.printf
+    "VSwapper (ASPLOS'14) reproduction bench - scale %.2f, %d experiments\n\n"
+    scale (List.length chosen);
+  List.iter
+    (fun e ->
+      let t0 = Sys.time () in
+      let out = e.Experiments.Exp.run ~scale in
+      let dt = Sys.time () -. t0 in
+      print_endline out;
+      Printf.printf "[%s completed in %.1fs cpu time]\n\n%!"
+        e.Experiments.Exp.id dt)
+    chosen
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmark mode                                        *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+let engine_bench =
+  Test.make ~name:"sim: schedule+fire 1000 events"
+    (Staged.stage (fun () ->
+         let e = Sim.Engine.create () in
+         for i = 1 to 1000 do
+           ignore (Sim.Engine.schedule_at e (Sim.Time.us i) (fun () -> ()))
+         done;
+         Sim.Engine.run e))
+
+let heap_bench =
+  Test.make ~name:"sim: heap push/pop 1000"
+    (Staged.stage (fun () ->
+         let h = Sim.Heap.create () in
+         for i = 1 to 1000 do
+           Sim.Heap.add h ~priority:(i * 7919 mod 1000) i
+         done;
+         while Sim.Heap.pop_min h <> None do
+           ()
+         done))
+
+let mapper_bench =
+  Test.make ~name:"core: mapper track/untrack 1000"
+    (Staged.stage (fun () ->
+         let m = Vswapper.Mapper.create ~stats:(Metrics.Stats.create ()) () in
+         for gpa = 0 to 999 do
+           Vswapper.Mapper.track m ~gpa ~disk:0 ~block:gpa ~version:0
+         done;
+         for gpa = 0 to 999 do
+           Vswapper.Mapper.untrack m ~gpa
+         done))
+
+let preventer_bench =
+  Test.make ~name:"core: preventer 8-store page completion"
+    (Staged.stage (fun () ->
+         let p =
+           Vswapper.Preventer.create ~stats:(Metrics.Stats.create ())
+             ~window:(Sim.Time.ms 1) ~max_buffers:32
+         in
+         for gpa = 0 to 31 do
+           for j = 0 to 7 do
+             ignore
+               (Vswapper.Preventer.on_write p ~now:0 ~gpa ~offset:(j * 512)
+                  ~len:512)
+           done
+         done))
+
+let swap_alloc_bench =
+  Test.make ~name:"storage: swap alloc/free 1000"
+    (Staged.stage (fun () ->
+         let sa = Storage.Swap_area.create ~base_sector:0 ~nslots:2048 in
+         let slots =
+           List.init 1000 (fun i ->
+               Option.get (Storage.Swap_area.alloc sa (Storage.Content.Anon i)))
+         in
+         List.iter (Storage.Swap_area.free sa) slots))
+
+(* One end-to-end Test.make per paper table/figure, at a tiny scale so
+   Bechamel can iterate them. *)
+let experiment_bench (e : Experiments.Exp.t) =
+  Test.make ~name:("experiment: " ^ e.Experiments.Exp.id)
+    (Staged.stage (fun () -> ignore (e.Experiments.Exp.run ~scale:0.06)))
+
+let run_micro () =
+  let tests =
+    [
+      engine_bench; heap_bench; mapper_bench; preventer_bench;
+      swap_alloc_bench;
+    ]
+    @ List.map experiment_bench
+        (List.filter
+           (fun e ->
+             (* The multi-guest sweeps are too heavy to iterate. *)
+             not (List.mem e.Experiments.Exp.id [ "fig4"; "fig14" ]))
+           Experiments.Registry.all)
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+  in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances (Test.make_grouped ~name:"micro" [ test ])
+      in
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+      in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name est ->
+          match Analyze.OLS.estimates est with
+          | Some [ v ] -> Printf.printf "%-52s %14.1f ns/run\n%!" name v
+          | Some _ | None -> Printf.printf "%-52s (no estimate)\n%!" name)
+        analyzed)
+    tests
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [ "--micro" ] -> run_micro ()
+  | ids -> run_experiments ids

@@ -1,0 +1,1 @@
+examples/consolidation.ml: Array List Option Printf Sim Vmm Vswapper Workloads

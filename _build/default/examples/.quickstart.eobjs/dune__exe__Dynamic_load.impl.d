@@ -1,0 +1,1 @@
+examples/dynamic_load.ml: Array Balloon List Metrics Printf Sim Storage String Vmm Vswapper Workloads

@@ -1,0 +1,1 @@
+examples/false_reads_demo.ml: Array Metrics Printf Sim Vmm Vswapper Workloads

@@ -1,0 +1,1 @@
+examples/false_reads_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Metrics Printf Sim Vmm Vswapper Workloads

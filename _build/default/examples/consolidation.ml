@@ -1,0 +1,54 @@
+(* Consolidation: how many guests fit on one host before performance
+   falls apart — and how much further VSwapper pushes the cliff.
+
+     dune exec examples/consolidation.exe
+
+   Guests run a GC-heavy in-memory workload with a ~96MB resident heap;
+   the host has 640MB, so pressure starts around 6 guests.  The table
+   reports average guest runtime as guests pile on. *)
+
+let run_point ~vs ~n =
+  let workload =
+    Workloads.Eclipse.workload ~heap_mb:96 ~classes_mb:16 ~iterations:10
+      ~touches_per_iter:600 ~gc_every:3 ()
+  in
+  let guests =
+    List.init n (fun _ ->
+        {
+          (Vmm.Config.default_guest ~workload) with
+          mem_mb = 256;
+          vcpus = 1;
+          data_mb = 64;
+        })
+  in
+  let cfg =
+    {
+      (Vmm.Config.default ~guests) with
+      vs;
+      host_mem_mb = 640;
+      host_swap_mb = 2048;
+    }
+  in
+  let result = Vmm.Machine.run (Vmm.Machine.build cfg) in
+  let finished =
+    Array.to_list result.Vmm.Machine.guests
+    |> List.filter_map (fun g ->
+           Option.map Sim.Time.to_sec_float g.Vmm.Machine.runtime)
+  in
+  match finished with
+  | [] -> None
+  | l -> Some (List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l))
+
+let () =
+  let ns = [ 2; 4; 6; 8 ] in
+  Printf.printf "%8s %14s %14s\n" "guests" "baseline[s]" "vswapper[s]";
+  List.iter
+    (fun n ->
+      let cell = function
+        | Some v -> Printf.sprintf "%14.1f" v
+        | None -> Printf.sprintf "%14s" "-"
+      in
+      let b = run_point ~vs:Vswapper.Vsconfig.baseline ~n in
+      let v = run_point ~vs:Vswapper.Vsconfig.vswapper ~n in
+      Printf.printf "%8d %s %s\n%!" n (cell b) (cell v))
+    ns

@@ -1,0 +1,1 @@
+lib/balloon/manager.ml: Guest Host List Sim Storage

@@ -1,0 +1,1 @@
+lib/balloon/manager.mli: Guest Host Sim

@@ -1,0 +1,76 @@
+type policy = {
+  period : Sim.Time.t;
+  host_reserve_frames : int;
+  guest_min_pages : int;
+  guest_free_low : float;
+  guest_free_high : float;
+  step_pages : int;
+}
+
+let default_policy =
+  {
+    period = Sim.Time.sec 1;
+    host_reserve_frames = Storage.Geom.pages_of_mb 64;
+    guest_min_pages = Storage.Geom.pages_of_mb 96;
+    guest_free_low = 0.05;
+    guest_free_high = 0.25;
+    step_pages = Storage.Geom.pages_of_mb 32;
+  }
+
+type t = {
+  engine : Sim.Engine.t;
+  host : Host.Hostmm.t;
+  guests : Guest.Guestos.t list;
+  policy : policy;
+  mutable running : bool;
+}
+
+let create ~engine ~host ~guests policy =
+  { engine; host; guests; policy; running = false }
+
+(* One adjustment round.  Roughly MOM's Balloon rule: compute each
+   guest's "slack" (free + clean page cache); under host pressure, grow
+   the balloons of slack-rich guests; with host surplus, shrink the
+   balloon of any squeezed guest. *)
+let adjust t =
+  let p = t.policy in
+  let host_free = Host.Hostmm.free_frames t.host in
+  let pressure = p.host_reserve_frames - host_free in
+  List.iter
+    (fun os ->
+      let cfg = Guest.Guestos.config os in
+      let mem = cfg.Guest.Gconfig.mem_pages in
+      let target = Guest.Guestos.balloon_target os in
+      let free = Guest.Guestos.free_pages os in
+      let cache = Guest.Guestos.cache_pages os in
+      let usable = mem - target in
+      let free_frac = float_of_int (free + cache) /. float_of_int (max 1 usable) in
+      if pressure > 0 && free_frac > p.guest_free_high then begin
+        (* Donor: grow its balloon by up to a step. *)
+        let headroom = usable - p.guest_min_pages in
+        let grow = min p.step_pages (min headroom pressure) in
+        if grow > 0 then
+          Guest.Guestos.set_balloon_target os ~pages:(target + grow)
+      end
+      else if free_frac < p.guest_free_low && target > 0 then begin
+        (* Squeezed guest: deflate if the host can afford it. *)
+        let surplus = host_free - (p.host_reserve_frames / 2) in
+        let shrink = min p.step_pages (min target (max 0 surplus)) in
+        if shrink > 0 then
+          Guest.Guestos.set_balloon_target os ~pages:(target - shrink)
+      end)
+    t.guests
+
+let rec tick t () =
+  if t.running then begin
+    adjust t;
+    ignore (Sim.Engine.schedule_after t.engine t.policy.period (tick t))
+  end
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    ignore (Sim.Engine.schedule_after t.engine t.policy.period (tick t))
+  end
+
+let stop t = t.running <- false

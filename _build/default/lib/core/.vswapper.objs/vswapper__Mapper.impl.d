@@ -1,0 +1,1 @@
+lib/core/mapper.ml: Hashtbl List Metrics

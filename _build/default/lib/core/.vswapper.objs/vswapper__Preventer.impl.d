@@ -1,0 +1,1 @@
+lib/core/preventer.ml: Hashtbl List Metrics Sim Storage

@@ -1,0 +1,1 @@
+lib/core/preventer.mli: Metrics Sim

@@ -1,0 +1,1 @@
+lib/core/vsconfig.ml: Format Sim

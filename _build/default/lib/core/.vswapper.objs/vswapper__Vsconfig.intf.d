@@ -1,0 +1,1 @@
+lib/core/vsconfig.mli: Format Sim

@@ -1,0 +1,65 @@
+type backing = { disk : int; block : int; version : int }
+
+type t = {
+  stats : Metrics.Stats.t;
+  by_gpa : (int, backing) Hashtbl.t;
+  by_block : (int * int, int list) Hashtbl.t;  (* (disk, block) -> gpas *)
+}
+
+let create ~stats () =
+  { stats; by_gpa = Hashtbl.create 1024; by_block = Hashtbl.create 1024 }
+
+let gauge t = t.stats.mapper_tracked <- Hashtbl.length t.by_gpa
+
+let untrack t ~gpa =
+  match Hashtbl.find_opt t.by_gpa gpa with
+  | None -> ()
+  | Some b ->
+      Hashtbl.remove t.by_gpa gpa;
+      let key = (b.disk, b.block) in
+      (match Hashtbl.find_opt t.by_block key with
+      | None -> ()
+      | Some gpas -> (
+          match List.filter (fun g -> g <> gpa) gpas with
+          | [] -> Hashtbl.remove t.by_block key
+          | rest -> Hashtbl.replace t.by_block key rest));
+      gauge t
+
+let track t ~gpa ~disk ~block ~version =
+  untrack t ~gpa;
+  Hashtbl.replace t.by_gpa gpa { disk; block; version };
+  let key = (disk, block) in
+  let gpas =
+    match Hashtbl.find_opt t.by_block key with None -> [] | Some l -> l
+  in
+  Hashtbl.replace t.by_block key (gpa :: gpas);
+  gauge t
+
+let lookup t ~gpa = Hashtbl.find_opt t.by_gpa gpa
+
+let gpas_of_block t ~disk ~block =
+  match Hashtbl.find_opt t.by_block (disk, block) with
+  | None -> []
+  | Some l -> l
+
+let invalidate_block t ~disk ~block =
+  match gpas_of_block t ~disk ~block with
+  | [] -> []
+  | gpas ->
+      List.iter (fun gpa -> untrack t ~gpa) gpas;
+      t.stats.mapper_invalidations <- t.stats.mapper_invalidations + 1;
+      gpas
+
+let tracked t = Hashtbl.length t.by_gpa
+
+let readahead_window t ~disk ~block ~max =
+  let rec go b acc =
+    if b - block >= max then List.rev acc
+    else
+      match gpas_of_block t ~disk ~block:b with
+      | [] -> List.rev acc
+      | gpas -> go (b + 1) ((b, gpas) :: acc)
+  in
+  go block []
+
+let iter t f = Hashtbl.iter (fun gpa b -> f gpa b) t.by_gpa

@@ -1,0 +1,93 @@
+type buffer = { started_at : Sim.Time.t; mutable frontier : int }
+
+type t = {
+  stats : Metrics.Stats.t;
+  window : Sim.Time.t;
+  max_buffers : int;
+  buffers : (int, buffer) Hashtbl.t;
+}
+
+type write_decision =
+  | Completed
+  | Buffered of { first_write : bool }
+  | Needs_merge
+  | Rejected
+
+type read_decision = Served_from_buffer | Suspend
+
+let create ~stats ~window ~max_buffers =
+  { stats; window; max_buffers; buffers = Hashtbl.create 64 }
+
+let active t = Hashtbl.length t.buffers
+let is_buffered t ~gpa = Hashtbl.mem t.buffers gpa
+
+let on_write t ~now ~gpa ~offset ~len =
+  match Hashtbl.find_opt t.buffers gpa with
+  | None ->
+      if Hashtbl.length t.buffers >= t.max_buffers then begin
+        t.stats.preventer_rejects <- t.stats.preventer_rejects + 1;
+        Rejected
+      end
+      else if offset <> 0 then begin
+        (* A buffer can only start at the page head; anything else cannot
+           grow into full coverage under the sequential rule. *)
+        t.stats.preventer_merges <- t.stats.preventer_merges + 1;
+        Needs_merge
+      end
+      else if len >= Storage.Geom.page_bytes then begin
+        t.stats.preventer_remaps <- t.stats.preventer_remaps + 1;
+        Completed
+      end
+      else begin
+        Hashtbl.replace t.buffers gpa { started_at = now; frontier = len };
+        Buffered { first_write = true }
+      end
+  | Some buf ->
+      if offset <> buf.frontier then begin
+        Hashtbl.remove t.buffers gpa;
+        t.stats.preventer_merges <- t.stats.preventer_merges + 1;
+        Needs_merge
+      end
+      else begin
+        buf.frontier <- buf.frontier + len;
+        if buf.frontier >= Storage.Geom.page_bytes then begin
+          Hashtbl.remove t.buffers gpa;
+          t.stats.preventer_remaps <- t.stats.preventer_remaps + 1;
+          Completed
+        end
+        else Buffered { first_write = false }
+      end
+
+let on_rep_write t ~gpa =
+  Hashtbl.remove t.buffers gpa;
+  t.stats.preventer_remaps <- t.stats.preventer_remaps + 1
+
+let on_read t ~gpa ~offset ~len =
+  match Hashtbl.find_opt t.buffers gpa with
+  | Some buf when offset + len <= buf.frontier -> Served_from_buffer
+  | Some _ | None -> Suspend
+
+let expired t ~now =
+  let gone = ref [] in
+  Hashtbl.iter
+    (fun gpa buf ->
+      if Sim.Time.sub now buf.started_at >= t.window then gone := gpa :: !gone)
+    t.buffers;
+  List.iter
+    (fun gpa ->
+      Hashtbl.remove t.buffers gpa;
+      t.stats.preventer_timeouts <- t.stats.preventer_timeouts + 1;
+      t.stats.preventer_merges <- t.stats.preventer_merges + 1)
+    !gone;
+  !gone
+
+let next_deadline t =
+  Hashtbl.fold
+    (fun _ buf acc ->
+      let dl = Sim.Time.add buf.started_at t.window in
+      match acc with
+      | None -> Some dl
+      | Some best -> Some (Sim.Time.min best dl))
+    t.buffers None
+
+let abandon t ~gpa = Hashtbl.remove t.buffers gpa

@@ -1,0 +1,68 @@
+(** The False Reads Preventer (paper Section 4.2).
+
+    When the guest stores to a page the host has swapped out, the
+    baseline must first read the stale page from disk — even though the
+    guest may be about to overwrite all of it (page zeroing, COW copies,
+    page migration).  The Preventer instead emulates the faulting writes
+    into a page-sized buffer, betting the whole page will be overwritten
+    shortly.  If the bet pays off (full coverage within the window) the
+    buffer is remapped as the page and the disk read never happens; if
+    not (timeout, non-sequential pattern, or buffer-cap pressure) the old
+    content is read and merged with the buffered bytes.
+
+    This module is the pure bookkeeping; disk reads, remapping and timer
+    scheduling are the hypervisor's job, driven by the returned
+    decisions. *)
+
+type t
+
+type write_decision =
+  | Completed
+      (** the page is now fully covered: remap the buffer, drop the
+          entry, no disk read *)
+  | Buffered of { first_write : bool }
+      (** write absorbed into the buffer; on [first_write] the caller
+          must arm the expiry timer *)
+  | Needs_merge
+      (** non-sequential pattern: stop emulating, read the old content
+          asynchronously and merge *)
+  | Rejected
+      (** too many pages being emulated; fall back to a normal fault *)
+
+type read_decision =
+  | Served_from_buffer  (** the read hits buffered bytes: emulate it *)
+  | Suspend  (** data not buffered: read + merge, guest suspends *)
+
+val create : stats:Metrics.Stats.t -> window:Sim.Time.t -> max_buffers:int -> t
+
+(** [on_write t ~now ~gpa ~offset ~len] processes an emulated store of
+    [len] bytes at [offset] into swapped-out page [gpa].  Coverage is
+    tracked as a strictly sequential frontier from offset 0, mirroring
+    the paper's "stop if the write pattern is not sequential" rule. *)
+val on_write :
+  t -> now:Sim.Time.t -> gpa:int -> offset:int -> len:int -> write_decision
+
+(** [on_rep_write t ~gpa] handles a whole-page REP-prefixed store: the
+    Preventer recognizes outright that the entire page is rewritten and
+    short-circuits buffering.  Always counts as a remap.  Any existing
+    buffer for [gpa] is subsumed. *)
+val on_rep_write : t -> gpa:int -> unit
+
+(** [on_read t ~gpa ~offset ~len] classifies an emulated load. *)
+val on_read : t -> gpa:int -> offset:int -> len:int -> read_decision
+
+(** [expired t ~now] returns the gpas whose buffers have outlived the
+    window, removing them; the caller must read + merge each. *)
+val expired : t -> now:Sim.Time.t -> int list
+
+(** [next_deadline t] is the earliest buffer expiry, for timer arming. *)
+val next_deadline : t -> Sim.Time.t option
+
+(** [abandon t ~gpa] drops a buffer without completing it (caller decided
+    to read + merge, or the page went away). *)
+val abandon : t -> gpa:int -> unit
+
+(** [is_buffered t ~gpa] tests whether [gpa] is currently emulated. *)
+val is_buffered : t -> gpa:int -> bool
+
+val active : t -> int

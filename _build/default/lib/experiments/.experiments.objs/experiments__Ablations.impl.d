@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Buffer Exp Guest Host List Metrics Printf Sim Storage Vmm Vswapper Workloads

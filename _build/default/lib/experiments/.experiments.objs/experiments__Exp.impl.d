@@ -1,0 +1,1 @@
+lib/experiments/exp.ml: Array List Metrics Option Printf Sim String Vmm Vswapper

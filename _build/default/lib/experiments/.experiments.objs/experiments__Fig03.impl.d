@@ -1,0 +1,1 @@
+lib/experiments/fig03.ml: Exp List Metrics Printf Vmm Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig03.mli: Exp

@@ -1,0 +1,1 @@
+lib/experiments/fig04.ml: Exp List Metis_sweep Metrics Printf

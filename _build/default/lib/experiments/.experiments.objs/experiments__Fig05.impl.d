@@ -1,0 +1,1 @@
+lib/experiments/fig05.ml: Exp Pbzip_sweep

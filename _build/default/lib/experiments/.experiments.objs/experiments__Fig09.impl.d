@@ -1,0 +1,1 @@
+lib/experiments/fig09.ml: Exp List Metrics Sim String Vmm Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Exp List Metrics Printf Sim Vmm Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig15.ml: Exp Guest Host List Metrics Printf Sim Vmm Vswapper Workloads

@@ -1,0 +1,1 @@
+lib/experiments/metis_sweep.ml: Array Balloon Exp List Sim Storage Vmm Workloads

@@ -1,0 +1,1 @@
+lib/experiments/metis_sweep.mli: Exp

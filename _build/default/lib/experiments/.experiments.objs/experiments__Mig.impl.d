@@ -1,0 +1,1 @@
+lib/experiments/mig.ml: Exp List Metrics Migration Option Printf Sim Vmm Vswapper Workloads

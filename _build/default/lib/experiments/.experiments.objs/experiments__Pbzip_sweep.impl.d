@@ -1,0 +1,1 @@
+lib/experiments/pbzip_sweep.ml: Exp List Metrics Printf String Sys Vmm Workloads

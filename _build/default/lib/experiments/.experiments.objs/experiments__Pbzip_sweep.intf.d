@@ -1,0 +1,1 @@
+lib/experiments/pbzip_sweep.mli: Exp

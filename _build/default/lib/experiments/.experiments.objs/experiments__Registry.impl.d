@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablations Exp Fig03 Fig04 Fig05 Fig09 Fig10 Fig11 Fig12 Fig13 Fig14 Fig15 List Mig Tab01 Tab02 Win

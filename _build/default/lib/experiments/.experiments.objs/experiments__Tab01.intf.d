@@ -1,0 +1,1 @@
+lib/experiments/tab01.mli: Exp

@@ -1,0 +1,1 @@
+lib/experiments/tab02.ml: Exp Host Metrics Printf Vmm Vswapper Workloads

@@ -1,0 +1,1 @@
+lib/experiments/tab02.mli: Exp

@@ -1,0 +1,1 @@
+lib/experiments/win.ml: Exp Metrics Vmm Vswapper Workloads

@@ -1,0 +1,1 @@
+lib/experiments/win.mli: Exp

@@ -1,0 +1,3 @@
+(** Ablations of the design decisions (DESIGN.md D1-D4). *)
+
+val exp : Exp.t

@@ -1,0 +1,85 @@
+type t = {
+  id : string;
+  title : string;
+  paper_claim : string;
+  run : scale:float -> string;
+}
+
+type config_kind =
+  | Baseline
+  | Balloon_baseline
+  | Mapper_only
+  | Vswapper_full
+  | Balloon_vswapper
+
+let config_name = function
+  | Baseline -> "baseline"
+  | Balloon_baseline -> "balloon+base"
+  | Mapper_only -> "mapper"
+  | Vswapper_full -> "vswapper"
+  | Balloon_vswapper -> "balloon+vswap"
+
+let all_configs =
+  [ Baseline; Balloon_baseline; Mapper_only; Vswapper_full; Balloon_vswapper ]
+
+let vs_of = function
+  | Baseline | Balloon_baseline -> Vswapper.Vsconfig.baseline
+  | Mapper_only -> Vswapper.Vsconfig.mapper_only
+  | Vswapper_full | Balloon_vswapper -> Vswapper.Vsconfig.vswapper
+
+let ballooned = function
+  | Balloon_baseline | Balloon_vswapper -> true
+  | Baseline | Mapper_only | Vswapper_full -> false
+
+let mb scale x = max 16 (int_of_float (float_of_int x *. scale))
+let scaled_int scale x ~min:lo = max lo (int_of_float (float_of_int x *. scale))
+
+type mark = { index : int; at : Sim.Time.t; snapshot : Metrics.Stats.t }
+
+let mark_collector machine_ref =
+  let acc = ref [] in
+  let on_mark index =
+    match !machine_ref with
+    | None -> ()
+    | Some m ->
+        acc :=
+          {
+            index;
+            at = Sim.Engine.now (Vmm.Machine.engine m);
+            snapshot = Metrics.Stats.copy (Vmm.Machine.stats m);
+          }
+          :: !acc
+  in
+  (on_mark, fun () -> List.rev !acc)
+
+type run_out = {
+  runtime_s : float option;
+  per_guest_s : float option array;
+  stats : Metrics.Stats.t;
+  oomed : bool;
+  marks : mark list;
+}
+
+let run_machine ?(get_marks = fun () -> []) machine =
+  let result = Vmm.Machine.run machine in
+  let to_s = Option.map Sim.Time.to_sec_float in
+  let per_guest_s =
+    Array.map (fun g -> to_s g.Vmm.Machine.runtime) result.Vmm.Machine.guests
+  in
+  let oomed =
+    Array.exists (fun g -> g.Vmm.Machine.oomed) result.Vmm.Machine.guests
+  in
+  {
+    runtime_s = per_guest_s.(0);
+    per_guest_s;
+    stats = result.Vmm.Machine.stats;
+    oomed;
+    marks = get_marks ();
+  }
+
+let opt_s r = r.runtime_s
+
+let header ~id ~title ~paper_claim body =
+  let line = String.make 72 '=' in
+  Printf.sprintf "%s\n%s: %s\npaper: %s\n%s\n%s" line (String.uppercase_ascii id)
+    title paper_claim line body

@@ -1,0 +1,64 @@
+(** Common experiment machinery: the five paper configurations, scaled
+    runs, mark collection for per-iteration figures, and rendering of
+    paper-vs-measured outputs. *)
+
+(** One reproducible experiment (a figure or table of the paper). *)
+type t = {
+  id : string;  (** e.g. "fig3" *)
+  title : string;
+  paper_claim : string;  (** what the paper reports, for side-by-side *)
+  run : scale:float -> string;  (** returns the rendered result block *)
+}
+
+(** The paper's five configurations (Section 5): baseline, balloon +
+    baseline, mapper (VSwapper without the Preventer), vswapper, and
+    balloon + vswapper. *)
+type config_kind =
+  | Baseline
+  | Balloon_baseline
+  | Mapper_only
+  | Vswapper_full
+  | Balloon_vswapper
+
+val config_name : config_kind -> string
+val all_configs : config_kind list
+
+(** [vs_of kind] is the VSwapper feature set of the configuration. *)
+val vs_of : config_kind -> Vswapper.Vsconfig.t
+
+(** [ballooned kind] tells whether the configuration pre-inflates a
+    static balloon. *)
+val ballooned : config_kind -> bool
+
+(** [mb scale x] scales a MiB quantity, with a 16 MiB floor. *)
+val mb : float -> int -> int
+
+(** [scaled_int scale x ~min] scales a count. *)
+val scaled_int : float -> int -> min:int -> int
+
+(** Captured per-mark snapshot: mark index, virtual time, stats copy. *)
+type mark = { index : int; at : Sim.Time.t; snapshot : Metrics.Stats.t }
+
+(** [mark_collector machine_ref] returns [(on_mark, get_marks)]:
+    [on_mark i] snapshots time and stats of the machine in the ref. *)
+val mark_collector :
+  Vmm.Machine.t option ref -> (int -> unit) * (unit -> mark list)
+
+(** Result of one machine run, condensed. *)
+type run_out = {
+  runtime_s : float option;  (** guest 0; None if OOM-killed *)
+  per_guest_s : float option array;
+  stats : Metrics.Stats.t;
+  oomed : bool;
+  marks : mark list;
+}
+
+(** [run_config ?marks cfg] builds and runs a machine.  [marks] is the
+    collector's getter, invoked after the run. *)
+val run_machine : ?get_marks:(unit -> mark list) -> Vmm.Machine.t -> run_out
+
+(** [opt_s r] is the runtime as an option-float cell for series tables. *)
+val opt_s : run_out -> float option
+
+(** [header ~id ~title ~paper_claim body] formats an experiment block. *)
+val header : id:string -> title:string -> paper_claim:string -> string -> string

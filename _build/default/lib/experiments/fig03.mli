@@ -1,0 +1,3 @@
+(** Figure 3: sequential file read under overcommitment. *)
+
+val exp : Exp.t

@@ -1,0 +1,43 @@
+(* Figure 4: average completion time of ten phased MapReduce guests. *)
+
+let run ~scale =
+  let n = 10 in
+  let rows =
+    List.map
+      (fun kind ->
+        let avg = Metis_sweep.run_point ~scale kind ~n_guests:n in
+        let paper =
+          match kind with
+          | Exp.Baseline -> "153"
+          | Exp.Balloon_baseline -> "167"
+          | Exp.Vswapper_full -> "88"
+          | Exp.Balloon_vswapper -> "97"
+          | Exp.Mapper_only -> "-"
+        in
+        [
+          Exp.config_name kind;
+          paper;
+          (match avg with Some v -> Metrics.Table.fmt_float v | None -> "-");
+        ])
+      Metis_sweep.configs
+  in
+  Metrics.Table.render
+    ~title:
+      (Printf.sprintf
+         "average completion time of %d MapReduce guests started 10s apart" n)
+    ~headers:[ "config"; "paper[s]"; "measured[s]" ]
+    rows
+
+let exp : Exp.t =
+  let title = "Phased MapReduce guests (dynamic ballooning)" in
+  let paper_claim =
+    "avg runtime: balloon+baseline 167s > baseline 153s > balloon+vswapper \
+     97s > vswapper 88s; ballooning alone is counterproductive because \
+     balloon sizes lag the load"
+  in
+  {
+    id = "fig4";
+    title;
+    paper_claim;
+    run = (fun ~scale -> Exp.header ~id:"fig4" ~title ~paper_claim (run ~scale));
+  }

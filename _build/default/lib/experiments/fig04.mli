@@ -1,0 +1,3 @@
+(** Figure 4: ten phased MapReduce guests under dynamic ballooning. *)
+
+val exp : Exp.t

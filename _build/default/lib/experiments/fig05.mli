@@ -1,0 +1,3 @@
+(** Figure 5: pbzip2 under shrinking memory and over-ballooning. *)
+
+val exp : Exp.t

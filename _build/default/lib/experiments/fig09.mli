@@ -1,0 +1,3 @@
+(** Figure 9: the anatomy of uncooperative swapping, per iteration. *)
+
+val exp : Exp.t

@@ -1,0 +1,3 @@
+(** Figure 10: the effect of false reads. *)
+
+val exp : Exp.t

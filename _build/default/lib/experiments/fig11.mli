@@ -1,0 +1,3 @@
+(** Figure 11: pbzip2 disk traffic and reclaim effort. *)
+
+val exp : Exp.t

@@ -1,0 +1,3 @@
+(** Figure 12: Kernbench runtimes and Preventer remaps. *)
+
+val exp : Exp.t

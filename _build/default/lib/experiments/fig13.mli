@@ -1,0 +1,3 @@
+(** Figure 13: Eclipse under shrinking memory. *)
+
+val exp : Exp.t

@@ -1,0 +1,3 @@
+(** Figure 14: scaling the phased MapReduce guests. *)
+
+val exp : Exp.t

@@ -1,0 +1,3 @@
+(** Figure 15: Mapper tracking vs the guest page cache. *)
+
+val exp : Exp.t

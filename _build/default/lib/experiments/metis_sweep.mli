@@ -1,0 +1,12 @@
+(** Shared runner for the phased-MapReduce experiments (Figures 4, 14):
+    [n_guests] Metis guests started 10 s apart under dynamic (MOM)
+    ballooning when the configuration calls for it. *)
+
+val configs : Exp.config_kind list
+
+(** [run_point ~scale kind ~n_guests] returns the average runtime in
+    seconds of the guests that finished, or [None] if none did. *)
+val run_point : scale:float -> Exp.config_kind -> n_guests:int -> float option
+
+val sweep :
+  scale:float -> int list -> (Exp.config_kind * float option list) list

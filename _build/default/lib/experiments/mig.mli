@@ -1,0 +1,3 @@
+(** Section 7 extension: migration of Mapper records. *)
+
+val exp : Exp.t

@@ -1,0 +1,26 @@
+(** Shared runner for the pbzip2 memory sweeps (Figures 5 and 11). *)
+
+val configs : Exp.config_kind list
+
+type out = {
+  runtime_s : float option;  (** None = OOM-killed *)
+  disk_ops : int;
+  written_sectors : int;
+  pages_scanned : int;
+}
+
+(** [run_point ~scale kind ~actual_mb] runs pbzip2 in a 512 MB guest
+    whose actual memory is [actual_mb], under configuration [kind]. *)
+val run_point : scale:float -> Exp.config_kind -> actual_mb:int -> out
+
+(** [sweep ~scale mems] runs every configuration over the memory list. *)
+val sweep : scale:float -> int list -> (Exp.config_kind * out list) list
+
+(** [render ~title ~mems ~panels results] draws one series table per
+    panel; a panel is a (title, projection) pair. *)
+val render :
+  title:string ->
+  mems:int list ->
+  panels:(string * (out -> float option)) list ->
+  (Exp.config_kind * out list) list ->
+  string

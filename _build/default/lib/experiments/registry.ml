@@ -1,0 +1,21 @@
+let all =
+  [
+    Fig03.exp;
+    Fig04.exp;
+    Fig05.exp;
+    Fig09.exp;
+    Fig10.exp;
+    Fig11.exp;
+    Fig12.exp;
+    Fig13.exp;
+    Fig14.exp;
+    Fig15.exp;
+    Tab01.exp;
+    Tab02.exp;
+    Win.exp;
+    Mig.exp;
+    Ablations.exp;
+  ]
+
+let find id = List.find_opt (fun e -> e.Exp.id = id) all
+let ids () = List.map (fun e -> e.Exp.id) all

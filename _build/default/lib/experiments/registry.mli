@@ -1,0 +1,8 @@
+(** All reproducible experiments, keyed by the paper's figure/table ids. *)
+
+val all : Exp.t list
+
+(** [find id] looks an experiment up by id (e.g. "fig9"). *)
+val find : string -> Exp.t option
+
+val ids : unit -> string list

@@ -1,0 +1,3 @@
+(** Table 1: implementation size. *)
+
+val exp : Exp.t

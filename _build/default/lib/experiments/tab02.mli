@@ -1,0 +1,3 @@
+(** Table 2: uncooperative swapping on a Workstation-flavoured host. *)
+
+val exp : Exp.t

@@ -1,0 +1,97 @@
+(* Section 5.4, "Windows": VSwapper applied to a non-Linux guest.  The
+   paper's Windows Server 2012 VM (a) needs the hypervisor to report a
+   4 KiB logical sector size and a reformatted disk, and still issues
+   sporadic 512-byte accesses; (b) shows large VSwapper wins anyway:
+   Sysbench 2GB-file read in a 2GB guest given 1GB drops from 302s to
+   79s, and bzip2 in the same guest given 512MB from 306s to 149s. *)
+
+let run_one ~scale ~vs ~misaligned ~workload_kind =
+  let guest_mb = Exp.mb scale 2048 in
+  let limit_mb, workload, data =
+    match workload_kind with
+    | `Sysbench ->
+        ( Exp.mb scale 1024,
+          Workloads.Sysbench.workload ~iterations:1 ~file_mb:(Exp.mb scale 2048)
+            (),
+          Exp.mb scale 2048 + 64 )
+    | `Bzip2 ->
+        ( Exp.mb scale 512,
+          Workloads.Pbzip.workload ~threads:1 ~compute_us_per_page:400
+            ~anon_mb_per_thread:(Exp.scaled_int scale 8 ~min:2)
+            ~queue_mb:(Exp.scaled_int scale 16 ~min:4)
+            ~input_mb:(Exp.mb scale 512) (),
+          Exp.mb scale 512 + (Exp.mb scale 512 / 4) + 64 )
+  in
+  let guest =
+    {
+      (Vmm.Config.default_guest ~workload) with
+      mem_mb = guest_mb;
+      resident_limit_mb = Some limit_mb;
+      warm_all = true;
+      data_mb = data;
+      misaligned_io_percent = misaligned;
+    }
+  in
+  let cfg =
+    {
+      (Vmm.Config.default ~guests:[ guest ]) with
+      vs;
+      host_mem_mb = guest_mb * 2;
+      host_swap_mb = guest_mb * 3 / 2;
+    }
+  in
+  (Exp.run_machine (Vmm.Machine.build cfg)).Exp.runtime_s
+
+let run ~scale =
+  let cell = function
+    | Some v -> Metrics.Table.fmt_float v
+    | None -> "-"
+  in
+  let row name workload_kind paper_base paper_vs =
+    let base =
+      run_one ~scale ~vs:Vswapper.Vsconfig.baseline ~misaligned:10
+        ~workload_kind
+    in
+    let vsw =
+      run_one ~scale ~vs:Vswapper.Vsconfig.vswapper ~misaligned:10
+        ~workload_kind
+    in
+    [ name; paper_base; paper_vs; cell base; cell vsw ]
+  in
+  let alignment_row =
+    (* The misalignment sensitivity the paper explains: without the 4K
+       reformat most requests bypass the Mapper. *)
+    let aligned =
+      run_one ~scale ~vs:Vswapper.Vsconfig.vswapper ~misaligned:10
+        ~workload_kind:`Sysbench
+    in
+    let broken =
+      run_one ~scale ~vs:Vswapper.Vsconfig.vswapper ~misaligned:90
+        ~workload_kind:`Sysbench
+    in
+    [ "sysbench, 90% misaligned"; "-"; "-"; cell broken; cell aligned ]
+  in
+  Metrics.Table.render
+    ~title:
+      "Windows-style guest (sporadic misaligned I/O): runtime [s] \
+       (last row: unformatted disk vs 4K-reformatted, both vswapper)"
+    ~headers:[ "workload"; "paper base"; "paper vswap"; "base"; "vswap" ]
+    [
+      row "sysbench 2GB read in 1GB" `Sysbench "302" "79";
+      row "bzip2 in 512MB" `Bzip2 "306" "149";
+      alignment_row;
+    ]
+
+let exp : Exp.t =
+  let title = "Non-Linux (Windows-style) guests" in
+  let paper_claim =
+    "Sysbench 2GB read: 302s -> 79s with VSwapper; bzip2: 306s -> 149s; \
+     requires the hypervisor to report 4K sectors (misaligned requests \
+     bypass the Mapper)"
+  in
+  {
+    id = "win";
+    title;
+    paper_claim;
+    run = (fun ~scale -> Exp.header ~id:"win" ~title ~paper_claim (run ~scale));
+  }

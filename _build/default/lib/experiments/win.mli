@@ -1,0 +1,3 @@
+(** Section 5.4: Windows-style guests with misaligned I/O. *)
+
+val exp : Exp.t

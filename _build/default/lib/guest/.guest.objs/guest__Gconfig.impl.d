@@ -1,0 +1,1 @@
+lib/guest/gconfig.ml: Sim Storage

@@ -1,0 +1,1 @@
+lib/guest/gconfig.mli: Sim

@@ -1,0 +1,1 @@
+lib/guest/guestos.ml: Array Bytes Gconfig Hashtbl Host List Mem Metrics Printf Sim Slot_alloc Storage

@@ -1,0 +1,1 @@
+lib/guest/guestos.mli: Gconfig Host Metrics Sim

@@ -1,0 +1,1 @@
+lib/guest/slot_alloc.ml: Bytes Printf

@@ -1,0 +1,1 @@
+lib/host/cgroup.ml: Mem Option

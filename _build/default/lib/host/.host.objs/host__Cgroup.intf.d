@@ -1,0 +1,1 @@
+lib/host/cgroup.mli: Mem

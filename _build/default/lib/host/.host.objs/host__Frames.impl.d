@@ -1,0 +1,1 @@
+lib/host/frames.ml: Array Bytes List Mem Printf Storage

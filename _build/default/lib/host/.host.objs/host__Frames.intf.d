@@ -1,0 +1,1 @@
+lib/host/frames.mli: Mem Storage

@@ -1,0 +1,1 @@
+lib/host/hostmm.ml: Array Cgroup Float Frames Hashtbl Hconfig List Metrics Option Printf Sim Storage Vswapper

@@ -1,0 +1,1 @@
+lib/host/hostmm.mli: Hconfig Metrics Sim Storage Vswapper

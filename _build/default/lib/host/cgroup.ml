@@ -1,0 +1,72 @@
+type list_id = Anon_active | Anon_inactive | File_active | File_inactive
+
+type t = {
+  anon_active : int Mem.Lru.t;
+  anon_inactive : int Mem.Lru.t;
+  file_active : int Mem.Lru.t;
+  file_inactive : int Mem.Lru.t;
+  mutable limit : int option;
+  mutable resident : int;
+}
+
+let create ~limit_frames =
+  {
+    anon_active = Mem.Lru.create ();
+    anon_inactive = Mem.Lru.create ();
+    file_active = Mem.Lru.create ();
+    file_inactive = Mem.Lru.create ();
+    limit = limit_frames;
+    resident = 0;
+  }
+
+let list t = function
+  | Anon_active -> t.anon_active
+  | Anon_inactive -> t.anon_inactive
+  | File_active -> t.file_active
+  | File_inactive -> t.file_inactive
+
+let limit t = t.limit
+let set_limit t l = t.limit <- l
+let resident t = t.resident
+
+let over_limit t =
+  match t.limit with None -> 0 | Some l -> max 0 (t.resident - l)
+
+let insert t id node =
+  Mem.Lru.push_front (list t id) node;
+  t.resident <- t.resident + 1
+
+let remove_from_any t node =
+  let try_list l =
+    if Mem.Lru.mem l node then begin
+      Mem.Lru.remove l node;
+      true
+    end
+    else false
+  in
+  if
+    try_list t.anon_active || try_list t.anon_inactive
+    || try_list t.file_active || try_list t.file_inactive
+  then ()
+  else invalid_arg "Cgroup.remove: node not in this group"
+
+let remove t node =
+  remove_from_any t node;
+  t.resident <- t.resident - 1
+
+let move t id node =
+  remove_from_any t node;
+  Mem.Lru.push_front (list t id) node
+
+let tail t id = Option.map Mem.Lru.value (Mem.Lru.peek_back (list t id))
+let pop t id = Option.map Mem.Lru.value (Mem.Lru.pop_back (list t id))
+let length t id = Mem.Lru.length (list t id)
+
+let inactive_low t ~file =
+  let active, inactive =
+    if file then (t.file_active, t.file_inactive)
+    else (t.anon_active, t.anon_inactive)
+  in
+  (* Keep roughly a 1:1 active:inactive balance, like Linux does for
+     small memory sizes. *)
+  Mem.Lru.length inactive < Mem.Lru.length active

@@ -1,0 +1,50 @@
+(** Per-guest memory control group: the four Linux-style LRU lists
+    (anonymous/file x active/inactive), a resident-page count and an
+    optional resident limit (the paper constrains guest memory with
+    cgroups, Section 5).
+
+    Pages enter the inactive list of their type; a second reference
+    promotes them to active during reclaim scans.  Reclaim pops from the
+    inactive tails, file pages first when the host prefers named pages. *)
+
+type list_id = Anon_active | Anon_inactive | File_active | File_inactive
+
+type t
+
+(** [create ~limit_frames] makes an empty cgroup; [limit_frames = None]
+    means unlimited (global watermarks still apply). *)
+val create : limit_frames:int option -> t
+
+val limit : t -> int option
+val set_limit : t -> int option -> unit
+
+(** [resident t] is the number of frames currently charged to the group. *)
+val resident : t -> int
+
+(** [over_limit t] is how many frames above its limit the group is. *)
+val over_limit : t -> int
+
+(** [insert t id node] charges a frame and places it at the MRU end of
+    list [id].  The node must be detached. *)
+val insert : t -> list_id -> int Mem.Lru.node -> unit
+
+(** [remove t node] detaches a charged frame (uncharging it).  The node
+    must currently be in one of this group's lists. *)
+val remove : t -> int Mem.Lru.node -> unit
+
+(** [move t id node] repositions a charged frame to the MRU end of [id]
+    (e.g. inactive -> active promotion, or named -> anon retyping). *)
+val move : t -> list_id -> int Mem.Lru.node -> unit
+
+(** [tail t id] is the LRU frame of list [id], if any. *)
+val tail : t -> list_id -> int option
+
+(** [pop t id] removes and returns the LRU frame of list [id]. *)
+val pop : t -> list_id -> int option
+
+val length : t -> list_id -> int
+
+(** [inactive_low t ~file] tests whether the inactive list of the given
+    type is small relative to its active list, signalling that reclaim
+    should deactivate some active pages (Linux's inactive_is_low). *)
+val inactive_low : t -> file:bool -> bool

@@ -1,0 +1,67 @@
+type owner =
+  | Free
+  | Guest_page of { guest : int; gpa : int }
+  | Hv_page of { guest : int; idx : int }
+
+type t = {
+  owners : owner array;
+  contents : Storage.Content.t array;
+  named_flags : Bytes.t;
+  referenced_flags : Bytes.t;
+  nodes : int Mem.Lru.node array;
+  swap_backings : int option array;
+  mutable free_list : int list;
+  mutable nfree : int;
+}
+
+let create ~nframes =
+  if nframes <= 0 then invalid_arg "Frames.create: nframes must be positive";
+  let free_list = List.init nframes (fun i -> i) in
+  {
+    owners = Array.make nframes Free;
+    contents = Array.make nframes Storage.Content.Zero;
+    named_flags = Bytes.make nframes '\000';
+    referenced_flags = Bytes.make nframes '\000';
+    nodes = Array.init nframes Mem.Lru.node;
+    swap_backings = Array.make nframes None;
+    free_list;
+    nfree = nframes;
+  }
+
+let nframes t = Array.length t.owners
+let nfree t = t.nfree
+
+let alloc t =
+  match t.free_list with
+  | [] -> None
+  | f :: rest ->
+      t.free_list <- rest;
+      t.nfree <- t.nfree - 1;
+      Some f
+
+let release t f =
+  (match t.owners.(f) with
+  | Free -> invalid_arg (Printf.sprintf "Frames.release: frame %d is free" f)
+  | Guest_page _ | Hv_page _ -> ());
+  t.owners.(f) <- Free;
+  t.contents.(f) <- Storage.Content.Zero;
+  t.swap_backings.(f) <- None;
+  Bytes.set t.named_flags f '\000';
+  Bytes.set t.referenced_flags f '\000';
+  t.free_list <- f :: t.free_list;
+  t.nfree <- t.nfree + 1
+
+let owner t f = t.owners.(f)
+let set_owner t f o = t.owners.(f) <- o
+let content t f = t.contents.(f)
+let set_content t f c = t.contents.(f) <- c
+let named t f = Bytes.get t.named_flags f <> '\000'
+let set_named t f b = Bytes.set t.named_flags f (if b then '\001' else '\000')
+let referenced t f = Bytes.get t.referenced_flags f <> '\000'
+
+let set_referenced t f b =
+  Bytes.set t.referenced_flags f (if b then '\001' else '\000')
+
+let swap_backing t f = t.swap_backings.(f)
+let set_swap_backing t f b = t.swap_backings.(f) <- b
+let node t f = t.nodes.(f)

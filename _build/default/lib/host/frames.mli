@@ -1,0 +1,46 @@
+(** Host physical frame table.
+
+    Each frame records who owns it, what it logically contains, whether
+    the host considers it file-backed ("named") and its referenced bit.
+    LRU placement is managed by {!Cgroup}; the per-frame LRU node lives
+    here so a frame can move between lists in O(1). *)
+
+type owner =
+  | Free
+  | Guest_page of { guest : int; gpa : int }
+  | Hv_page of { guest : int; idx : int }
+      (** a page of the hosted hypervisor (QEMU) serving [guest] *)
+
+type t
+
+val create : nframes:int -> t
+val nframes : t -> int
+val nfree : t -> int
+
+(** [alloc t] takes a frame off the free list.  The caller must have
+    ensured free frames exist (reclaim is the caller's job).  The frame
+    comes back with [owner = Free] still set; callers fill it in. *)
+val alloc : t -> int option
+
+(** [release t f] detaches [f] from any LRU list and returns it to the
+    free list.  The frame must not be [Free] already. *)
+val release : t -> int -> unit
+
+val owner : t -> int -> owner
+val set_owner : t -> int -> owner -> unit
+val content : t -> int -> Storage.Content.t
+val set_content : t -> int -> Storage.Content.t -> unit
+val named : t -> int -> bool
+val set_named : t -> int -> bool -> unit
+val referenced : t -> int -> bool
+val set_referenced : t -> int -> bool -> unit
+
+(** Swap-cache backing: the still-allocated swap slot holding an
+    identical copy of this (clean, anonymous) frame, if any.  Lets
+    eviction drop the frame without rewriting it. *)
+val swap_backing : t -> int -> int option
+
+val set_swap_backing : t -> int -> int option -> unit
+
+(** [node t f] is the frame's LRU node (carries the frame id). *)
+val node : t -> int -> int Mem.Lru.node

@@ -1,0 +1,60 @@
+type t = {
+  total_frames : int;
+  low_watermark_frames : int;
+  high_watermark_frames : int;
+  page_cluster : int;
+  image_readahead_pages : int;
+  named_preference : bool;
+  reclaim_batch : int;
+  hv_pages_per_guest : int;
+  hv_touch_per_vio : int;
+  hv_touch_per_fault : int;
+  hv_refault_us : int;
+  minor_fault_us : int;
+  major_fault_us : int;
+  cow_exit_us : int;
+  mapper_map_page_us : int;
+  emulated_write_us : int;
+  vio_overhead_us : int;
+  writeback_throttle_sectors : int;
+  writeback_throttle_us : int;
+  reclaim_page_us : float;
+}
+
+let default =
+  {
+    total_frames = Storage.Geom.pages_of_mb 1024;
+    low_watermark_frames = 64;
+    high_watermark_frames = 128;
+    page_cluster = 3;
+    image_readahead_pages = 32;
+    named_preference = true;
+    reclaim_batch = 32;
+    hv_pages_per_guest = 64;
+    hv_touch_per_vio = 2;
+    hv_touch_per_fault = 1;
+    hv_refault_us = 80;
+    minor_fault_us = 1;
+    major_fault_us = 4;
+    cow_exit_us = 2;
+    mapper_map_page_us = 12;
+    emulated_write_us = 2;
+    vio_overhead_us = 12;
+    writeback_throttle_sectors = 49_152; (* 24 MiB of pending evictions *)
+    writeback_throttle_us = 250;
+    reclaim_page_us = 0.15;
+  }
+
+let with_memory_mb t mb =
+  let frames = Storage.Geom.pages_of_mb mb in
+  let low = max 32 (frames * 6 / 1000) in
+  let high = max 64 (frames * 12 / 1000) in
+  {
+    t with
+    total_frames = frames;
+    low_watermark_frames = low;
+    high_watermark_frames = high;
+  }
+
+let workstation_flavour t =
+  { t with named_preference = false; page_cluster = 0 }

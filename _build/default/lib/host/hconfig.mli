@@ -1,0 +1,55 @@
+(** Hypervisor-side tunables and cost model.
+
+    All CPU-side costs are in microseconds; they are calibrated so that
+    the simulated testbed behaves like the paper's Dell R420 (Section 5).
+    Disk costs live in {!Storage.Disk.config}. *)
+
+type t = {
+  total_frames : int;  (** host physical memory, in pages *)
+  low_watermark_frames : int;  (** direct reclaim triggers below this *)
+  high_watermark_frames : int;  (** reclaim refills free frames up to this *)
+  page_cluster : int;
+      (** log2 of the swap readahead cluster (Linux vm.page-cluster); 3
+          means 8-page clusters *)
+  image_readahead_pages : int;
+      (** fault-time readahead window when the Mapper refetches named
+          pages from the disk image *)
+  named_preference : bool;
+      (** reclaim prefers file-backed pages over anonymous ones, like
+          Linux; turning this off is the D3 ablation *)
+  reclaim_batch : int;  (** pages reclaimed per direct-reclaim episode *)
+  hv_pages_per_guest : int;
+      (** named pages of the hosted hypervisor (QEMU) serving each guest;
+          the false-page-anonymity substrate *)
+  hv_touch_per_vio : int;  (** hv pages touched by each virtual I/O *)
+  hv_touch_per_fault : int;  (** hv pages touched by each major fault *)
+  (* CPU-side costs, microseconds. *)
+  hv_refault_us : int;
+      (** cost of refaulting an evicted hypervisor page (usually still in
+          the host's own file cache, so no disk read is charged) *)
+  minor_fault_us : int;
+  major_fault_us : int;  (** CPU part; disk latency comes on top *)
+  cow_exit_us : int;  (** write to a present named page (Mapper COW) *)
+  mapper_map_page_us : int;
+      (** per-page cost of the Mapper's mmap+ioctl install path (the
+          paper attributes VSwapper's residual slowdown to it) *)
+  emulated_write_us : int;  (** Preventer per-store emulation cost *)
+  vio_overhead_us : int;  (** exit + QEMU dispatch per virtual I/O req *)
+  writeback_throttle_sectors : int;
+      (** buffered eviction writes beyond this pace the allocator *)
+  writeback_throttle_us : int;  (** per-allocation pacing delay when over *)
+  reclaim_page_us : float;  (** CPU cost per page scanned by reclaim *)
+}
+
+(** Defaults sized for experiments that cap a guest at a few hundred MB;
+    [total_frames] and watermarks are meant to be overridden per
+    experiment via [with_memory_mb]. *)
+val default : t
+
+(** [with_memory_mb t mb] sets [total_frames] and derives watermarks
+    (0.6 % / 1.2 % of memory, with sane minima). *)
+val with_memory_mb : t -> int -> t
+
+(** "VMware-Workstation flavour" used by the Table 2 reproduction: no
+    named preference, single-page swap readahead. *)
+val workstation_flavour : t -> t

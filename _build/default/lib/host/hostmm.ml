@@ -1,0 +1,1176 @@
+module Content = Storage.Content
+module Mapper = Vswapper.Mapper
+module Preventer = Vswapper.Preventer
+
+type guest_id = int
+
+type page_state = Not_backed | Present | In_swap | In_image | Ballooned
+
+type epte =
+  | E_not_backed
+  | E_present of int  (* frame *)
+  | E_in_swap of int  (* host swap slot *)
+  | E_in_image of int  (* block of the guest's own vdisk *)
+  | E_ballooned
+
+type guest = {
+  gid : int;
+  vdisk : Storage.Vdisk.t;
+  ept : epte array;
+  cgroup : Cgroup.t;
+  mapper : Mapper.t;
+  preventer : Preventer.t;
+  hv_frames : int option array;
+  mutable hv_rr : int;
+  mutable timer : Sim.Engine.event option;
+  (* gpa -> write generation of the currently buffered (Preventer) write *)
+  pending_gen : (int, int) Hashtbl.t;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  disk : Storage.Disk.t;
+  stats : Metrics.Stats.t;
+  config : Hconfig.t;
+  vs : Vswapper.Vsconfig.t;
+  swap : Storage.Swap_area.t;
+  hv_base_sector : int;
+  frames : Frames.t;
+  guests : (int, guest) Hashtbl.t;
+  mutable guest_ids : int list;
+  slot_owner : (int, int * int) Hashtbl.t;  (* swap slot -> (guest, gpa) *)
+  (* (guest, gpa) -> continuations waiting for an in-flight fault *)
+  inflight : (int * int, (unit -> unit) list ref) Hashtbl.t;
+  mutable reclaim_toggle : bool;  (* fairness when named_preference is off *)
+  mutable global_rr : int;  (* round-robin cursor for global reclaim *)
+}
+
+let page_sectors = Storage.Geom.sectors_per_page
+
+(* Temporary debug hook: called with (gpa, slot) on each swap-out. *)
+let debug_evict_hook : (int -> int -> unit) ref = ref (fun _ _ -> ())
+
+let create ~engine ~disk ~stats ~config ~vsconfig ~swap ~hv_base_sector =
+  {
+    engine;
+    disk;
+    stats;
+    config;
+    vs = vsconfig;
+    swap;
+    hv_base_sector;
+    frames = Frames.create ~nframes:config.Hconfig.total_frames;
+    guests = Hashtbl.create 16;
+    guest_ids = [];
+    slot_owner = Hashtbl.create 4096;
+    inflight = Hashtbl.create 64;
+    reclaim_toggle = false;
+    global_rr = 0;
+  }
+
+let register_guest t ~vdisk ~gpa_pages ~resident_limit =
+  let gid = Hashtbl.length t.guests in
+  let g =
+    {
+      gid;
+      vdisk;
+      ept = Array.make gpa_pages E_not_backed;
+      cgroup = Cgroup.create ~limit_frames:resident_limit;
+      mapper = Mapper.create ~stats:t.stats ();
+      preventer =
+        Preventer.create ~stats:t.stats ~window:t.vs.preventer_window
+          ~max_buffers:t.vs.preventer_max_buffers;
+      hv_frames = Array.make t.config.hv_pages_per_guest None;
+      hv_rr = 0;
+      timer = None;
+      pending_gen = Hashtbl.create 64;
+    }
+  in
+  Hashtbl.replace t.guests gid g;
+  t.guest_ids <- t.guest_ids @ [ gid ];
+  gid
+
+let guest t gid =
+  match Hashtbl.find_opt t.guests gid with
+  | Some g -> g
+  | None -> invalid_arg (Printf.sprintf "Hostmm: unknown guest %d" gid)
+
+let set_resident_limit t gid limit = Cgroup.set_limit (guest t gid).cgroup limit
+
+let after t cost_us k =
+  ignore (Sim.Engine.schedule_after t.engine (Sim.Time.us cost_us) k)
+
+(* [join t n k] returns a thunk to be invoked [n] times; [k] runs after
+   the n-th call.  With [n = 0], [k] is scheduled immediately. *)
+let join t n k =
+  if n = 0 then begin
+    after t 0 k;
+    fun () -> ()
+  end
+  else begin
+    let remaining = ref n in
+    fun () ->
+      decr remaining;
+      if !remaining = 0 then k ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reclaim                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Is writing [content] of [g]'s page to host swap a silent write?  Yes
+   when an identical copy already sits in the guest's disk image. *)
+let is_silent_write g content =
+  match content with
+  | Content.Block { disk; block; version } ->
+      disk = Storage.Vdisk.id g.vdisk
+      && block >= 0
+      && block < Storage.Vdisk.nblocks g.vdisk
+      && version = Storage.Vdisk.version g.vdisk block
+  | Content.Zero | Content.Anon _ -> false
+
+(* Evict one frame: named guest pages are dropped (the Mapper remembers
+   where to find them), hypervisor pages are dropped (refetchable),
+   everything else goes to host swap — unconditionally written, because
+   without EPT dirty bits the host must assume guest pages are dirty. *)
+let evict_frame t frame =
+  match Frames.owner t.frames frame with
+  | Frames.Free -> assert false
+  | Frames.Hv_page { guest = gid; idx } ->
+      let g = guest t gid in
+      g.hv_frames.(idx) <- None;
+      Cgroup.remove g.cgroup (Frames.node t.frames frame);
+      Frames.release t.frames frame
+  | Frames.Guest_page { guest = gid; gpa } ->
+      let g = guest t gid in
+      let content = Frames.content t.frames frame in
+      (if Frames.named t.frames frame then begin
+         match Mapper.lookup g.mapper ~gpa with
+         | Some b ->
+             assert (Storage.Vdisk.version g.vdisk b.block = b.version);
+             g.ept.(gpa) <- E_in_image b.block;
+             t.stats.mapper_discards <- t.stats.mapper_discards + 1
+         | None -> assert false
+       end
+       else
+         match Frames.swap_backing t.frames frame with
+         | Some slot ->
+             (* Swap cache hit: an identical copy already sits in the
+                slot; drop the frame without any I/O. *)
+             assert (Hashtbl.find_opt t.slot_owner slot = Some (gid, gpa));
+             assert
+               (Content.equal content (Storage.Swap_area.content t.swap slot));
+             g.ept.(gpa) <- E_in_swap slot
+         | None -> (
+             match Storage.Swap_area.alloc t.swap content with
+             | None -> failwith "Hostmm: host swap area full"
+             | Some slot ->
+                 !debug_evict_hook gpa slot;
+                 Hashtbl.replace t.slot_owner slot (gid, gpa);
+                 g.ept.(gpa) <- E_in_swap slot;
+                 t.stats.host_swapouts <- t.stats.host_swapouts + 1;
+                 t.stats.swap_sectors_written <-
+                   t.stats.swap_sectors_written + page_sectors;
+                 if is_silent_write g content then
+                   t.stats.silent_swap_writes <-
+                     t.stats.silent_swap_writes + 1;
+                 Storage.Disk.submit t.disk
+                   ~sector:(Storage.Swap_area.sector_of_slot t.swap slot)
+                   ~nsectors:page_sectors ~kind:Storage.Disk.Write
+                   (fun () -> ())));
+      Cgroup.remove g.cgroup (Frames.node t.frames frame);
+      Frames.release t.frames frame
+
+(* Move pages from the active tail to the inactive head while the
+   inactive list is low, clearing referenced bits (shrink_active_list). *)
+let refill_inactive t g ~file ~scanned =
+  let active = if file then Cgroup.File_active else Cgroup.Anon_active in
+  let inactive = if file then Cgroup.File_inactive else Cgroup.Anon_inactive in
+  let moved = ref 0 in
+  while
+    Cgroup.inactive_low g.cgroup ~file
+    && Cgroup.length g.cgroup active > 0
+    && !moved < t.config.reclaim_batch
+  do
+    match Cgroup.tail g.cgroup active with
+    | None -> moved := t.config.reclaim_batch
+    | Some frame ->
+        incr scanned;
+        incr moved;
+        Frames.set_referenced t.frames frame false;
+        Cgroup.move g.cgroup inactive (Frames.node t.frames frame)
+  done
+
+(* Shrink one cgroup by up to [target] frames; returns (freed, scanned). *)
+let shrink_cgroup t g ~target =
+  let freed = ref 0 and scanned = ref 0 in
+  let max_scan = (4 * Cgroup.resident g.cgroup) + 64 in
+  (* With named preference, scan file pages seven times as often as
+     anonymous ones (swappiness-like: under file streaming Linux
+     reclaims almost exclusively from the page cache, but never starves
+     either list absolutely); without it, alternate. *)
+  let rotor = ref 0 in
+  let victim_order () =
+    incr rotor;
+    let file_first =
+      if t.config.named_preference then !rotor mod 8 <> 0
+      else begin
+        t.reclaim_toggle <- not t.reclaim_toggle;
+        t.reclaim_toggle
+      end
+    in
+    if file_first then [ Cgroup.File_inactive; Cgroup.Anon_inactive ]
+    else [ Cgroup.Anon_inactive; Cgroup.File_inactive ]
+  in
+  let continue_ = ref true in
+  while !continue_ && !freed < target do
+    refill_inactive t g ~file:true ~scanned;
+    refill_inactive t g ~file:false ~scanned;
+    let victim =
+      let rec try_lists = function
+        | [] -> None
+        | id :: rest -> (
+            match Cgroup.tail g.cgroup id with
+            | Some frame -> Some (id, frame)
+            | None -> try_lists rest)
+      in
+      try_lists (victim_order ())
+    in
+    match victim with
+    | None -> continue_ := false
+    | Some (list_id, frame) ->
+        incr scanned;
+        t.stats.pages_scanned <- t.stats.pages_scanned + 1;
+        let forced = !scanned > max_scan in
+        if Frames.referenced t.frames frame && not forced then begin
+          (* Second chance: promote to the active list of its type. *)
+          Frames.set_referenced t.frames frame false;
+          let active =
+            match list_id with
+            | Cgroup.File_inactive | Cgroup.File_active -> Cgroup.File_active
+            | Cgroup.Anon_inactive | Cgroup.Anon_active -> Cgroup.Anon_active
+          in
+          Cgroup.move g.cgroup active (Frames.node t.frames frame)
+        end
+        else begin
+          evict_frame t frame;
+          incr freed
+        end
+  done;
+  (!freed, !scanned)
+
+(* Make room for [need] frames for guest [g]: first enforce its cgroup
+   limit, then the global watermarks (shrinking the largest cgroups).
+   Returns the CPU cost in microseconds of the scanning performed. *)
+let ensure_frames t g ~need =
+  let scanned_total = ref 0 in
+  (match Cgroup.limit g.cgroup with
+  | Some lim when Cgroup.resident g.cgroup + need > lim ->
+      let target =
+        Cgroup.resident g.cgroup + need - lim + t.config.reclaim_batch
+      in
+      let _, scanned = shrink_cgroup t g ~target in
+      scanned_total := !scanned_total + scanned
+  | Some _ | None -> ());
+  if Frames.nfree t.frames < t.config.low_watermark_frames + need then begin
+    let goal = t.config.high_watermark_frames + need in
+    (* Global reclaim visits cgroups round-robin (like Linux walking
+       memcgs), skipping the small ones, so pressure is shared instead of
+       convoying on one victim. *)
+    let n = List.length t.guest_ids in
+    let consecutive_failures = ref 0 in
+    while Frames.nfree t.frames < goal && !consecutive_failures < max 1 n do
+      match List.nth_opt t.guest_ids (t.global_rr mod max 1 n) with
+      | None -> consecutive_failures := n
+      | Some gid ->
+          t.global_rr <- t.global_rr + 1;
+          let victim = guest t gid in
+          if Cgroup.resident victim.cgroup * n < t.config.total_frames / 4
+          then incr consecutive_failures
+          else begin
+            let freed, scanned =
+              shrink_cgroup t victim ~target:t.config.reclaim_batch
+            in
+            scanned_total := !scanned_total + scanned;
+            if freed = 0 then incr consecutive_failures
+            else consecutive_failures := 0
+          end
+    done
+  end;
+  int_of_float
+    (Float.round (float_of_int !scanned_total *. t.config.reclaim_page_us))
+
+(* Allocate a frame for guest page [gpa]; returns (frame, reclaim cost).
+   When the disk's write buffer is saturated by eviction traffic, the
+   allocating context is paced at roughly the media write rate — the
+   balance_dirty_pages effect. *)
+let alloc_frame t g ~gpa ~content ~named ~active ~referenced =
+  let throttle =
+    if
+      Storage.Disk.buffered_write_sectors t.disk
+      > t.config.writeback_throttle_sectors
+    then t.config.writeback_throttle_us
+    else 0
+  in
+  let cost = throttle + ensure_frames t g ~need:1 in
+  match Frames.alloc t.frames with
+  | None -> failwith "Hostmm: out of host memory (reclaim found nothing)"
+  | Some frame ->
+      Frames.set_owner t.frames frame
+        (Frames.Guest_page { guest = g.gid; gpa });
+      Frames.set_content t.frames frame content;
+      Frames.set_named t.frames frame named;
+      Frames.set_referenced t.frames frame referenced;
+      let id =
+        match (named, active) with
+        | true, true -> Cgroup.File_active
+        | true, false -> Cgroup.File_inactive
+        | false, true -> Cgroup.Anon_active
+        | false, false -> Cgroup.Anon_inactive
+      in
+      Cgroup.insert g.cgroup id (Frames.node t.frames frame);
+      g.ept.(gpa) <- E_present frame;
+      (frame, cost)
+
+(* Release the swap-cache slot backing a present frame, if any: called
+   whenever the frame's content is about to change, so the stale copy in
+   the swap area is never resurrected. *)
+let drop_swap_backing t frame =
+  match Frames.swap_backing t.frames frame with
+  | None -> ()
+  | Some slot ->
+      Frames.set_swap_backing t.frames frame None;
+      Hashtbl.remove t.slot_owner slot;
+      if Storage.Swap_area.is_allocated t.swap slot then
+        Storage.Swap_area.free t.swap slot
+
+(* Drop whatever backs [gpa] — present frame, swap slot, image mapping,
+   pending Preventer buffer — leaving the page [E_not_backed].  Used when
+   the old content is dead (DMA overwrite, Preventer remap, balloon). *)
+let discard_backing t g ~gpa =
+  if t.vs.preventer then Preventer.abandon g.preventer ~gpa;
+  Hashtbl.remove g.pending_gen gpa;
+  (match g.ept.(gpa) with
+  | E_present frame ->
+      Mapper.untrack g.mapper ~gpa;
+      drop_swap_backing t frame;
+      Cgroup.remove g.cgroup (Frames.node t.frames frame);
+      Frames.release t.frames frame
+  | E_in_swap slot -> (
+      match Hashtbl.find_opt t.slot_owner slot with
+      | Some (gg, pp) when gg = g.gid && pp = gpa ->
+          Hashtbl.remove t.slot_owner slot;
+          Storage.Swap_area.free t.swap slot
+      | Some _ | None -> ())
+  | E_in_image _ -> Mapper.untrack g.mapper ~gpa
+  | E_not_backed -> ()
+  | E_ballooned -> invalid_arg "Hostmm.discard_backing: ballooned page");
+  g.ept.(gpa) <- E_not_backed
+
+(* ------------------------------------------------------------------ *)
+(* Hypervisor (QEMU) named pages — the false-anonymity substrate        *)
+(* ------------------------------------------------------------------ *)
+
+(* Touch [n] hypervisor pages round-robin; refaults of evicted pages are
+   charged [hv_refault_us] each and counted as host-context faults. *)
+let hv_touch t g n =
+  let cost = ref 0 in
+  for _ = 1 to n do
+    let idx = g.hv_rr mod t.config.hv_pages_per_guest in
+    g.hv_rr <- g.hv_rr + 1;
+    match g.hv_frames.(idx) with
+    | Some frame -> Frames.set_referenced t.frames frame true
+    | None -> (
+        t.stats.host_context_faults <- t.stats.host_context_faults + 1;
+        t.stats.hypervisor_code_faults <- t.stats.hypervisor_code_faults + 1;
+        cost := !cost + t.config.hv_refault_us + ensure_frames t g ~need:1;
+        match Frames.alloc t.frames with
+        | None -> failwith "Hostmm: out of host memory (hv page)"
+        | Some frame ->
+            Frames.set_owner t.frames frame
+              (Frames.Hv_page { guest = g.gid; idx });
+            Frames.set_content t.frames frame Content.Zero;
+            Frames.set_named t.frames frame true;
+            Frames.set_referenced t.frames frame true;
+            Cgroup.insert g.cgroup Cgroup.File_inactive
+              (Frames.node t.frames frame);
+            g.hv_frames.(idx) <- Some frame)
+  done;
+  !cost
+
+(* ------------------------------------------------------------------ *)
+(* Fault-in                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let count_fault t ~host_context =
+  if host_context then
+    t.stats.host_context_faults <- t.stats.host_context_faults + 1
+  else t.stats.guest_context_faults <- t.stats.guest_context_faults + 1
+
+(* Install an anonymous page read back from swap slot [slot], if the
+   world still looks like it did at submission time. *)
+let install_from_swap t ~slot ~owner ~target =
+  let gid, gpa = owner in
+  let g = guest t gid in
+  let still_valid =
+    Storage.Swap_area.is_allocated t.swap slot
+    && Hashtbl.find_opt t.slot_owner slot = Some owner
+    && match g.ept.(gpa) with E_in_swap s -> s = slot | _ -> false
+  in
+  if still_valid then begin
+    let content = Storage.Swap_area.content t.swap slot in
+    (* Linux keeps swapped-in pages in the swap cache (slot retained, so
+       a clean re-eviction is free) until the swap area is half full
+       (vm_swap_full), after which slots are freed eagerly. *)
+    let vm_swap_full =
+      2 * Storage.Swap_area.in_use t.swap > Storage.Swap_area.nslots t.swap
+    in
+    let frame, _ =
+      alloc_frame t g ~gpa ~content ~named:false ~active:target
+        ~referenced:target
+    in
+    (* Only the faulting (mapped) page frees its slot under swap
+       pressure; readahead pages sit in the swap cache and always keep
+       theirs, so unused prefetch never relocates anything. *)
+    if target && vm_swap_full then begin
+      Storage.Swap_area.free t.swap slot;
+      Hashtbl.remove t.slot_owner slot
+    end
+    else Frames.set_swap_backing t.frames frame (Some slot);
+    t.stats.host_swapins <- t.stats.host_swapins + 1
+  end
+
+(* Install a Mapper-tracked page re-read from the disk image. *)
+let install_from_image t g ~gpa ~block ~target =
+  let still_valid =
+    match g.ept.(gpa) with E_in_image b -> b = block | _ -> false
+  in
+  if still_valid then
+    match Mapper.lookup g.mapper ~gpa with
+    | Some b when b.block = block ->
+        assert (b.version = Storage.Vdisk.version g.vdisk block);
+        let content = Storage.Vdisk.content g.vdisk block in
+        ignore
+          (alloc_frame t g ~gpa ~content ~named:true ~active:target
+             ~referenced:target);
+        t.stats.mapper_refetches <- t.stats.mapper_refetches + 1
+    | Some _ | None -> ()
+
+(* [fault_in t g ~gpa ~host_context k]: make [gpa] present, charging all
+   latencies, then run [k].  [k] itself re-checks presence (the page can
+   be re-evicted between the disk completion and the continuation), so
+   callers typically pass a retry loop. *)
+let rec fault_in t g ~gpa ~host_context k =
+  match g.ept.(gpa) with
+  | E_present _ -> after t 0 k
+  | E_ballooned -> invalid_arg "Hostmm.fault_in: ballooned page"
+  | E_not_backed ->
+      let _, cost =
+        alloc_frame t g ~gpa ~content:Content.Zero ~named:false ~active:true
+          ~referenced:true
+      in
+      after t (t.config.minor_fault_us + cost) k
+  | E_in_swap _ | E_in_image _ -> (
+      match Hashtbl.find_opt t.inflight (g.gid, gpa) with
+      | Some waiters ->
+          (* Piggyback: when the in-flight read lands, try again (the
+             retry will hit the fast path if the install succeeded). *)
+          waiters := (fun () -> fault_in t g ~gpa ~host_context k) :: !waiters
+      | None ->
+          let waiters = ref [] in
+          Hashtbl.replace t.inflight (g.gid, gpa) waiters;
+          (* Handling a major fault runs hypervisor code. *)
+          let hv_cost = hv_touch t g t.config.hv_touch_per_fault in
+          let finish0 () =
+            Hashtbl.remove t.inflight (g.gid, gpa);
+            let ws = !waiters in
+            waiters := [];
+            (match g.ept.(gpa) with
+            | E_present _ -> k ()
+            | _ -> fault_in t g ~gpa ~host_context k);
+            List.iter (fun w -> w ()) ws
+          in
+          let finish () =
+            if hv_cost = 0 then finish0 () else after t hv_cost finish0
+          in
+          (match g.ept.(gpa) with
+          | E_in_swap slot -> swapin_cluster t g ~gpa ~slot ~host_context finish
+          | E_in_image block ->
+              refetch_image t g ~gpa ~block ~host_context finish
+          | E_present _ | E_not_backed | E_ballooned -> assert false))
+
+(* Swap-in with cluster readahead: one request covers the naturally
+   aligned cluster around [slot]; every slot in it that still backs a
+   swapped-out page is installed.  Decayed sequentiality shows up here:
+   when neighbouring slots hold unrelated pages, the prefetch wins
+   nothing and every page pays a full random read. *)
+and swapin_cluster t g ~gpa ~slot ~host_context k =
+  count_fault t ~host_context;
+  let cluster = max 1 (1 lsl t.config.page_cluster) in
+  let s0 = slot - (slot mod cluster) in
+  let s_end = min (s0 + cluster) (Storage.Swap_area.nslots t.swap) in
+  let neighbours = ref [] in
+  for s = s_end - 1 downto s0 do
+    if s <> slot then
+      match Hashtbl.find_opt t.slot_owner s with
+      | Some ((gg, pp) as owner) when not (Hashtbl.mem t.inflight owner) -> (
+          match (guest t gg).ept.(pp) with
+          | E_in_swap s' when s' = s -> neighbours := (s, owner) :: !neighbours
+          | _ -> ())
+      | Some _ | None -> ()
+  done;
+  (* Prefetch at most the free-frame headroom beyond the target page. *)
+  let headroom = max 0 (Frames.nfree t.frames - 1) in
+  let rec take n = function
+    | [] -> []
+    | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+  in
+  let neighbours = take headroom !neighbours in
+  let marked =
+    List.map
+      (fun (s, owner) ->
+        let ws = ref [] in
+        Hashtbl.replace t.inflight owner ws;
+        (s, owner, ws))
+      neighbours
+  in
+  let slots = slot :: List.map (fun (s, _) -> s) neighbours in
+  let smin = List.fold_left min slot slots in
+  let smax = List.fold_left max slot slots in
+  let sector = Storage.Swap_area.sector_of_slot t.swap smin in
+  let nsectors = (smax - smin + 1) * page_sectors in
+  t.stats.swap_sectors_read <-
+    t.stats.swap_sectors_read + (List.length slots * page_sectors);
+  Storage.Disk.submit t.disk ~sector ~nsectors ~kind:Storage.Disk.Read
+    (fun () ->
+      install_from_swap t ~slot ~owner:(g.gid, gpa) ~target:true;
+      List.iter
+        (fun (s, owner, ws) ->
+          install_from_swap t ~slot:s ~owner ~target:false;
+          Hashtbl.remove t.inflight owner;
+          let waiters = !ws in
+          ws := [];
+          List.iter (fun w -> w ()) waiters)
+        marked;
+      after t t.config.major_fault_us k)
+
+(* Fault on a Mapper-discarded page: re-read from the disk image, with
+   readahead over the consecutive run of tracked blocks — which stays
+   sequential forever, the Mapper's answer to decayed sequentiality. *)
+and refetch_image t g ~gpa ~block ~host_context k =
+  count_fault t ~host_context;
+  let disk_id = Storage.Vdisk.id g.vdisk in
+  let window =
+    Mapper.readahead_window g.mapper ~disk:disk_id ~block
+      ~max:t.config.image_readahead_pages
+  in
+  let headroom = ref (max 0 (Frames.nfree t.frames - 1)) in
+  let installs = ref [] in
+  List.iter
+    (fun (b, gpas) ->
+      List.iter
+        (fun p ->
+          if p <> gpa && !headroom > 0 then
+            match g.ept.(p) with
+            | E_in_image bb
+              when bb = b && not (Hashtbl.mem t.inflight (g.gid, p)) ->
+                decr headroom;
+                let ws = ref [] in
+                Hashtbl.replace t.inflight (g.gid, p) ws;
+                installs := (b, p, ws) :: !installs
+            | _ -> ())
+        gpas)
+    window;
+  let installs = List.rev !installs in
+  let last_block =
+    List.fold_left (fun acc (b, _, _) -> max acc b) block installs
+  in
+  let nblocks = last_block - block + 1 in
+  let sector = Storage.Vdisk.sector_of_block g.vdisk block in
+  Storage.Disk.submit t.disk ~sector ~nsectors:(nblocks * page_sectors)
+    ~kind:Storage.Disk.Read (fun () ->
+      install_from_image t g ~gpa ~block ~target:true;
+      List.iter
+        (fun (b, p, ws) ->
+          install_from_image t g ~gpa:p ~block:b ~target:false;
+          Hashtbl.remove t.inflight (g.gid, p);
+          let waiters = !ws in
+          ws := [];
+          List.iter (fun w -> w ()) waiters)
+        installs;
+      let map_cost =
+        (1 + List.length installs) * t.config.mapper_map_page_us
+      in
+      after t (t.config.major_fault_us + map_cost) k)
+
+(* ------------------------------------------------------------------ *)
+(* Guest-context accesses                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Apply a CPU store to a present page: private-mapping COW semantics
+   break the Mapper association and retype the page anonymous. *)
+let apply_write_present t g ~gpa ~full ~gen =
+  match g.ept.(gpa) with
+  | E_present frame ->
+      let base = Frames.content t.frames frame in
+      let c =
+        if full then Content.Anon gen else Content.combine base gen
+      in
+      let cost =
+        if Frames.named t.frames frame then begin
+          Mapper.untrack g.mapper ~gpa;
+          Frames.set_named t.frames frame false;
+          Cgroup.move g.cgroup Cgroup.Anon_active (Frames.node t.frames frame);
+          t.config.cow_exit_us
+        end
+        else 0
+      in
+      drop_swap_backing t frame;
+      Frames.set_content t.frames frame c;
+      Frames.set_referenced t.frames frame true;
+      cost
+  | _ -> assert false
+
+(* Merge a (possibly expired/abandoned) Preventer buffer with the page's
+   old content: fault the old bytes in, then overlay generation [gen]. *)
+let rec apply_merge t g ~gpa ~gen ~host_context k =
+  match g.ept.(gpa) with
+  | E_present frame ->
+      let base = Frames.content t.frames frame in
+      if Frames.named t.frames frame then begin
+        Mapper.untrack g.mapper ~gpa;
+        Frames.set_named t.frames frame false;
+        Cgroup.move g.cgroup Cgroup.Anon_active (Frames.node t.frames frame)
+      end;
+      drop_swap_backing t frame;
+      Frames.set_content t.frames frame (Content.combine base gen);
+      Frames.set_referenced t.frames frame true;
+      after t 0 k
+  | E_in_swap _ | E_in_image _ ->
+      fault_in t g ~gpa ~host_context (fun () ->
+          apply_merge t g ~gpa ~gen ~host_context k)
+  | E_not_backed ->
+      ignore
+        (alloc_frame t g ~gpa
+           ~content:(Content.combine Content.Zero gen)
+           ~named:false ~active:true ~referenced:true);
+      after t 0 k
+  | E_ballooned -> after t 0 k
+
+(* Expiry timer for Preventer buffers. *)
+let rec arm_timer t g =
+  (match g.timer with
+  | Some ev ->
+      Sim.Engine.cancel t.engine ev;
+      g.timer <- None
+  | None -> ());
+  match Preventer.next_deadline g.preventer with
+  | None -> ()
+  | Some deadline ->
+      let deadline = Sim.Time.max deadline (Sim.Engine.now t.engine) in
+      g.timer <-
+        Some
+          (Sim.Engine.schedule_at t.engine deadline (fun () ->
+               g.timer <- None;
+               let gone =
+                 Preventer.expired g.preventer ~now:(Sim.Engine.now t.engine)
+               in
+               List.iter
+                 (fun gpa ->
+                   let gen =
+                     match Hashtbl.find_opt g.pending_gen gpa with
+                     | Some gen -> gen
+                     | None -> Content.fresh_gen ()
+                   in
+                   Hashtbl.remove g.pending_gen gpa;
+                   apply_merge t g ~gpa ~gen ~host_context:true (fun () -> ()))
+                 gone;
+               arm_timer t g))
+
+let touch_read t ~guest:gid ~gpa k =
+  let g = guest t gid in
+  let rec attempt () =
+    match g.ept.(gpa) with
+    | E_present frame ->
+        Frames.set_referenced t.frames frame true;
+        let c = Frames.content t.frames frame in
+        after t 0 (fun () -> k c)
+    | E_ballooned -> invalid_arg "Hostmm.touch_read: ballooned page"
+    | E_not_backed ->
+        let _, cost =
+          alloc_frame t g ~gpa ~content:Content.Zero ~named:false ~active:true
+            ~referenced:true
+        in
+        after t (t.config.minor_fault_us + cost) (fun () -> k Content.Zero)
+    | E_in_swap _ | E_in_image _ ->
+        if t.vs.preventer && Preventer.is_buffered g.preventer ~gpa then begin
+          (* Guest reads a page under write emulation.  Whole-page reads
+             are never fully covered by a partial buffer, so this is the
+             suspend-and-merge path. *)
+          match
+            Preventer.on_read g.preventer ~gpa ~offset:0
+              ~len:Storage.Geom.page_bytes
+          with
+          | Preventer.Served_from_buffer ->
+              let gen =
+                match Hashtbl.find_opt g.pending_gen gpa with
+                | Some gen -> gen
+                | None -> Content.fresh_gen ()
+              in
+              after t t.config.emulated_write_us (fun () ->
+                  k (Content.Anon gen))
+          | Preventer.Suspend ->
+              Preventer.abandon g.preventer ~gpa;
+              t.stats.preventer_merges <- t.stats.preventer_merges + 1;
+              let gen =
+                match Hashtbl.find_opt g.pending_gen gpa with
+                | Some gen -> gen
+                | None -> Content.fresh_gen ()
+              in
+              Hashtbl.remove g.pending_gen gpa;
+              apply_merge t g ~gpa ~gen ~host_context:false attempt
+        end
+        else fault_in t g ~gpa ~host_context:false attempt
+  in
+  attempt ()
+
+let touch_write t ~guest:gid ~gpa ~offset ~len ~gen ~intent_full_page k =
+  let g = guest t gid in
+  let full = offset = 0 && len >= Storage.Geom.page_bytes in
+  let false_read_counted = ref false in
+  let rec attempt () =
+    match g.ept.(gpa) with
+    | E_present _ ->
+        let cost = apply_write_present t g ~gpa ~full ~gen in
+        after t cost k
+    | E_ballooned -> invalid_arg "Hostmm.touch_write: ballooned page"
+    | E_not_backed ->
+        let content =
+          if full then Content.Anon gen else Content.combine Content.Zero gen
+        in
+        let _, cost =
+          alloc_frame t g ~gpa ~content ~named:false ~active:true
+            ~referenced:true
+        in
+        after t (t.config.minor_fault_us + cost) k
+    | E_in_swap _ | E_in_image _ ->
+        if t.vs.preventer then
+          match
+            Preventer.on_write g.preventer ~now:(Sim.Engine.now t.engine) ~gpa
+              ~offset ~len
+          with
+          | Preventer.Completed ->
+              discard_backing t g ~gpa;
+              let _, cost =
+                alloc_frame t g ~gpa ~content:(Content.Anon gen) ~named:false
+                  ~active:true ~referenced:true
+              in
+              after t (t.config.emulated_write_us + cost) k
+          | Preventer.Buffered { first_write } ->
+              Hashtbl.replace g.pending_gen gpa gen;
+              if first_write then arm_timer t g;
+              after t t.config.emulated_write_us k
+          | Preventer.Needs_merge ->
+              Hashtbl.remove g.pending_gen gpa;
+              apply_merge t g ~gpa ~gen ~host_context:false k
+          | Preventer.Rejected -> baseline ()
+        else baseline ()
+  and baseline () =
+    if intent_full_page && not !false_read_counted then begin
+      false_read_counted := true;
+      t.stats.false_reads <- t.stats.false_reads + 1
+    end;
+    fault_in t g ~gpa ~host_context:false attempt
+  in
+  attempt ()
+
+let rep_write t ~guest:gid ~gpa ~content k =
+  let g = guest t gid in
+  let false_read_counted = ref false in
+  let rec attempt () =
+    match g.ept.(gpa) with
+    | E_present frame ->
+        let cost =
+          if Frames.named t.frames frame then begin
+            Mapper.untrack g.mapper ~gpa;
+            Frames.set_named t.frames frame false;
+            Cgroup.move g.cgroup Cgroup.Anon_active
+              (Frames.node t.frames frame);
+            t.config.cow_exit_us
+          end
+          else 0
+        in
+        drop_swap_backing t frame;
+        Frames.set_content t.frames frame content;
+        Frames.set_referenced t.frames frame true;
+        after t cost k
+    | E_ballooned -> invalid_arg "Hostmm.rep_write: ballooned page"
+    | E_not_backed ->
+        let _, cost =
+          alloc_frame t g ~gpa ~content ~named:false ~active:true
+            ~referenced:true
+        in
+        after t (t.config.minor_fault_us + cost) k
+    | E_in_swap _ | E_in_image _ ->
+        if t.vs.preventer then begin
+          (* REP-prefixed whole-page store: recognized outright; the old
+             content is never read (paper Section 4.2, last paragraph). *)
+          Preventer.on_rep_write g.preventer ~gpa;
+          Hashtbl.remove g.pending_gen gpa;
+          discard_backing t g ~gpa;
+          let _, cost =
+            alloc_frame t g ~gpa ~content ~named:false ~active:true
+              ~referenced:true
+          in
+          after t (t.config.emulated_write_us + cost) k
+        end
+        else begin
+          if not !false_read_counted then begin
+            false_read_counted := true;
+            t.stats.false_reads <- t.stats.false_reads + 1
+          end;
+          fault_in t g ~gpa ~host_context:false attempt
+        end
+  in
+  attempt ()
+
+(* ------------------------------------------------------------------ *)
+(* Virtual disk I/O (the QEMU emulation path)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Install a freshly read file page under the Mapper regime: the page
+   becomes named, clean and tracked; any stale backing is dropped. *)
+let install_file_page t g ~gpa ~block =
+  let v = Storage.Vdisk.version g.vdisk block in
+  let content = Storage.Vdisk.content g.vdisk block in
+  let cost = ref 0 in
+  (match g.ept.(gpa) with
+  | E_present frame ->
+      drop_swap_backing t frame;
+      Frames.set_content t.frames frame content;
+      if not (Frames.named t.frames frame) then begin
+        Frames.set_named t.frames frame true;
+        Cgroup.move g.cgroup Cgroup.File_inactive (Frames.node t.frames frame)
+      end
+  | E_ballooned -> ()
+  | E_not_backed | E_in_swap _ | E_in_image _ ->
+      discard_backing t g ~gpa;
+      let _, c =
+        alloc_frame t g ~gpa ~content ~named:true ~active:false
+          ~referenced:false
+      in
+      cost := c);
+  (match g.ept.(gpa) with
+  | E_present _ ->
+      Mapper.track g.mapper ~gpa ~disk:(Storage.Vdisk.id g.vdisk) ~block
+        ~version:v
+  | _ -> ());
+  !cost + t.config.mapper_map_page_us
+
+(* Baseline DMA landing: overwrite the (pinned) destination page. *)
+let force_dma_install t g ~gpa ~block =
+  let content = Storage.Vdisk.content g.vdisk block in
+  match g.ept.(gpa) with
+  | E_present frame ->
+      drop_swap_backing t frame;
+      Frames.set_content t.frames frame content;
+      Frames.set_referenced t.frames frame true
+  | E_ballooned -> ()
+  | E_not_backed | E_in_swap _ | E_in_image _ ->
+      discard_backing t g ~gpa;
+      ignore
+        (alloc_frame t g ~gpa ~content ~named:false ~active:false
+           ~referenced:true)
+
+let vio_read t ?(aligned = true) ~guest:gid ~block0 ~gpas k =
+  let g = guest t gid in
+  let n = Array.length gpas in
+  if n = 0 then after t 0 k
+  else begin
+    let base_cost = t.config.vio_overhead_us + hv_touch t g t.config.hv_touch_per_vio in
+    let sector = Storage.Vdisk.sector_of_block g.vdisk block0 in
+    let mapper_path = t.vs.mapper && t.vs.report_4k_sectors && aligned in
+    if mapper_path then begin
+      (* mmap path: destinations are simply remapped; no fault-in. *)
+      Array.iter (fun gpa -> discard_backing t g ~gpa) gpas;
+      Storage.Disk.submit t.disk ~sector ~nsectors:(n * page_sectors)
+        ~kind:Storage.Disk.Read (fun () ->
+          let cost = ref base_cost in
+          Array.iteri
+            (fun i gpa ->
+              cost := !cost + install_file_page t g ~gpa ~block:(block0 + i))
+            gpas;
+          after t !cost k)
+    end
+    else begin
+      (* Baseline: the destination buffers must be resident before the
+         device can DMA into them — the stale-read pathology. *)
+      let cost = ref base_cost in
+      let submit () =
+        Storage.Disk.submit t.disk ~sector ~nsectors:(n * page_sectors)
+          ~kind:Storage.Disk.Read (fun () ->
+            Array.iteri
+              (fun i gpa -> force_dma_install t g ~gpa ~block:(block0 + i))
+              gpas;
+            after t !cost k)
+      in
+      let faults = ref [] in
+      Array.iter
+        (fun gpa ->
+          match g.ept.(gpa) with
+          | E_present frame -> Frames.set_referenced t.frames frame true
+          | E_not_backed ->
+              let _, c =
+                alloc_frame t g ~gpa ~content:Content.Zero ~named:false
+                  ~active:false ~referenced:true
+              in
+              cost := !cost + t.config.minor_fault_us + c
+          | E_in_swap _ ->
+              t.stats.stale_reads <- t.stats.stale_reads + 1;
+              faults := gpa :: !faults
+          | E_in_image _ ->
+              (* A misaligned request while the Mapper is active: the
+                 discarded page must be faulted back in just to be
+                 DMA-overwritten — still a stale read. *)
+              t.stats.stale_reads <- t.stats.stale_reads + 1;
+              faults := gpa :: !faults
+          | E_ballooned -> invalid_arg "Hostmm.vio_read: ballooned page")
+        gpas;
+      let done_one = join t (List.length !faults) submit in
+      List.iter
+        (fun gpa -> fault_in t g ~gpa ~host_context:true done_one)
+        !faults
+    end
+  end
+
+(* Logical content of a vio-write source page.  Normally present (phase
+   1 faulted it in); if it was re-evicted before the write executed we
+   read the backing store directly — in reality the page would have been
+   pinned for the duration of the I/O. *)
+let source_content t g gpa =
+  match g.ept.(gpa) with
+  | E_present frame -> Frames.content t.frames frame
+  | E_in_swap slot -> Storage.Swap_area.content t.swap slot
+  | E_in_image block -> Storage.Vdisk.content g.vdisk block
+  | E_not_backed -> Content.Zero
+  | E_ballooned -> Content.Zero
+
+(* Preserve-and-untrack one page whose backing block is about to be
+   overwritten: the Mapper's data-consistency protocol (Section 4.1).
+   A discarded page must be faulted back in before the block changes. *)
+let rec preserve_victim t g ~gpa k =
+  match g.ept.(gpa) with
+  | E_present frame ->
+      Mapper.untrack g.mapper ~gpa;
+      if Frames.named t.frames frame then begin
+        Frames.set_named t.frames frame false;
+        Cgroup.move g.cgroup Cgroup.Anon_active (Frames.node t.frames frame)
+      end;
+      after t 0 k
+  | E_in_image _ ->
+      fault_in t g ~gpa ~host_context:true (fun () ->
+          preserve_victim t g ~gpa k)
+  | E_in_swap _ ->
+      (* Tracked pages are never in swap; the mapping must be gone. *)
+      after t 0 k
+  | E_not_backed | E_ballooned ->
+      Mapper.untrack g.mapper ~gpa;
+      after t 0 k
+
+let vio_write t ?(aligned = true) ~guest:gid ~block0 ~gpas k =
+  let g = guest t gid in
+  let n = Array.length gpas in
+  if n = 0 then after t 0 k
+  else begin
+    let base_cost = t.config.vio_overhead_us + hv_touch t g t.config.hv_touch_per_vio in
+    let disk_id = Storage.Vdisk.id g.vdisk in
+    let sector = Storage.Vdisk.sector_of_block g.vdisk block0 in
+    let track_path = t.vs.mapper && t.vs.report_4k_sectors && aligned in
+    (* Phase 3+4: bump versions, re-map sources, submit the write. *)
+    let phase3 () =
+      Array.iteri
+        (fun i gpa ->
+          let block = block0 + i in
+          let content = source_content t g gpa in
+          let version = Storage.Vdisk.write g.vdisk block content in
+          if track_path then begin
+            (* Write-then-map: the page now mirrors the block. *)
+            match g.ept.(gpa) with
+            | E_present frame ->
+                Mapper.track g.mapper ~gpa ~disk:disk_id ~block ~version;
+                if not (Frames.named t.frames frame) then begin
+                  Frames.set_named t.frames frame true;
+                  Cgroup.move g.cgroup Cgroup.File_inactive
+                    (Frames.node t.frames frame)
+                end;
+                Frames.set_referenced t.frames frame true
+            | _ -> ()
+          end)
+        gpas;
+      Storage.Disk.submit t.disk ~sector ~nsectors:(n * page_sectors)
+        ~kind:Storage.Disk.Write (fun () -> after t base_cost k)
+    in
+    (* Phase 2: consistency protocol for every overwritten block. *)
+    let phase2 () =
+      if not t.vs.mapper then phase3 ()
+      else begin
+        let victims = ref [] in
+        for i = 0 to n - 1 do
+          let block = block0 + i in
+          match Mapper.gpas_of_block g.mapper ~disk:disk_id ~block with
+          | [] -> ()
+          | gpas_of_block ->
+              t.stats.mapper_invalidations <-
+                t.stats.mapper_invalidations + 1;
+              victims := gpas_of_block @ !victims
+        done;
+        let done_one = join t (List.length !victims) phase3 in
+        List.iter (fun gpa -> preserve_victim t g ~gpa done_one) !victims
+      end
+    in
+    (* Phase 1: make all source pages readable. *)
+    let faults = ref [] in
+    Array.iter
+      (fun gpa ->
+        match g.ept.(gpa) with
+        | E_present frame -> Frames.set_referenced t.frames frame true
+        | E_not_backed ->
+            ignore
+              (alloc_frame t g ~gpa ~content:Content.Zero ~named:false
+                 ~active:false ~referenced:true)
+        | E_in_swap _ | E_in_image _ -> faults := gpa :: !faults
+        | E_ballooned -> invalid_arg "Hostmm.vio_write: ballooned page")
+      gpas;
+    let done_one = join t (List.length !faults) phase2 in
+    List.iter (fun gpa -> fault_in t g ~gpa ~host_context:true done_one) !faults
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Ballooning                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let balloon_steal t ~guest:gid ~gpa =
+  let g = guest t gid in
+  (match g.ept.(gpa) with
+  | E_ballooned -> invalid_arg "Hostmm.balloon_steal: already ballooned"
+  | E_not_backed | E_present _ | E_in_swap _ | E_in_image _ ->
+      discard_backing t g ~gpa);
+  g.ept.(gpa) <- E_ballooned;
+  t.stats.balloon_inflated_pages <- t.stats.balloon_inflated_pages + 1
+
+let balloon_return t ~guest:gid ~gpa =
+  let g = guest t gid in
+  match g.ept.(gpa) with
+  | E_ballooned ->
+      g.ept.(gpa) <- E_not_backed;
+      t.stats.balloon_deflated_pages <- t.stats.balloon_deflated_pages + 1
+  | _ -> invalid_arg "Hostmm.balloon_return: page is not ballooned"
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let free_frames t = Frames.nfree t.frames
+let total_frames t = Frames.nframes t.frames
+let resident t gid = Cgroup.resident (guest t gid).cgroup
+let mapper_tracked t gid = Mapper.tracked (guest t gid).mapper
+
+let page_state t ~guest:gid ~gpa =
+  match (guest t gid).ept.(gpa) with
+  | E_not_backed -> Not_backed
+  | E_present _ -> Present
+  | E_in_swap _ -> In_swap
+  | E_in_image _ -> In_image
+  | E_ballooned -> Ballooned
+
+let frame_content t ~guest:gid ~gpa =
+  let g = guest t gid in
+  match g.ept.(gpa) with
+  | E_present frame -> Some (Frames.content t.frames frame)
+  | _ -> None
+
+let vdisk t gid = (guest t gid).vdisk
+
+type page_view =
+  | V_unbacked
+  | V_present of {
+      content : Storage.Content.t;
+      named : bool;
+      backing_block : int option;
+    }
+  | V_in_swap of { slot : int }
+  | V_in_image of { block : int }
+
+let page_view t ~guest:gid ~gpa =
+  let g = guest t gid in
+  match g.ept.(gpa) with
+  | E_not_backed | E_ballooned -> V_unbacked
+  | E_present frame ->
+      V_present
+        {
+          content = Frames.content t.frames frame;
+          named = Frames.named t.frames frame;
+          backing_block =
+            Option.map
+              (fun (b : Mapper.backing) -> b.block)
+              (Mapper.lookup g.mapper ~gpa);
+        }
+  | E_in_swap slot -> V_in_swap { slot }
+  | E_in_image block -> V_in_image { block }
+
+let swap_slot_sector t slot = Storage.Swap_area.sector_of_slot t.swap slot
+let disk t = t.disk
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  Hashtbl.iter
+    (fun gid g ->
+      Array.iteri
+        (fun gpa epte ->
+          match epte with
+          | E_not_backed | E_ballooned -> ()
+          | E_present frame -> (
+              (match Frames.owner t.frames frame with
+              | Frames.Guest_page { guest = og; gpa = op }
+                when og = gid && op = gpa ->
+                  ()
+              | _ -> fail "guest %d gpa %d: frame %d owner mismatch" gid gpa frame);
+              (match Frames.swap_backing t.frames frame with
+              | None -> ()
+              | Some slot ->
+                  if not (Storage.Swap_area.is_allocated t.swap slot) then
+                    fail "guest %d gpa %d: backing slot %d free" gid gpa slot;
+                  if Hashtbl.find_opt t.slot_owner slot <> Some (gid, gpa) then
+                    fail "guest %d gpa %d: backing slot %d owner" gid gpa slot;
+                  if
+                    not
+                      (Content.equal
+                         (Frames.content t.frames frame)
+                         (Storage.Swap_area.content t.swap slot))
+                  then fail "guest %d gpa %d: backing content diverged" gid gpa);
+              if Frames.named t.frames frame then
+                match Mapper.lookup g.mapper ~gpa with
+                | None -> fail "guest %d gpa %d: named but untracked" gid gpa
+                | Some b ->
+                    if Storage.Vdisk.version g.vdisk b.block <> b.version then
+                      fail "guest %d gpa %d: tracked version stale" gid gpa;
+                    if
+                      not
+                        (Content.equal
+                           (Frames.content t.frames frame)
+                           (Storage.Vdisk.content g.vdisk b.block))
+                    then
+                      fail "guest %d gpa %d: tracked content diverged" gid gpa)
+          | E_in_swap slot ->
+              if not (Storage.Swap_area.is_allocated t.swap slot) then
+                fail "guest %d gpa %d: swap slot %d not allocated" gid gpa slot;
+              if Hashtbl.find_opt t.slot_owner slot <> Some (gid, gpa) then
+                fail "guest %d gpa %d: swap slot %d owner mismatch" gid gpa slot
+          | E_in_image block -> (
+              match Mapper.lookup g.mapper ~gpa with
+              | Some b when b.block = block ->
+                  if Storage.Vdisk.version g.vdisk block <> b.version then
+                    fail "guest %d gpa %d: in-image version stale" gid gpa
+              | _ -> fail "guest %d gpa %d: in-image but untracked" gid gpa))
+        g.ept)
+    t.guests

@@ -1,0 +1,163 @@
+(** The hypervisor memory manager.
+
+    Owns the host frame table, the per-guest GPA=>HPA tables, host-level
+    reclaim (per-guest cgroup limits plus global watermarks), the host
+    swap area, the QEMU-like virtual I/O path, and the wiring of the two
+    VSwapper components.  Guests drive it through a handful of
+    continuation-passing entry points; every latency (CPU overheads and
+    disk waits) is delivered by calling the continuation at the right
+    virtual time.
+
+    Execution-context conventions, matching how the paper splits Figure 9
+    panels (b) and (c):
+    - [touch_*] and [rep_write] are guest-context accesses; faults they
+      take are counted in [guest_context_faults];
+    - [vio_*] runs hypervisor code; faults taken while preparing I/O
+      buffers (stale reads, hypervisor-code refaults) are counted in
+      [host_context_faults]. *)
+
+type t
+type guest_id = int
+
+(** EPT-level state of a guest page, exposed for tests and examples. *)
+type page_state =
+  | Not_backed  (** never touched; faults in as a zero page *)
+  | Present  (** mapped to a host frame *)
+  | In_swap  (** reclaimed into the host swap area *)
+  | In_image  (** Mapper-discarded; backed by a virtual-disk block *)
+  | Ballooned  (** surrendered by the guest's balloon driver *)
+
+val create :
+  engine:Sim.Engine.t ->
+  disk:Storage.Disk.t ->
+  stats:Metrics.Stats.t ->
+  config:Hconfig.t ->
+  vsconfig:Vswapper.Vsconfig.t ->
+  swap:Storage.Swap_area.t ->
+  hv_base_sector:int ->
+  t
+
+(** [register_guest t ~vdisk ~gpa_pages ~resident_limit] admits a guest
+    with [gpa_pages] of guest-physical memory, its disk image, and an
+    optional cgroup resident-set cap (in frames, covering both guest
+    memory and the per-guest hypervisor pages). *)
+val register_guest :
+  t ->
+  vdisk:Storage.Vdisk.t ->
+  gpa_pages:int ->
+  resident_limit:int option ->
+  guest_id
+
+val set_resident_limit : t -> guest_id -> int option -> unit
+
+(** {2 Guest-context memory accesses} *)
+
+(** [touch_read t ~guest ~gpa k] performs a CPU load; [k content] runs
+    once the data is available (possibly after a major fault). *)
+val touch_read :
+  t -> guest:guest_id -> gpa:int -> (Storage.Content.t -> unit) -> unit
+
+(** [touch_write t ~guest ~gpa ~offset ~len ~gen ~intent_full_page k]
+    performs a CPU store of [len] bytes at [offset].  [gen] identifies
+    the logical write (all stores of one full-page overwrite share it);
+    [intent_full_page] marks stores that belong to a whole-page overwrite
+    so the baseline can account false reads (it does not change
+    behaviour). *)
+val touch_write :
+  t ->
+  guest:guest_id ->
+  gpa:int ->
+  offset:int ->
+  len:int ->
+  gen:int ->
+  intent_full_page:bool ->
+  (unit -> unit) ->
+  unit
+
+(** [rep_write t ~guest ~gpa ~content k] is a whole-page REP-prefixed
+    store (page zeroing, page-sized copies): the new page content is
+    [content] and none of the old bytes survive. *)
+val rep_write :
+  t -> guest:guest_id -> gpa:int -> content:Storage.Content.t ->
+  (unit -> unit) -> unit
+
+(** {2 Virtual disk I/O (the QEMU emulation path)} *)
+
+(** [vio_read t ~guest ~block0 ~gpas k] reads the contiguous blocks
+    [block0 .. block0 + length gpas - 1] of the guest's image into the
+    given guest pages.  The Mapper, when enabled, interposes here:
+    destination pages are (re)mapped instead of faulted-in-and-DMA'd. *)
+val vio_read :
+  t ->
+  ?aligned:bool ->
+  guest:guest_id ->
+  block0:int ->
+  gpas:int array ->
+  (unit -> unit) ->
+  unit
+
+(** [vio_write t ~guest ~block0 ~gpas k] writes the given guest pages to
+    contiguous image blocks.  Runs the Mapper's data-consistency
+    protocol (invalidate-then-write) and its write-then-map rule. *)
+val vio_write :
+  t ->
+  ?aligned:bool ->
+  guest:guest_id ->
+  block0:int ->
+  gpas:int array ->
+  (unit -> unit) ->
+  unit
+
+(** [aligned] on the vio calls marks whether the guest issued the request
+    on 4 KiB boundaries; misaligned requests (Windows guests without a
+    reformatted disk, Section 5.4) bypass the Mapper's mmap machinery —
+    though block invalidation still runs for consistency. *)
+
+(** {2 Ballooning hooks} *)
+
+(** [balloon_steal t ~guest ~gpa] transfers a guest-pinned page to the
+    host: its frame/slot/mapping is released immediately. *)
+val balloon_steal : t -> guest:guest_id -> gpa:int -> unit
+
+(** [balloon_return t ~guest ~gpa] gives a ballooned page back to the
+    guest; it faults back in as a zero page on next touch. *)
+val balloon_return : t -> guest:guest_id -> gpa:int -> unit
+
+(** {2 Introspection} *)
+
+val free_frames : t -> int
+val total_frames : t -> int
+val resident : t -> guest_id -> int
+val mapper_tracked : t -> guest_id -> int
+val page_state : t -> guest:guest_id -> gpa:int -> page_state
+val frame_content : t -> guest:guest_id -> gpa:int -> Storage.Content.t option
+val vdisk : t -> guest_id -> Storage.Vdisk.t
+
+(** Migration-oriented view of one guest page (used by [lib/migration],
+    the paper's Section 7 future-work direction). *)
+type page_view =
+  | V_unbacked  (** never touched or ballooned: nothing to send *)
+  | V_present of {
+      content : Storage.Content.t;
+      named : bool;
+      backing_block : int option;  (** Mapper backing, if tracked *)
+    }
+  | V_in_swap of { slot : int }
+  | V_in_image of { block : int }
+
+val page_view : t -> guest:guest_id -> gpa:int -> page_view
+
+(** [swap_slot_sector t slot] is the physical sector of a host swap slot
+    (for a migration source reading swapped pages off its own disk). *)
+val swap_slot_sector : t -> int -> int
+
+val disk : t -> Storage.Disk.t
+
+(** [check_invariants t] walks all guests asserting internal consistency
+    (EPT <-> frame-owner agreement, Mapper version freshness, swap-slot
+    ownership).  Raises [Failure] with a description on violation; meant
+    for tests. *)
+val check_invariants : t -> unit
+
+(** Temporary debug hook: called with (gpa, slot) on each swap-out write. *)
+val debug_evict_hook : (int -> int -> unit) ref

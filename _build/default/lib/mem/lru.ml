@@ -1,0 +1,102 @@
+type 'a node = {
+  value : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+  mutable owner : 'a t option;
+}
+
+and 'a t = {
+  mutable front : 'a node option;
+  mutable back : 'a node option;
+  mutable length : int;
+  id : int;  (* distinguishes lists for membership checks *)
+}
+
+let next_id = ref 0
+
+let create () =
+  incr next_id;
+  { front = None; back = None; length = 0; id = !next_id }
+
+let node value = { value; prev = None; next = None; owner = None }
+let value n = n.value
+let in_some_list n = n.owner <> None
+
+let same_list a b = a.id = b.id
+
+let mem t n =
+  match n.owner with Some o -> same_list o t | None -> false
+
+let check_detached n =
+  if n.owner <> None then invalid_arg "Lru: node already in a list"
+
+let check_member t n =
+  match n.owner with
+  | Some o when same_list o t -> ()
+  | Some _ -> invalid_arg "Lru: node belongs to another list"
+  | None -> invalid_arg "Lru: node not in any list"
+
+let push_front t n =
+  check_detached n;
+  n.owner <- Some t;
+  n.prev <- None;
+  n.next <- t.front;
+  (match t.front with
+  | Some f -> f.prev <- Some n
+  | None -> t.back <- Some n);
+  t.front <- Some n;
+  t.length <- t.length + 1
+
+let push_back t n =
+  check_detached n;
+  n.owner <- Some t;
+  n.next <- None;
+  n.prev <- t.back;
+  (match t.back with
+  | Some b -> b.next <- Some n
+  | None -> t.front <- Some n);
+  t.back <- Some n;
+  t.length <- t.length + 1
+
+let remove t n =
+  check_member t n;
+  (match n.prev with
+  | Some p -> p.next <- n.next
+  | None -> t.front <- n.next);
+  (match n.next with
+  | Some s -> s.prev <- n.prev
+  | None -> t.back <- n.prev);
+  n.prev <- None;
+  n.next <- None;
+  n.owner <- None;
+  t.length <- t.length - 1
+
+let move_front t n =
+  remove t n;
+  push_front t n
+
+let pop_back t =
+  match t.back with
+  | None -> None
+  | Some n ->
+      remove t n;
+      Some n
+
+let peek_back t = t.back
+let length t = t.length
+let is_empty t = t.length = 0
+
+let iter t f =
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        let next = n.next in
+        f n.value;
+        go next
+  in
+  go t.front
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun v -> acc := v :: !acc);
+  List.rev !acc

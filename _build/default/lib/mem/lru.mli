@@ -1,0 +1,50 @@
+(** Doubly-linked LRU list with O(1) insert/remove/move.
+
+    Nodes are allocated once per page and can migrate between lists (e.g.
+    the active and inactive lists of a reclaim pipeline).  The front of
+    the list is the most-recently-used end; eviction pops from the back. *)
+
+type 'a t
+type 'a node
+
+(** [node v] makes a detached node carrying [v]. *)
+val node : 'a -> 'a node
+
+val value : 'a node -> 'a
+
+(** [in_some_list n] is true if some list currently holds [n]. *)
+val in_some_list : 'a node -> bool
+
+(** [mem t n] is true if [t] specifically holds [n]. O(1). *)
+val mem : 'a t -> 'a node -> bool
+
+val create : unit -> 'a t
+
+(** [push_front t n] inserts a detached node at the MRU end.  Raises
+    [Invalid_argument] if [n] is already in a list. *)
+val push_front : 'a t -> 'a node -> unit
+
+(** [push_back t n] inserts a detached node at the LRU end. *)
+val push_back : 'a t -> 'a node -> unit
+
+(** [remove t n] detaches [n] from [t].  Raises [Invalid_argument] if [n]
+    is not in [t]. *)
+val remove : 'a t -> 'a node -> unit
+
+(** [move_front t n] is [remove] followed by [push_front]. *)
+val move_front : 'a t -> 'a node -> unit
+
+(** [pop_back t] removes and returns the LRU node, or [None] if empty. *)
+val pop_back : 'a t -> 'a node option
+
+(** [peek_back t] is the LRU node without removal. *)
+val peek_back : 'a t -> 'a node option
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [iter t f] visits values from MRU to LRU.  [f] must not mutate [t]. *)
+val iter : 'a t -> ('a -> unit) -> unit
+
+(** [to_list t] lists values from MRU to LRU. *)
+val to_list : 'a t -> 'a list

@@ -1,0 +1,34 @@
+type t = {
+  engine : Sim.Engine.t;
+  period : Sim.Time.t;
+  probes : (string * (unit -> float)) list;
+  samples : (string, (Sim.Time.t * float) list ref) Hashtbl.t;
+  mutable stopped : bool;
+}
+
+let rec tick t () =
+  if not t.stopped then begin
+    let now = Sim.Engine.now t.engine in
+    List.iter
+      (fun (name, fn) ->
+        let cell = Hashtbl.find t.samples name in
+        cell := (now, fn ()) :: !cell)
+      t.probes;
+    ignore (Sim.Engine.schedule_after t.engine t.period (tick t))
+  end
+
+let create ~engine ~period probes =
+  let samples = Hashtbl.create 8 in
+  List.iter (fun (name, _) -> Hashtbl.replace samples name (ref [])) probes;
+  let t = { engine; period; probes; samples; stopped = false } in
+  ignore (Sim.Engine.schedule_after engine period (tick t));
+  t
+
+let stop t = t.stopped <- true
+
+let points t name =
+  match Hashtbl.find_opt t.samples name with
+  | None -> []
+  | Some cell -> List.rev !cell
+
+let names t = List.map fst t.probes

@@ -1,0 +1,20 @@
+(** Named time series, sampled on a fixed period from the engine.
+
+    Used for Figure 15 (mapper-tracked size vs. guest page cache over
+    time) and for any ad-hoc instrumentation of a run. *)
+
+type t
+
+(** [create ~engine ~period probes] starts sampling.  Each probe is a
+    [(name, fn)] pair; [fn] is polled every [period] and its value recorded
+    against the current virtual time.  Sampling stops when {!stop} is
+    called or the engine runs out of events. *)
+val create :
+  engine:Sim.Engine.t -> period:Sim.Time.t -> (string * (unit -> float)) list -> t
+
+val stop : t -> unit
+
+(** [points t name] returns the samples of [name] in chronological order. *)
+val points : t -> string -> (Sim.Time.t * float) list
+
+val names : t -> string list

@@ -1,0 +1,140 @@
+type t = {
+  mutable disk_ops : int;
+  mutable disk_sectors_read : int;
+  mutable disk_sectors_written : int;
+  mutable disk_seq_reads : int;
+  mutable swap_sectors_read : int;
+  mutable swap_sectors_written : int;
+  mutable host_swapins : int;
+  mutable host_swapouts : int;
+  mutable silent_swap_writes : int;
+  mutable stale_reads : int;
+  mutable false_reads : int;
+  mutable hypervisor_code_faults : int;
+  mutable host_context_faults : int;
+  mutable guest_context_faults : int;
+  mutable pages_scanned : int;
+  mutable guest_swapins : int;
+  mutable guest_swapouts : int;
+  mutable guest_major_faults : int;
+  mutable oom_kills : int;
+  mutable mapper_tracked : int;
+  mutable mapper_discards : int;
+  mutable mapper_refetches : int;
+  mutable mapper_invalidations : int;
+  mutable preventer_remaps : int;
+  mutable preventer_merges : int;
+  mutable preventer_timeouts : int;
+  mutable preventer_rejects : int;
+  mutable balloon_inflated_pages : int;
+  mutable balloon_deflated_pages : int;
+}
+
+let create () =
+  {
+    disk_ops = 0;
+    disk_sectors_read = 0;
+    disk_sectors_written = 0;
+    disk_seq_reads = 0;
+    swap_sectors_read = 0;
+    swap_sectors_written = 0;
+    host_swapins = 0;
+    host_swapouts = 0;
+    silent_swap_writes = 0;
+    stale_reads = 0;
+    false_reads = 0;
+    hypervisor_code_faults = 0;
+    host_context_faults = 0;
+    guest_context_faults = 0;
+    pages_scanned = 0;
+    guest_swapins = 0;
+    guest_swapouts = 0;
+    guest_major_faults = 0;
+    oom_kills = 0;
+    mapper_tracked = 0;
+    mapper_discards = 0;
+    mapper_refetches = 0;
+    mapper_invalidations = 0;
+    preventer_remaps = 0;
+    preventer_merges = 0;
+    preventer_timeouts = 0;
+    preventer_rejects = 0;
+    balloon_inflated_pages = 0;
+    balloon_deflated_pages = 0;
+  }
+
+let copy t = { t with disk_ops = t.disk_ops }
+
+let diff a b =
+  {
+    disk_ops = a.disk_ops - b.disk_ops;
+    disk_sectors_read = a.disk_sectors_read - b.disk_sectors_read;
+    disk_sectors_written = a.disk_sectors_written - b.disk_sectors_written;
+    disk_seq_reads = a.disk_seq_reads - b.disk_seq_reads;
+    swap_sectors_read = a.swap_sectors_read - b.swap_sectors_read;
+    swap_sectors_written = a.swap_sectors_written - b.swap_sectors_written;
+    host_swapins = a.host_swapins - b.host_swapins;
+    host_swapouts = a.host_swapouts - b.host_swapouts;
+    silent_swap_writes = a.silent_swap_writes - b.silent_swap_writes;
+    stale_reads = a.stale_reads - b.stale_reads;
+    false_reads = a.false_reads - b.false_reads;
+    hypervisor_code_faults =
+      a.hypervisor_code_faults - b.hypervisor_code_faults;
+    host_context_faults = a.host_context_faults - b.host_context_faults;
+    guest_context_faults = a.guest_context_faults - b.guest_context_faults;
+    pages_scanned = a.pages_scanned - b.pages_scanned;
+    guest_swapins = a.guest_swapins - b.guest_swapins;
+    guest_swapouts = a.guest_swapouts - b.guest_swapouts;
+    guest_major_faults = a.guest_major_faults - b.guest_major_faults;
+    oom_kills = a.oom_kills - b.oom_kills;
+    mapper_tracked = a.mapper_tracked - b.mapper_tracked;
+    mapper_discards = a.mapper_discards - b.mapper_discards;
+    mapper_refetches = a.mapper_refetches - b.mapper_refetches;
+    mapper_invalidations = a.mapper_invalidations - b.mapper_invalidations;
+    preventer_remaps = a.preventer_remaps - b.preventer_remaps;
+    preventer_merges = a.preventer_merges - b.preventer_merges;
+    preventer_timeouts = a.preventer_timeouts - b.preventer_timeouts;
+    preventer_rejects = a.preventer_rejects - b.preventer_rejects;
+    balloon_inflated_pages =
+      a.balloon_inflated_pages - b.balloon_inflated_pages;
+    balloon_deflated_pages =
+      a.balloon_deflated_pages - b.balloon_deflated_pages;
+  }
+
+let fields t =
+  [
+    ("disk_ops", t.disk_ops);
+    ("disk_sectors_read", t.disk_sectors_read);
+    ("disk_sectors_written", t.disk_sectors_written);
+    ("disk_seq_reads", t.disk_seq_reads);
+    ("swap_sectors_read", t.swap_sectors_read);
+    ("swap_sectors_written", t.swap_sectors_written);
+    ("host_swapins", t.host_swapins);
+    ("host_swapouts", t.host_swapouts);
+    ("silent_swap_writes", t.silent_swap_writes);
+    ("stale_reads", t.stale_reads);
+    ("false_reads", t.false_reads);
+    ("hypervisor_code_faults", t.hypervisor_code_faults);
+    ("host_context_faults", t.host_context_faults);
+    ("guest_context_faults", t.guest_context_faults);
+    ("pages_scanned", t.pages_scanned);
+    ("guest_swapins", t.guest_swapins);
+    ("guest_swapouts", t.guest_swapouts);
+    ("guest_major_faults", t.guest_major_faults);
+    ("oom_kills", t.oom_kills);
+    ("mapper_tracked", t.mapper_tracked);
+    ("mapper_discards", t.mapper_discards);
+    ("mapper_refetches", t.mapper_refetches);
+    ("mapper_invalidations", t.mapper_invalidations);
+    ("preventer_remaps", t.preventer_remaps);
+    ("preventer_merges", t.preventer_merges);
+    ("preventer_timeouts", t.preventer_timeouts);
+    ("preventer_rejects", t.preventer_rejects);
+    ("balloon_inflated_pages", t.balloon_inflated_pages);
+    ("balloon_deflated_pages", t.balloon_deflated_pages);
+  ]
+
+let pp fmt t =
+  List.iter
+    (fun (name, v) -> if v <> 0 then Format.fprintf fmt "%-26s %d@." name v)
+    (fields t)

@@ -1,0 +1,66 @@
+(** Simulation-wide event counters.
+
+    One [Stats.t] is shared by every layer of a simulated machine (disk,
+    host, guests, VSwapper components).  The fields mirror the quantities
+    the paper plots: page faults split by the context they fire in, swap
+    sector traffic, the pathology counters (silent writes, stale reads,
+    false reads), reclaim scan effort, and VSwapper bookkeeping. *)
+
+type t = {
+  (* Physical disk. *)
+  mutable disk_ops : int;  (** physical requests issued *)
+  mutable disk_sectors_read : int;
+  mutable disk_sectors_written : int;
+  mutable disk_seq_reads : int;
+      (** reads that started exactly at the head position (no seek) *)
+  (* Host swap traffic (subset of disk traffic). *)
+  mutable swap_sectors_read : int;
+  mutable swap_sectors_written : int;
+  mutable host_swapins : int;  (** pages faulted in from host swap *)
+  mutable host_swapouts : int;  (** pages written out to host swap *)
+  (* Pathology counters (Section 3 of the paper). *)
+  mutable silent_swap_writes : int;
+      (** clean pages written to host swap although identical to image *)
+  mutable stale_reads : int;
+      (** swap-ins whose content was instantly DMA-overwritten *)
+  mutable false_reads : int;
+      (** swap-ins whose content was instantly CPU-overwritten *)
+  mutable hypervisor_code_faults : int;
+      (** faults on the hypervisor's own named pages (false anonymity) *)
+  (* Fault counters split by execution context (Figure 9b vs 9c). *)
+  mutable host_context_faults : int;
+      (** faults while host/QEMU code runs in service of the guest *)
+  mutable guest_context_faults : int;
+      (** EPT violations while guest code runs *)
+  (* Host reclaim effort (Figure 11c). *)
+  mutable pages_scanned : int;
+  (* Guest-side swapping (ballooning makes the guest do the work). *)
+  mutable guest_swapins : int;
+  mutable guest_swapouts : int;
+  mutable guest_major_faults : int;
+  mutable oom_kills : int;
+  (* Swap Mapper. *)
+  mutable mapper_tracked : int;  (** gauge: currently tracked pages *)
+  mutable mapper_discards : int;  (** reclaims that dropped a named page *)
+  mutable mapper_refetches : int;  (** faults served from the disk image *)
+  mutable mapper_invalidations : int;
+  (* False Reads Preventer. *)
+  mutable preventer_remaps : int;  (** buffers promoted to pages, read avoided *)
+  mutable preventer_merges : int;  (** buffers that needed a read + merge *)
+  mutable preventer_timeouts : int;
+  mutable preventer_rejects : int;  (** writes not emulated (cap reached) *)
+  (* Ballooning. *)
+  mutable balloon_inflated_pages : int;
+  mutable balloon_deflated_pages : int;
+}
+
+val create : unit -> t
+
+(** [copy t] snapshots all counters. *)
+val copy : t -> t
+
+(** [diff a b] is the field-wise [a - b]; useful for per-phase deltas. *)
+val diff : t -> t -> t
+
+(** [pp] prints every nonzero counter, one per line. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,77 @@
+let fmt_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else if Float.abs v >= 100.0 then Printf.sprintf "%.0f" v
+  else if Float.abs v >= 10.0 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.2f" v
+
+let pad width s =
+  let n = String.length s in
+  if n >= width then s else s ^ String.make (width - n) ' '
+
+let render ~title ~headers rows =
+  let all = headers :: rows in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    all;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  let add_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad widths.(i) cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  add_row headers;
+  let total =
+    Array.fold_left ( + ) 0 widths + (2 * (max 1 ncols - 1))
+  in
+  Buffer.add_string buf (String.make total '-');
+  Buffer.add_char buf '\n';
+  List.iter add_row rows;
+  Buffer.contents buf
+
+let render_series ~title ~x_label ~x ~cols =
+  let headers = x_label :: List.map fst cols in
+  let nrows = List.length x in
+  List.iter
+    (fun (name, vs) ->
+      if List.length vs <> nrows then
+        invalid_arg
+          (Printf.sprintf "Table.render_series: column %S has %d values, expected %d"
+             name (List.length vs) nrows))
+    cols;
+  let cell = function None -> "-" | Some v -> fmt_float v in
+  let rows =
+    List.mapi
+      (fun i xi -> xi :: List.map (fun (_, vs) -> cell (List.nth vs i)) cols)
+      x
+  in
+  render ~title ~headers rows
+
+let spark values =
+  let glyphs = [| " "; "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83";
+                  "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86";
+                  "\xe2\x96\x87"; "\xe2\x96\x88" |]
+  in
+  match values with
+  | [] -> ""
+  | vs ->
+      let lo = List.fold_left min infinity vs in
+      let hi = List.fold_left max neg_infinity vs in
+      let range = if hi -. lo < 1e-12 then 1.0 else hi -. lo in
+      let buf = Buffer.create (List.length vs * 3) in
+      List.iter
+        (fun v ->
+          let idx = 1 + int_of_float ((v -. lo) /. range *. 7.0) in
+          Buffer.add_string buf glyphs.(min 8 idx))
+        vs;
+      Buffer.contents buf

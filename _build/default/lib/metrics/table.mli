@@ -1,0 +1,26 @@
+(** Plain-text table and series rendering for the benchmark harness.
+
+    The bench output mimics the rows/series of the paper's figures:
+    [render] draws an aligned table, [render_series] draws one line per
+    x-value with each configuration in a column, and [spark] gives a quick
+    unicode trend glyph for a series. *)
+
+(** [render ~title ~headers rows] is an aligned text table. *)
+val render : title:string -> headers:string list -> string list list -> string
+
+(** [render_series ~title ~x_label ~x ~cols] renders columns of floats
+    against shared x values.  Each column is [(name, values)]; [values]
+    must have the same length as [x].  [None] cells render as ["-"]
+    (e.g. crashed/OOM configurations). *)
+val render_series :
+  title:string ->
+  x_label:string ->
+  x:string list ->
+  cols:(string * float option list) list ->
+  string
+
+(** [spark values] is a compact unicode sparkline of the series. *)
+val spark : float list -> string
+
+(** [fmt_float v] formats with a sensible precision for table cells. *)
+val fmt_float : float -> string

@@ -1,0 +1,1 @@
+lib/migration/migrate.ml: Format Guest Host List Sim Storage Vmm

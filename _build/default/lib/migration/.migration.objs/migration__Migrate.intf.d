@@ -1,0 +1,1 @@
+lib/migration/migrate.mli: Format Sim Vmm

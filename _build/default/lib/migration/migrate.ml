@@ -1,0 +1,121 @@
+module H = Host.Hostmm
+
+type strategy = Full_copy | Mapper_aware
+
+type link = { bandwidth_mb_s : float; rtt : Sim.Time.t }
+
+let gbe = { bandwidth_mb_s = 117.0; rtt = Sim.Time.ms 1 }
+let ten_gbe = { bandwidth_mb_s = 1170.0; rtt = Sim.Time.ms 1 }
+
+type report = {
+  duration : Sim.Time.t;
+  bytes_sent : int;
+  pages_copied : int;
+  mappings_sent : int;
+  pages_skipped : int;
+  source_disk_reads : int;
+}
+
+let mapping_record_bytes = 32
+
+(* Plan the transfer: classify every guest page, collecting the disk
+   sectors the source must read back before it can send them. *)
+type plan = {
+  mutable copy_pages : int;
+  mutable mappings : int;
+  mutable skipped : int;
+  mutable reads : (int * int) list;  (* (sector, nsectors) *)
+}
+
+let classify ~host ~gid ~vdisk strategy plan ~gpa =
+  match H.page_view host ~guest:gid ~gpa with
+  | H.V_unbacked -> plan.skipped <- plan.skipped + 1
+  | H.V_present { content; named; backing_block } -> (
+      match strategy with
+      | Mapper_aware when named && backing_block <> None ->
+          (* Send the mapping; the destination refetches from the image. *)
+          plan.mappings <- plan.mappings + 1
+      | Mapper_aware when Storage.Content.equal content Storage.Content.Zero ->
+          (* Wholly-overwritten avoidance: the destination zero-fills. *)
+          plan.skipped <- plan.skipped + 1
+      | Mapper_aware | Full_copy -> plan.copy_pages <- plan.copy_pages + 1)
+  | H.V_in_swap { slot } ->
+      (* Swapped anonymous data must be read back and copied either way. *)
+      plan.reads <-
+        (H.swap_slot_sector host slot, Storage.Geom.sectors_per_page)
+        :: plan.reads;
+      plan.copy_pages <- plan.copy_pages + 1
+  | H.V_in_image { block } -> (
+      match strategy with
+      | Mapper_aware -> plan.mappings <- plan.mappings + 1
+      | Full_copy ->
+          plan.reads <-
+            (Storage.Vdisk.sector_of_block vdisk block,
+             Storage.Geom.sectors_per_page)
+            :: plan.reads;
+          plan.copy_pages <- plan.copy_pages + 1)
+
+let migrate ~machine ~guest link strategy k =
+  let engine = Vmm.Machine.engine machine in
+  let host = Vmm.Machine.host machine in
+  let disk = Vmm.Machine.disk machine in
+  let os = Vmm.Machine.os machine guest in
+  let gid = Guest.Guestos.gid os in
+  let vdisk = H.vdisk host gid in
+  let gpa_pages = (Guest.Guestos.config os).Guest.Gconfig.mem_pages in
+  let plan = { copy_pages = 0; mappings = 0; skipped = 0; reads = [] } in
+  for gpa = 0 to gpa_pages - 1 do
+    classify ~host ~gid ~vdisk strategy plan ~gpa
+  done;
+  let bytes =
+    (plan.copy_pages * Storage.Geom.page_bytes)
+    + (plan.mappings * mapping_record_bytes)
+  in
+  let wire_us =
+    Sim.Time.of_float_us (float_of_int bytes /. link.bandwidth_mb_s)
+  in
+  let started = Sim.Engine.now engine in
+  (* Sort reads by sector so the source streams them like a real
+     migration daemon would, and issue them through the shared disk. *)
+  let reads = List.sort compare plan.reads in
+  let n_reads = List.length reads in
+  let finish_disk disk_done =
+    if n_reads = 0 then disk_done ()
+    else begin
+      let remaining = ref n_reads in
+      List.iter
+        (fun (sector, nsectors) ->
+          Storage.Disk.submit disk ~sector ~nsectors ~kind:Storage.Disk.Read
+            (fun () ->
+              decr remaining;
+              if !remaining = 0 then disk_done ()))
+        reads
+    end
+  in
+  finish_disk (fun () ->
+      (* The wire transfer overlaps the reads; whatever is longer, plus
+         the link latency, bounds the migration. *)
+      let disk_elapsed = Sim.Time.sub (Sim.Engine.now engine) started in
+      let total = Sim.Time.add (Sim.Time.max disk_elapsed wire_us) link.rtt in
+      let finish_at = Sim.Time.add started total in
+      let fire =
+        Sim.Time.max finish_at (Sim.Engine.now engine)
+      in
+      ignore
+        (Sim.Engine.schedule_at engine fire (fun () ->
+             k
+               {
+                 duration = Sim.Time.sub (Sim.Engine.now engine) started;
+                 bytes_sent = bytes;
+                 pages_copied = plan.copy_pages;
+                 mappings_sent = plan.mappings;
+                 pages_skipped = plan.skipped;
+                 source_disk_reads = n_reads;
+               })))
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "%a, %.1f MB on the wire (%d pages, %d mappings, %d skipped, %d disk reads)"
+    Sim.Time.pp r.duration
+    (float_of_int r.bytes_sent /. 1048576.0)
+    r.pages_copied r.mappings_sent r.pages_skipped r.source_disk_reads

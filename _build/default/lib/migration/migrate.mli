@@ -1,0 +1,54 @@
+(** Live-migration transfer using VSwapper's machinery — the paper's
+    Section 7 future-work direction, implemented:
+
+    "Hypervisors that migrate guests can migrate memory mappings instead
+    of (named) memory pages; and hypervisors to which a guest is
+    migrated can avoid requesting memory pages that are wholly
+    overwritten by guests."
+
+    This models the stop-and-copy transfer of a guest's memory image
+    over a network link.  Under [Full_copy], every backed page crosses
+    the wire as 4 KiB of data — pages the source host had swapped out or
+    discarded must first be read back from its disk.  Under
+    [Mapper_aware], Mapper-tracked pages (present-named or discarded to
+    the image) travel as tiny mapping records that the destination can
+    refetch locally from the shared/copied image, and zero pages are
+    skipped entirely (the destination recreates them on touch, the
+    Preventer-style "wholly overwritten" avoidance). *)
+
+type strategy = Full_copy | Mapper_aware
+
+type link = {
+  bandwidth_mb_s : float;  (** sustained network throughput *)
+  rtt : Sim.Time.t;  (** connection setup/teardown latency *)
+}
+
+(** A 1 GbE link. *)
+val gbe : link
+
+(** A 10 GbE link. *)
+val ten_gbe : link
+
+type report = {
+  duration : Sim.Time.t;  (** transfer wall time, max(disk, wire) + rtt *)
+  bytes_sent : int;
+  pages_copied : int;  (** full 4 KiB pages on the wire *)
+  mappings_sent : int;  (** 32-byte mapping records instead of pages *)
+  pages_skipped : int;  (** zero/unbacked pages never transferred *)
+  source_disk_reads : int;  (** swapped/discarded pages read back first *)
+}
+
+(** [migrate ~machine ~guest link strategy k] computes the transfer on
+    the machine's engine (the source's disk reads contend with whatever
+    else the machine is doing) and passes the report to [k].  The guest
+    is treated as paused for the duration; its memory state is not
+    modified. *)
+val migrate :
+  machine:Vmm.Machine.t ->
+  guest:int ->
+  link ->
+  strategy ->
+  (report -> unit) ->
+  unit
+
+val pp_report : Format.formatter -> report -> unit

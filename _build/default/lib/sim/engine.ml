@@ -1,0 +1,57 @@
+type event = { mutable cancelled : bool; fn : unit -> unit }
+
+type t = {
+  mutable clock : Time.t;
+  queue : event Heap.t;
+  mutable live : int;
+}
+
+let create () = { clock = Time.zero; queue = Heap.create (); live = 0 }
+let now t = t.clock
+
+let schedule_at t time fn =
+  if Time.compare time t.clock < 0 then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: %d is in the past (now=%d)"
+         (Time.to_us time) (Time.to_us t.clock));
+  let ev = { cancelled = false; fn } in
+  Heap.add t.queue ~priority:(Time.to_us time) ev;
+  t.live <- t.live + 1;
+  ev
+
+let schedule_after t delay fn = schedule_at t (Time.add t.clock delay) fn
+
+let cancel t ev =
+  if not ev.cancelled then begin
+    ev.cancelled <- true;
+    t.live <- t.live - 1
+  end
+
+let pending t = t.live
+
+let rec step t =
+  match Heap.pop_min t.queue with
+  | None -> false
+  | Some (time, ev) ->
+      if ev.cancelled then step t
+      else begin
+        t.clock <- time;
+        t.live <- t.live - 1;
+        ev.fn ();
+        true
+      end
+
+let run t = while step t do () done
+
+let rec run_until t limit =
+  match Heap.peek_min t.queue with
+  | None -> false
+  | Some (_, ev) when ev.cancelled ->
+      ignore (Heap.pop_min t.queue);
+      run_until t limit
+  | Some (time, _) ->
+      if time > Time.to_us limit then true
+      else begin
+        ignore (step t);
+        run_until t limit
+      end

@@ -1,0 +1,42 @@
+(** Discrete-event simulation engine.
+
+    The engine owns the virtual clock and a stable priority queue of
+    events.  All activity in the simulated machine — disk completions,
+    compute bursts finishing, balloon-manager ticks — is an event; running
+    the engine pops events in time order and invokes their callbacks, which
+    in turn schedule more events. *)
+
+type t
+
+(** Handle to a scheduled event, usable with {!cancel}. *)
+type event
+
+val create : unit -> t
+
+(** [now t] is the current virtual time. *)
+val now : t -> Time.t
+
+(** [schedule_at t time fn] runs [fn] at absolute [time].  Scheduling in the
+    past raises [Invalid_argument]. *)
+val schedule_at : t -> Time.t -> (unit -> unit) -> event
+
+(** [schedule_after t delay fn] runs [fn] [delay] microseconds from now. *)
+val schedule_after : t -> Time.t -> (unit -> unit) -> event
+
+(** [cancel t ev] prevents a pending event from firing.  Cancelling an
+    already-fired or already-cancelled event is a no-op. *)
+val cancel : t -> event -> unit
+
+(** [pending t] is the number of not-yet-fired, not-cancelled events. *)
+val pending : t -> int
+
+(** [step t] fires the next event, advancing the clock.  Returns [false] if
+    no events remain. *)
+val step : t -> bool
+
+(** [run t] fires events until none remain. *)
+val run : t -> unit
+
+(** [run_until t limit] fires events with time [<= limit]; the clock ends at
+    [min limit time-of-last-event].  Returns [true] if events remain. *)
+val run_until : t -> Time.t -> bool

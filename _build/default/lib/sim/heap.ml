@@ -1,0 +1,79 @@
+type 'a entry = { priority : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry option array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = Array.make 64 None; size = 0; next_seq = 0 }
+
+let entry_exn = function
+  | Some e -> e
+  | None -> assert false
+
+(* [lt a b] orders first by priority, then by insertion sequence. *)
+let lt a b =
+  a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)
+
+let grow t =
+  let data = Array.make (2 * Array.length t.data) None in
+  Array.blit t.data 0 data 0 t.size;
+  t.data <- data
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    let ei = entry_exn t.data.(i) and ep = entry_exn t.data.(parent) in
+    if lt ei ep then begin
+      t.data.(i) <- Some ep;
+      t.data.(parent) <- Some ei;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && lt (entry_exn t.data.(l)) (entry_exn t.data.(!smallest)) then
+    smallest := l;
+  if r < t.size && lt (entry_exn t.data.(r)) (entry_exn t.data.(!smallest)) then
+    smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let add t ~priority value =
+  if t.size = Array.length t.data then grow t;
+  let e = { priority; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  t.data.(t.size) <- Some e;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop_min t =
+  if t.size = 0 then None
+  else begin
+    let e = entry_exn t.data.(0) in
+    t.size <- t.size - 1;
+    t.data.(0) <- t.data.(t.size);
+    t.data.(t.size) <- None;
+    if t.size > 0 then sift_down t 0;
+    Some (e.priority, e.value)
+  end
+
+let peek_min t =
+  if t.size = 0 then None
+  else
+    let e = entry_exn t.data.(0) in
+    Some (e.priority, e.value)
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let clear t =
+  Array.fill t.data 0 t.size None;
+  t.size <- 0

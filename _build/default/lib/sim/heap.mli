@@ -1,0 +1,23 @@
+(** Polymorphic binary min-heap, used as the event queue of the engine.
+
+    Elements are ordered by an integer priority supplied at [add] time; ties
+    are broken by insertion order, so the heap is stable — two events
+    scheduled for the same instant fire in the order they were scheduled. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [add t ~priority v] inserts [v]. O(log n). *)
+val add : 'a t -> priority:int -> 'a -> unit
+
+(** [pop_min t] removes and returns the minimum element with its priority,
+    or [None] if the heap is empty. O(log n). *)
+val pop_min : 'a t -> (int * 'a) option
+
+(** [peek_min t] returns the minimum without removing it. O(1). *)
+val peek_min : 'a t -> (int * 'a) option
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val clear : 'a t -> unit

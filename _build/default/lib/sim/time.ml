@@ -1,0 +1,22 @@
+type t = int
+
+let zero = 0
+let us n = n
+let ms n = n * 1_000
+let sec n = n * 1_000_000
+let of_float_us f = int_of_float (Float.round f)
+let to_us t = t
+let to_ms_float t = float_of_int t /. 1e3
+let to_sec_float t = float_of_int t /. 1e6
+let add = ( + )
+let sub = ( - )
+let max = Stdlib.max
+let min = Stdlib.min
+let compare = Int.compare
+
+let pp fmt t =
+  if t >= 1_000_000 then Format.fprintf fmt "%.1fs" (to_sec_float t)
+  else if t >= 1_000 then Format.fprintf fmt "%.1fms" (to_ms_float t)
+  else Format.fprintf fmt "%dus" t
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,38 @@
+(** Virtual time for the discrete-event simulator.
+
+    Time is an integer count of microseconds since the start of the
+    simulation.  All latencies in the system (disk seeks, page-fault
+    overheads, compute bursts) are expressed in this unit, so a whole
+    experiment is deterministic and independent of wall-clock speed. *)
+
+type t = int
+
+val zero : t
+
+(** [us n] is [n] microseconds. *)
+val us : int -> t
+
+(** [ms n] is [n] milliseconds. *)
+val ms : int -> t
+
+(** [sec n] is [n] seconds. *)
+val sec : int -> t
+
+(** [of_float_us f] rounds a fractional microsecond count to a tick. *)
+val of_float_us : float -> t
+
+val to_us : t -> int
+val to_ms_float : t -> float
+val to_sec_float : t -> float
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val max : t -> t -> t
+val min : t -> t -> t
+val compare : t -> t -> int
+
+(** [pp] prints a human-readable duration, picking the unit by magnitude
+    (e.g. ["38.7s"], ["1.2ms"], ["17us"]). *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

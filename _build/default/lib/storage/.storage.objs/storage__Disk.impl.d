@@ -1,0 +1,1 @@
+lib/storage/disk.ml: Float List Metrics Queue Sim

@@ -1,0 +1,1 @@
+lib/storage/swap_area.mli: Content

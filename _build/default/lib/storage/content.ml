@@ -1,0 +1,41 @@
+type t =
+  | Zero
+  | Anon of int
+  | Block of { disk : int; block : int; version : int }
+
+let equal a b =
+  match (a, b) with
+  | Zero, Zero -> true
+  | Anon x, Anon y -> x = y
+  | Block a, Block b ->
+      a.disk = b.disk && a.block = b.block && a.version = b.version
+  | (Zero | Anon _ | Block _), _ -> false
+
+let anon_counter = ref 0
+
+let fresh_anon () =
+  incr anon_counter;
+  Anon !anon_counter
+
+let fresh_gen () =
+  incr anon_counter;
+  !anon_counter
+
+let combine base gen =
+  let base_key =
+    match base with
+    | Zero -> (0, 0, 0, 0)
+    | Anon g -> (1, g, 0, 0)
+    | Block { disk; block; version } -> (2, disk, block, version)
+  in
+  Anon (Hashtbl.hash (base_key, gen))
+
+let reset_anon_counter () = anon_counter := 0
+
+let pp fmt = function
+  | Zero -> Format.pp_print_string fmt "zero"
+  | Anon g -> Format.fprintf fmt "anon#%d" g
+  | Block { disk; block; version } ->
+      Format.fprintf fmt "disk%d:block%d:v%d" disk block version
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,37 @@
+(** Abstract page/block contents.
+
+    Instead of carrying real bytes, every memory frame, swap slot and disk
+    block holds a small tag describing what data it logically contains.
+    This is enough to (a) decide whether a page is identical to its origin
+    disk block (the silent-write test), and (b) machine-check that the
+    guest never observes stale or corrupted data — the property the
+    Mapper's consistency protocol must preserve. *)
+
+type t =
+  | Zero  (** a zero-filled page *)
+  | Anon of int  (** anonymous data; the int is a unique generation *)
+  | Block of { disk : int; block : int; version : int }
+      (** the contents of virtual-disk [disk], block [block], as of write
+          [version] of that block *)
+
+val equal : t -> t -> bool
+
+(** [fresh_anon ()] returns a new, globally unique anonymous tag. *)
+val fresh_anon : unit -> t
+
+(** [fresh_gen ()] returns a new, globally unique write generation (same
+    counter as [fresh_anon]). *)
+val fresh_gen : unit -> int
+
+(** [combine base gen] deterministically derives the tag of a page whose
+    old content was [base] and which was then partially overwritten by
+    write generation [gen].  A host that "merges" without actually
+    reading the old content produces a different tag, so shadow-model
+    tests catch the bug. *)
+val combine : t -> int -> t
+
+(** [reset_anon_counter ()] resets the generation counter (tests only). *)
+val reset_anon_counter : unit -> unit
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,236 @@
+type kind = Read | Write
+
+type config = {
+  min_seek_us : int;
+  max_seek_us : int;
+  full_stroke_sectors : int;
+  half_rotation_us : int;
+  us_per_sector : float;
+  request_overhead_us : int;
+  write_ack_us : int;
+  write_buffer_sectors : int;
+  max_flush_sectors : int;
+  idle_flush_delay_us : int;
+}
+
+let default_config =
+  {
+    min_seek_us = 600;
+    max_seek_us = 15_000;
+    full_stroke_sectors = 3_906_250_000; (* ~2 TB in 512 B sectors *)
+    half_rotation_us = 4_170;
+    us_per_sector = 3.66;
+    request_overhead_us = 40;
+    write_ack_us = 25;
+    write_buffer_sectors = 65_536; (* 32 MiB *)
+    max_flush_sectors = 8_192; (* 4 MiB destaging chunks *)
+    idle_flush_delay_us = 3_000;
+  }
+
+type request = { sector : int; nsectors : int; completion : unit -> unit }
+
+type t = {
+  engine : Sim.Engine.t;
+  stats : Metrics.Stats.t;
+  config : config;
+  reads : request Queue.t;
+  (* Sorted, disjoint (start, len) runs of dirty sectors. *)
+  mutable write_runs : (int * int) list;
+  mutable write_buf_sectors : int;
+  mutable head : int;  (* sector just past the last transfer *)
+  mutable in_service : bool;
+  mutable idle_timer_armed : bool;
+  mutable trace :
+    (kind -> head:int -> sector:int -> nsectors:int -> unit) option;
+}
+
+let create ~engine ~stats config =
+  {
+    engine;
+    stats;
+    config;
+    reads = Queue.create ();
+    write_runs = [];
+    write_buf_sectors = 0;
+    head = 0;
+    in_service = false;
+    idle_timer_armed = false;
+    trace = None;
+  }
+
+let seek_time t distance =
+  if distance = 0 then 0
+  else
+    let c = t.config in
+    let frac =
+      sqrt (float_of_int distance /. float_of_int c.full_stroke_sectors)
+    in
+    let frac = Float.min 1.0 frac in
+    c.min_seek_us
+    + int_of_float (frac *. float_of_int (c.max_seek_us - c.min_seek_us))
+
+(* A short forward gap is crossed by letting the platter spin past it
+   (cost: the gap's transfer time), not by a seek + rotational wait. *)
+let forward_skip_sectors = 4_096 (* ~2 MiB, a couple of tracks *)
+
+let service_time_from t ~head ~sector ~nsectors =
+  let c = t.config in
+  let gap = sector - head in
+  let positioning =
+    if gap = 0 then 0
+    else if gap > 0 && gap <= forward_skip_sectors then
+      int_of_float (Float.round (float_of_int gap *. c.us_per_sector))
+    else seek_time t (abs gap) + c.half_rotation_us
+  in
+  let transfer =
+    int_of_float (Float.round (float_of_int nsectors *. c.us_per_sector))
+  in
+  Sim.Time.us (c.request_overhead_us + positioning + transfer)
+
+let service_time t ~sector ~nsectors =
+  service_time_from t ~head:t.head ~sector ~nsectors
+
+(* Insert a dirty run, merging with overlapping/adjacent runs. *)
+let add_write_run t sector nsectors =
+  let s0 = sector and e0 = sector + nsectors in
+  let rec insert acc s e = function
+    | [] -> List.rev ((s, e - s) :: acc)
+    | ((rs, rl) as run) :: rest ->
+        let re = rs + rl in
+        if re < s then insert (run :: acc) s e rest
+        else if rs > e then List.rev_append acc ((s, e - s) :: run :: rest)
+        else insert acc (min s rs) (max e re) rest
+  in
+  let before = t.write_buf_sectors in
+  t.write_runs <- insert [] s0 e0 t.write_runs;
+  let after = List.fold_left (fun n (_, l) -> n + l) 0 t.write_runs in
+  ignore before;
+  t.write_buf_sectors <- after
+
+(* Is [sector, sector+n) fully inside some buffered run? *)
+let covered_by_buffer t sector nsectors =
+  List.exists
+    (fun (rs, rl) -> sector >= rs && sector + nsectors <= rs + rl)
+    t.write_runs
+
+(* Take up to [max_flush_sectors] from the buffered run closest to the
+   head (a one-step elevator with bounded chunks). *)
+let pop_flush_chunk t =
+  match t.write_runs with
+  | [] -> None
+  | runs ->
+      let best =
+        List.fold_left
+          (fun acc ((rs, rl) as run) ->
+            let re = rs + rl in
+            let dist =
+              if t.head >= rs && t.head <= re then 0
+              else min (abs (rs - t.head)) (abs (re - t.head))
+            in
+            match acc with
+            | None -> Some (dist, run)
+            | Some (bd, _) -> if dist < bd then Some (dist, run) else acc)
+          None runs
+      in
+      (match best with
+      | None -> None
+      | Some (_, ((rs, rl) as run)) ->
+          let chunk = min rl t.config.max_flush_sectors in
+          let rest = rl - chunk in
+          t.write_runs <-
+            (if rest = 0 then List.filter (fun r -> r <> run) t.write_runs
+             else
+               List.map (fun r -> if r = run then (rs + chunk, rest) else r)
+                 t.write_runs);
+          t.write_buf_sectors <- t.write_buf_sectors - chunk;
+          Some (rs, chunk))
+
+let account_read t ~sector nsectors =
+  (match t.trace with
+  | Some f -> f Read ~head:t.head ~sector ~nsectors
+  | None -> ());
+  t.stats.disk_ops <- t.stats.disk_ops + 1;
+  t.stats.disk_sectors_read <- t.stats.disk_sectors_read + nsectors;
+  if sector >= t.head && sector - t.head <= forward_skip_sectors then
+    t.stats.disk_seq_reads <- t.stats.disk_seq_reads + 1
+
+let account_flush t ~sector nsectors =
+  (match t.trace with
+  | Some f -> f Write ~head:t.head ~sector ~nsectors
+  | None -> ());
+  t.stats.disk_ops <- t.stats.disk_ops + 1;
+  t.stats.disk_sectors_written <- t.stats.disk_sectors_written + nsectors
+
+let rec start_next t =
+  let over_cap = t.write_buf_sectors > t.config.write_buffer_sectors in
+  if over_cap || Queue.is_empty t.reads then
+    if over_cap then flush_chunk t
+    else if t.write_runs <> [] then arm_idle_timer t
+    else t.in_service <- false
+  else serve_read t
+
+and flush_chunk t =
+  match pop_flush_chunk t with
+  | None -> start_next t
+  | Some (sector, nsectors) ->
+      t.in_service <- true;
+      account_flush t ~sector nsectors;
+      let dt = service_time t ~sector ~nsectors in
+      t.head <- sector + nsectors;
+      ignore (Sim.Engine.schedule_after t.engine dt (fun () -> start_next t))
+
+and arm_idle_timer t =
+  t.in_service <- false;
+  if not t.idle_timer_armed then begin
+    t.idle_timer_armed <- true;
+    ignore
+      (Sim.Engine.schedule_after t.engine
+         (Sim.Time.us t.config.idle_flush_delay_us)
+         (fun () ->
+           t.idle_timer_armed <- false;
+           (* Destage in the background only if still idle. *)
+           if (not t.in_service) && Queue.is_empty t.reads then
+             if t.write_runs <> [] then flush_chunk t))
+  end
+
+and serve_read t =
+  let req = Queue.pop t.reads in
+  t.in_service <- true;
+  if covered_by_buffer t req.sector req.nsectors then
+    (* Served from the write buffer at RAM speed. *)
+    ignore
+      (Sim.Engine.schedule_after t.engine
+         (Sim.Time.us t.config.write_ack_us)
+         (fun () ->
+           req.completion ();
+           start_next t))
+  else begin
+    account_read t ~sector:req.sector req.nsectors;
+    let dt = service_time t ~sector:req.sector ~nsectors:req.nsectors in
+    t.head <- req.sector + req.nsectors;
+    ignore
+      (Sim.Engine.schedule_after t.engine dt (fun () ->
+           req.completion ();
+           start_next t))
+  end
+
+let submit t ~sector ~nsectors ~kind completion =
+  if nsectors <= 0 then invalid_arg "Disk.submit: nsectors must be positive";
+  match kind with
+  | Read ->
+      Queue.add { sector; nsectors; completion } t.reads;
+      if not t.in_service then start_next t
+  | Write ->
+      add_write_run t sector nsectors;
+      ignore
+        (Sim.Engine.schedule_after t.engine
+           (Sim.Time.us t.config.write_ack_us)
+           completion);
+      if not t.in_service then start_next t
+
+let queue_depth t =
+  Queue.length t.reads + List.length t.write_runs
+  + if t.in_service then 1 else 0
+
+let buffered_write_sectors t = t.write_buf_sectors
+let set_trace t f = t.trace <- f

@@ -1,0 +1,70 @@
+(** Mechanical hard-drive model with a write-back cache.
+
+    A single-spindle 7200 RPM drive (the paper's testbed has one Seagate
+    Constellation 2 TB).  The service time of a media access is
+
+    - a per-request command overhead, plus
+    - a seek whose cost grows with the square root of the distance from
+      the current head position (zero if the request starts exactly where
+      the head rests, i.e. sequential I/O), plus
+    - half a rotation of rotational latency whenever a seek occurred, plus
+    - transfer time proportional to the sector count.
+
+    Reads queue FIFO and occupy the media.  Writes are acknowledged
+    almost immediately into a write buffer (the drive cache plus host
+    writeback behaves this way); buffered writes are merged into
+    contiguous runs and flushed to the media when no read is waiting — or
+    eagerly once the buffer exceeds its cap, at which point writes do
+    delay reads, which is how heavy swap-out traffic hurts swap-in
+    latency.  A read overlapping a buffered write is served from the
+    buffer at RAM speed.
+
+    The asymmetry between sequential and random access — about 200x at
+    page granularity — is what makes every phenomenon in the paper
+    matter, so it is the one thing this model must (and does) get right. *)
+
+type kind = Read | Write
+
+type config = {
+  min_seek_us : int;  (** track-to-track seek *)
+  max_seek_us : int;  (** full-stroke seek *)
+  full_stroke_sectors : int;  (** distance over which seek saturates *)
+  half_rotation_us : int;  (** average rotational delay, 7200 RPM -> 4.17 ms *)
+  us_per_sector : float;  (** media transfer rate, 140 MB/s -> 3.66 us *)
+  request_overhead_us : int;  (** controller + virtualization-exit cost *)
+  write_ack_us : int;  (** latency of a buffered-write acknowledgment *)
+  write_buffer_sectors : int;  (** cap before writes push back on reads *)
+  max_flush_sectors : int;  (** destaging chunk; bounds read-behind-flush waits *)
+  idle_flush_delay_us : int;  (** idle time before background destaging starts *)
+}
+
+(** A 7200 RPM enterprise drive, roughly the paper's Constellation. *)
+val default_config : config
+
+type t
+
+val create : engine:Sim.Engine.t -> stats:Metrics.Stats.t -> config -> t
+
+(** [submit t ~sector ~nsectors ~kind k] enqueues a request and calls [k]
+    at its virtual completion time (for writes: when the buffer accepts
+    it, not when the media is updated). *)
+val submit :
+  t -> sector:int -> nsectors:int -> kind:kind -> (unit -> unit) -> unit
+
+(** [queue_depth t] counts waiting-or-in-service reads plus buffered
+    write runs. *)
+val queue_depth : t -> int
+
+(** [buffered_write_sectors t] is the current write-buffer occupancy. *)
+val buffered_write_sectors : t -> int
+
+(** [service_time t ~sector ~nsectors] is the hypothetical media service
+    time of an access starting at the current head position.  Exposed for
+    tests and calibration. *)
+val service_time : t -> sector:int -> nsectors:int -> Sim.Time.t
+
+(** [set_trace t f] installs a hook called on every media access (reads
+    and flushes, not buffered-write acks) with the pre-access head
+    position; for tests and debugging. *)
+val set_trace :
+  t -> (kind -> head:int -> sector:int -> nsectors:int -> unit) option -> unit

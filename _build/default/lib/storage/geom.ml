@@ -1,0 +1,6 @@
+let sector_bytes = 512
+let page_bytes = 4096
+let sectors_per_page = page_bytes / sector_bytes
+let pages_of_mb mb = mb * 256
+let sectors_of_pages n = n * sectors_per_page
+let mb_of_pages n = n / 256

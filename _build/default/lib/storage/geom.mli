@@ -1,0 +1,20 @@
+(** Disk and memory geometry constants.
+
+    The whole simulator works in 4 KiB pages; the virtual-disk logical
+    block size is also 4 KiB (the Mapper requires page-aligned disk
+    requests, see paper Section 4.1 "Page Alignment").  Sector counts are
+    only used for traffic statistics, matching the paper's figures that
+    report sectors. *)
+
+val sector_bytes : int  (* 512 *)
+val page_bytes : int  (* 4096 *)
+val sectors_per_page : int  (* 8 *)
+
+(** [pages_of_mb mb] is the page count of [mb] mebibytes. *)
+val pages_of_mb : int -> int
+
+(** [sectors_of_pages n] is [n * sectors_per_page]. *)
+val sectors_of_pages : int -> int
+
+(** [mb_of_pages n] is the (rounded-down) MiB size of [n] pages. *)
+val mb_of_pages : int -> int

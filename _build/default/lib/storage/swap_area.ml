@@ -1,0 +1,118 @@
+let cluster_slots = 256
+
+type t = {
+  base_sector : int;
+  nslots : int;
+  contents : Content.t option array;
+  free_in_cluster : int array;  (* free-slot count per cluster *)
+  (* Current allocation cluster and the next offset to try within it;
+     -1 means no current cluster. *)
+  mutable cur_cluster : int;
+  mutable cur_offset : int;
+  mutable scan_cursor : int;  (* fallback first-free scan position *)
+  mutable in_use : int;
+  mutable fragmented_allocs : int;
+}
+
+let create ~base_sector ~nslots =
+  let nclusters = max 1 (nslots / cluster_slots) in
+  let nslots = nclusters * cluster_slots in
+  {
+    base_sector;
+    nslots;
+    contents = Array.make nslots None;
+    free_in_cluster = Array.make nclusters cluster_slots;
+    cur_cluster = -1;
+    cur_offset = 0;
+    scan_cursor = 0;
+    in_use = 0;
+    fragmented_allocs = 0;
+  }
+
+let nclusters t = Array.length t.free_in_cluster
+
+let check t slot =
+  if slot < 0 || slot >= t.nslots then
+    invalid_arg (Printf.sprintf "Swap_area: slot %d out of range" slot)
+
+let take t slot content =
+  t.contents.(slot) <- Some content;
+  t.free_in_cluster.(slot / cluster_slots) <-
+    t.free_in_cluster.(slot / cluster_slots) - 1;
+  t.in_use <- t.in_use + 1;
+  Some slot
+
+(* Find the next wholly-free cluster, round-robin from cur_cluster. *)
+let find_free_cluster t =
+  let n = nclusters t in
+  let start = if t.cur_cluster < 0 then 0 else (t.cur_cluster + 1) mod n in
+  let rec go i remaining =
+    if remaining = 0 then None
+    else if t.free_in_cluster.(i) = cluster_slots then Some i
+    else go ((i + 1) mod n) (remaining - 1)
+  in
+  go start n
+
+let rec alloc t content =
+  if t.in_use = t.nslots then None
+  else if t.cur_cluster >= 0 && t.cur_offset < cluster_slots then begin
+    let slot = (t.cur_cluster * cluster_slots) + t.cur_offset in
+    t.cur_offset <- t.cur_offset + 1;
+    if t.contents.(slot) = None then take t slot content
+    else alloc t content
+  end
+  else
+    match find_free_cluster t with
+    | Some c ->
+        t.cur_cluster <- c;
+        t.cur_offset <- 0;
+        alloc t content
+    | None ->
+        (* Fragmented regime: scan for any free slot. *)
+        t.cur_cluster <- -1;
+        t.fragmented_allocs <- t.fragmented_allocs + 1;
+        let rec find i remaining =
+          if remaining = 0 then None
+          else if t.contents.(i) = None then Some i
+          else find ((i + 1) mod t.nslots) (remaining - 1)
+        in
+        (match find t.scan_cursor t.nslots with
+        | None -> None
+        | Some slot ->
+            t.scan_cursor <- (slot + 1) mod t.nslots;
+            take t slot content)
+
+let free t slot =
+  check t slot;
+  match t.contents.(slot) with
+  | None -> invalid_arg (Printf.sprintf "Swap_area.free: slot %d is free" slot)
+  | Some _ ->
+      t.contents.(slot) <- None;
+      t.free_in_cluster.(slot / cluster_slots) <-
+        t.free_in_cluster.(slot / cluster_slots) + 1;
+      t.in_use <- t.in_use - 1
+
+let content t slot =
+  check t slot;
+  match t.contents.(slot) with
+  | Some c -> c
+  | None ->
+      invalid_arg (Printf.sprintf "Swap_area.content: slot %d is free" slot)
+
+let is_allocated t slot =
+  check t slot;
+  t.contents.(slot) <> None
+
+let sector_of_slot t slot =
+  check t slot;
+  t.base_sector + (slot * Geom.sectors_per_page)
+
+let nslots t = t.nslots
+let in_use t = t.in_use
+
+let free_clusters t =
+  Array.fold_left
+    (fun acc f -> if f = cluster_slots then acc + 1 else acc)
+    0 t.free_in_cluster
+
+let fragmented_allocs t = t.fragmented_allocs

@@ -1,0 +1,45 @@
+(** Host swap area with a Linux-style cluster slot allocator.
+
+    Linux carves the swap device into 256-slot clusters.  Consecutive
+    swap-outs fill the current cluster sequentially, so reclaim batches
+    land contiguously and swap readahead works; when the current cluster
+    is exhausted the allocator grabs the next wholly-free cluster.  Only
+    when no free cluster remains does it degrade to scanning for
+    individual free slots — and that regime produces exactly the
+    scattered layout the paper calls "decayed swap sequentiality": the
+    longer the system swaps, the fewer whole clusters survive, the more
+    fragmented new swap-outs become. *)
+
+type t
+
+(** [create ~base_sector ~nslots] — [nslots] is rounded down to a whole
+    number of clusters (256 slots each); at least one cluster. *)
+val create : base_sector:int -> nslots:int -> t
+
+val cluster_slots : int
+
+(** [alloc t content] claims a free slot storing [content] and returns
+    its index, or [None] if the area is full. *)
+val alloc : t -> Content.t -> int option
+
+(** [free t slot] releases a slot.  Freeing a free slot is an error. *)
+val free : t -> int -> unit
+
+(** [content t slot] is the content stored in an allocated slot. *)
+val content : t -> int -> Content.t
+
+val is_allocated : t -> int -> bool
+
+(** [sector_of_slot t slot] is the physical sector of the slot. *)
+val sector_of_slot : t -> int -> int
+
+val nslots : t -> int
+val in_use : t -> int
+
+(** [free_clusters t] counts wholly-free clusters — the health metric of
+    the layout (0 means the allocator is in scatter mode). *)
+val free_clusters : t -> int
+
+(** [fragmented_allocs t] counts allocations that had to fall back to
+    the slot-scan path (each one is a future random read). *)
+val fragmented_allocs : t -> int

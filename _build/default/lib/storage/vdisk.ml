@@ -1,0 +1,48 @@
+type t = {
+  id : int;
+  base_sector : int;
+  nblocks : int;
+  versions : int array;
+  (* [None] means the block still holds its pristine image data, which we
+     represent as [Block {disk; block; version = 0}] without storing it. *)
+  overwritten : Content.t option array;
+}
+
+let create ~id ~base_sector ~nblocks =
+  if nblocks <= 0 then invalid_arg "Vdisk.create: nblocks must be positive";
+  {
+    id;
+    base_sector;
+    nblocks;
+    versions = Array.make nblocks 0;
+    overwritten = Array.make nblocks None;
+  }
+
+let id t = t.id
+let nblocks t = t.nblocks
+
+let check t b =
+  if b < 0 || b >= t.nblocks then
+    invalid_arg (Printf.sprintf "Vdisk %d: block %d out of range" t.id b)
+
+let sector_of_block t b =
+  check t b;
+  t.base_sector + (b * Geom.sectors_per_page)
+
+let content t b =
+  check t b;
+  match t.overwritten.(b) with
+  | Some c -> c
+  | None -> Content.Block { disk = t.id; block = b; version = 0 }
+
+let version t b =
+  check t b;
+  t.versions.(b)
+
+let write t b c =
+  check t b;
+  t.overwritten.(b) <- Some c;
+  t.versions.(b) <- t.versions.(b) + 1;
+  t.versions.(b)
+
+let end_sector t = t.base_sector + (t.nblocks * Geom.sectors_per_page)

@@ -1,0 +1,1 @@
+lib/vmm/config.ml: Balloon Host List Sim Storage Vswapper Workload

@@ -1,0 +1,1 @@
+lib/vmm/config.mli: Balloon Host Sim Storage Vswapper Workload

@@ -1,0 +1,1 @@
+lib/vmm/machine.ml: Array Balloon Config Guest Host List Metrics Option Queue Sim Storage Workload

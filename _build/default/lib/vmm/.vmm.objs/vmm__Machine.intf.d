@@ -1,0 +1,1 @@
+lib/vmm/machine.mli: Config Guest Host Metrics Sim Storage

@@ -1,0 +1,1 @@
+lib/vmm/workload.mli: Guest Sim

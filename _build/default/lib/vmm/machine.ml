@@ -1,0 +1,295 @@
+module Guestos = Guest.Guestos
+
+type grun = {
+  spec : Config.guest_spec;
+  os : Guestos.t;
+  gid : Host.Hostmm.guest_id;
+  mutable idle_vcpus : int;
+  ready : Workload.thread Queue.t;
+  mutable live_threads : int;
+  mutable cleanup : unit -> unit;
+  mutable killed : bool;
+  mutable started_at : Sim.Time.t option;
+  mutable finished_at : Sim.Time.t option;
+  mutable ready_for_epoch : bool;
+}
+
+type t = {
+  cfg : Config.t;
+  engine : Sim.Engine.t;
+  disk : Storage.Disk.t;
+  stats : Metrics.Stats.t;
+  host : Host.Hostmm.t;
+  gruns : grun array;
+  manager : Balloon.Manager.t option;
+  mutable epoch : Sim.Time.t option;
+  mutable ran : bool;
+}
+
+type guest_result = { runtime : Sim.Time.t option; oomed : bool }
+
+type result = {
+  guests : guest_result array;
+  stats : Metrics.Stats.t;
+  wall : Sim.Time.t;
+  hit_time_limit : bool;
+}
+
+let build (cfg : Config.t) =
+  let engine = Sim.Engine.create () in
+  let stats = Metrics.Stats.create () in
+  let disk = Storage.Disk.create ~engine ~stats cfg.disk in
+  (* Physical disk layout: [hv region | guest images ... | host swap]. *)
+  let hv_base_sector = 0 in
+  let cursor = ref (Storage.Geom.sectors_of_pages (Storage.Geom.pages_of_mb 64)) in
+  let vdisks =
+    List.mapi
+      (fun i (g : Config.guest_spec) ->
+        let gcfg =
+          {
+            (Guest.Gconfig.default ~mem_mb:g.mem_mb) with
+            misaligned_io_percent = g.misaligned_io_percent;
+          }
+        in
+        let nblocks =
+          gcfg.Guest.Gconfig.swap_blocks + Storage.Geom.pages_of_mb g.data_mb
+        in
+        let vd =
+          Storage.Vdisk.create ~id:i ~base_sector:!cursor ~nblocks
+        in
+        cursor := Storage.Vdisk.end_sector vd;
+        (gcfg, vd))
+      cfg.guests
+  in
+  let swap =
+    Storage.Swap_area.create ~base_sector:!cursor
+      ~nslots:(Storage.Geom.pages_of_mb cfg.host_swap_mb)
+  in
+  let hconfig = Host.Hconfig.with_memory_mb cfg.hbase cfg.host_mem_mb in
+  let host =
+    Host.Hostmm.create ~engine ~disk ~stats ~config:hconfig ~vsconfig:cfg.vs
+      ~swap ~hv_base_sector
+  in
+  let gruns =
+    Array.of_list
+      (List.map2
+         (fun (spec : Config.guest_spec) (gcfg, vd) ->
+           let gid =
+             Host.Hostmm.register_guest host ~vdisk:vd
+               ~gpa_pages:gcfg.Guest.Gconfig.mem_pages
+               ~resident_limit:
+                 (Option.map Storage.Geom.pages_of_mb spec.resident_limit_mb)
+           in
+           let os =
+             Guestos.create ~engine ~host ~gid ~stats ~config:gcfg
+           in
+           {
+             spec;
+             os;
+             gid;
+             idle_vcpus = max 1 spec.vcpus;
+             ready = Queue.create ();
+             live_threads = 0;
+             cleanup = (fun () -> ());
+             killed = false;
+             started_at = None;
+             finished_at = None;
+             ready_for_epoch = false;
+           })
+         cfg.guests vdisks)
+  in
+  let manager =
+    Option.map
+      (fun policy ->
+        Balloon.Manager.create ~engine ~host
+          ~guests:(Array.to_list (Array.map (fun g -> g.os) gruns))
+          policy)
+      cfg.manager
+  in
+  {
+    cfg;
+    engine;
+    disk;
+    stats;
+    host;
+    gruns;
+    manager;
+    epoch = None;
+    ran = false;
+  }
+
+let engine (t : t) = t.engine
+let stats (t : t) = t.stats
+let host (t : t) = t.host
+let disk (t : t) = t.disk
+let os (t : t) i = t.gruns.(i).os
+let n_guests (t : t) = Array.length t.gruns
+
+(* ------------------------------------------------------------------ *)
+(* VCPU scheduling                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec dispatch t g =
+  if not g.killed then
+    while g.idle_vcpus > 0 && not (Queue.is_empty g.ready) do
+      g.idle_vcpus <- g.idle_vcpus - 1;
+      let th = Queue.pop g.ready in
+      run_thread t g th
+    done
+
+and run_thread t g th =
+  if g.killed then ()
+  else
+    match th () with
+    | None ->
+        g.live_threads <- g.live_threads - 1;
+        g.idle_vcpus <- g.idle_vcpus + 1;
+        if g.live_threads = 0 && g.finished_at = None then
+          g.finished_at <- Some (Sim.Engine.now t.engine);
+        dispatch t g
+    | Some (Workload.Mark f) ->
+        f ();
+        run_thread t g th
+    | Some (Workload.Compute us) ->
+        (* Compute holds the VCPU and continues the same thread. *)
+        ignore
+          (Sim.Engine.schedule_after t.engine (Sim.Time.us us) (fun () ->
+               run_thread t g th))
+    | Some op ->
+        (* I/O-ish operations release the VCPU while waiting, giving the
+           guest's other threads a chance to run (async page faults). *)
+        let k () =
+          g.idle_vcpus <- g.idle_vcpus + 1;
+          if not g.killed then Queue.push th g.ready;
+          dispatch t g
+        in
+        exec_io t g op k
+
+and exec_io _t g op k =
+  let os = g.os in
+  match op with
+  | Workload.Compute _ | Workload.Mark _ -> assert false
+  | Workload.File_read (f, idx) -> Guestos.read_file os f ~idx k
+  | Workload.File_write (f, idx) -> Guestos.write_file os f ~idx k
+  | Workload.Fsync f -> Guestos.fsync_file os f k
+  | Workload.Touch (r, idx, write) -> Guestos.touch os r ~idx ~write k
+  | Workload.Overwrite (r, idx) -> Guestos.overwrite_page os r ~idx k
+  | Workload.Memcpy (r, idx) -> Guestos.memcpy_page os r ~idx k
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let kill t g =
+  if not g.killed then begin
+    g.killed <- true;
+    Queue.clear g.ready;
+    g.cleanup ();
+    ignore t
+  end
+
+let start_workload t g () =
+  if not g.killed then begin
+    g.started_at <- Some (Sim.Engine.now t.engine);
+    let rng = Sim.Rng.of_int (t.cfg.seed + (7919 * (g.gid + 1))) in
+    let setup = g.spec.workload.Workload.setup g.os rng in
+    g.cleanup <- setup.Workload.cleanup;
+    Guestos.set_oom_handler g.os (fun () -> kill t g);
+    g.live_threads <- List.length setup.Workload.threads;
+    if setup.Workload.threads = [] then
+      g.finished_at <- Some (Sim.Engine.now t.engine)
+    else
+      List.iter (fun th -> Queue.push th g.ready) setup.Workload.threads;
+    dispatch t g
+  end
+
+let all_ready t = Array.for_all (fun g -> g.ready_for_epoch) t.gruns
+
+let open_epoch t =
+  if t.epoch = None && all_ready t then begin
+    let now = Sim.Engine.now t.engine in
+    t.epoch <- Some now;
+    (match t.manager with Some m -> Balloon.Manager.start m | None -> ());
+    Array.iter
+      (fun g ->
+        ignore
+          (Sim.Engine.schedule_at t.engine
+             (Sim.Time.add now g.spec.start_after)
+             (start_workload t g)))
+      t.gruns
+  end
+
+(* Boot sequence: kernel -> services -> static balloon convergence ->
+   full-memory warmup (uncooperative configs only; a ballooned guest
+   never dirties memory beyond its allowance) -> disk settle -> ready. *)
+let rec wait_settled t g () =
+  if Storage.Disk.queue_depth t.disk > 0 then
+    ignore
+      (Sim.Engine.schedule_after t.engine (Sim.Time.ms 50) (wait_settled t g))
+  else begin
+    g.ready_for_epoch <- true;
+    open_epoch t
+  end
+
+let rec wait_balloon t g k () =
+  let os = g.os in
+  if
+    Guestos.balloon_size os < Guestos.balloon_target os
+    && not (Guestos.oomed os)
+  then
+    ignore (Sim.Engine.schedule_after t.engine (Sim.Time.ms 50) (wait_balloon t g k))
+  else k ()
+
+let boot_guest t g () =
+  Guestos.boot g.os (fun () ->
+      Guestos.start_services g.os;
+      (match g.spec.balloon_static_mb with
+      | Some usable_mb ->
+          let gcfg = Guestos.config g.os in
+          let target =
+            gcfg.Guest.Gconfig.mem_pages - Storage.Geom.pages_of_mb usable_mb
+          in
+          Guestos.set_balloon_target g.os ~pages:(max 0 target)
+      | None -> ());
+      wait_balloon t g
+        (fun () ->
+          if g.spec.warm_all then
+            Guestos.warm_all_memory g.os (wait_settled t g)
+          else wait_settled t g ())
+        ())
+
+let run t =
+  if t.ran then invalid_arg "Machine.run: already ran";
+  t.ran <- true;
+  Array.iter
+    (fun g -> ignore (Sim.Engine.schedule_at t.engine Sim.Time.zero (boot_guest t g)))
+    t.gruns;
+  let all_done () =
+    Array.for_all (fun g -> g.finished_at <> None || g.killed) t.gruns
+  in
+  let hit_limit = ref false in
+  let continue_ = ref true in
+  while !continue_ && not (all_done ()) do
+    if Sim.Engine.now t.engine >= t.cfg.time_limit then begin
+      hit_limit := true;
+      continue_ := false
+    end
+    else if not (Sim.Engine.step t.engine) then continue_ := false
+  done;
+  let guests =
+    Array.map
+      (fun g ->
+        let runtime =
+          match (g.started_at, g.finished_at) with
+          | Some s, Some f -> Some (Sim.Time.sub f s)
+          | _ -> None
+        in
+        { runtime; oomed = Guestos.oomed g.os })
+      t.gruns
+  in
+  {
+    guests;
+    stats = t.stats;
+    wall = Sim.Engine.now t.engine;
+    hit_time_limit = !hit_limit;
+  }

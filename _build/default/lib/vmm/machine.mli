@@ -1,0 +1,45 @@
+(** Machine assembly and execution.
+
+    Builds the whole simulated testbed from a {!Config.t} — engine, one
+    shared physical disk (hypervisor region, then one image per guest,
+    then the host swap area), the hypervisor, the guests — and drives it:
+
+    boot (+ optional full-memory warmup) -> static balloon convergence ->
+    disk settle -> epoch -> each guest's workload at its offset ->
+    run to completion (or the time limit).
+
+    Per-guest VCPU scheduling gives Linux-style asynchronous page
+    faults: a thread blocking on I/O frees its VCPU for the guest's
+    other ready threads. *)
+
+type t
+
+type guest_result = {
+  runtime : Sim.Time.t option;  (** None if the workload was OOM-killed *)
+  oomed : bool;
+}
+
+type result = {
+  guests : guest_result array;
+  stats : Metrics.Stats.t;
+  wall : Sim.Time.t;  (** virtual time when the run ended *)
+  hit_time_limit : bool;
+}
+
+val build : Config.t -> t
+
+(** {2 Accessors for probes and tests; valid after [build]} *)
+
+val engine : t -> Sim.Engine.t
+val stats : t -> Metrics.Stats.t
+val host : t -> Host.Hostmm.t
+val disk : t -> Storage.Disk.t
+
+(** [os t i] is guest [i]'s OS (by index in the config's guest list). *)
+val os : t -> int -> Guest.Guestos.t
+
+val n_guests : t -> int
+
+(** [run t] executes the machine to completion and returns the results.
+    May be called once. *)
+val run : t -> result

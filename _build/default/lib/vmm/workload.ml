@@ -1,0 +1,61 @@
+type op =
+  | Compute of int
+  | File_read of Guest.Guestos.file * int
+  | File_write of Guest.Guestos.file * int
+  | Fsync of Guest.Guestos.file
+  | Touch of Guest.Guestos.region * int * bool
+  | Overwrite of Guest.Guestos.region * int
+  | Memcpy of Guest.Guestos.region * int
+  | Mark of (unit -> unit)
+
+type thread = unit -> op option
+type setup_result = { threads : thread list; cleanup : unit -> unit }
+type t = { name : string; setup : Guest.Guestos.t -> Sim.Rng.t -> setup_result }
+
+let of_list ops =
+  let remaining = ref ops in
+  fun () ->
+    match !remaining with
+    | [] -> None
+    | op :: rest ->
+        remaining := rest;
+        Some op
+
+let of_fun f =
+  let i = ref 0 in
+  fun () ->
+    let op = f !i in
+    incr i;
+    op
+
+let concat a b =
+  let first = ref true in
+  let rec next () =
+    if !first then
+      match a () with
+      | Some op -> Some op
+      | None ->
+          first := false;
+          next ()
+    else b ()
+  in
+  next
+
+let repeat n make =
+  if n <= 0 then fun () -> None
+  else begin
+    let rounds_left = ref n in
+    let current = ref (make ()) in
+    let rec next () =
+      match !current () with
+      | Some op -> Some op
+      | None ->
+          decr rounds_left;
+          if !rounds_left <= 0 then None
+          else begin
+            current := make ();
+            next ()
+          end
+    in
+    next
+  end

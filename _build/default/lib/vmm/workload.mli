@@ -1,0 +1,50 @@
+(** Workload model: a guest application as a set of threads, each a pull
+    generator of operations.
+
+    Generators are ordinary closures; the machine executor interprets the
+    operations against {!Guest.Guestos} in continuation-passing style, so
+    workload code stays direct-style and readable.  Synchronous guest
+    calls (creating files, allocating/freeing regions) are made by the
+    generator itself inside [setup] or lazily while generating. *)
+
+type op =
+  | Compute of int
+      (** busy the VCPU for n microseconds (holds the VCPU) *)
+  | File_read of Guest.Guestos.file * int  (** read block idx *)
+  | File_write of Guest.Guestos.file * int  (** overwrite block idx *)
+  | Fsync of Guest.Guestos.file
+  | Touch of Guest.Guestos.region * int * bool  (** page idx, write? *)
+  | Overwrite of Guest.Guestos.region * int  (** REP whole-page store *)
+  | Memcpy of Guest.Guestos.region * int  (** whole page via 512 B stores *)
+  | Mark of (unit -> unit)
+      (** instrumentation callback (iteration boundaries); costs nothing *)
+
+(** A thread yields its next operation, or [None] when finished. *)
+type thread = unit -> op option
+
+type setup_result = {
+  threads : thread list;
+  cleanup : unit -> unit;
+      (** called by the OOM killer: release the process's memory *)
+}
+
+type t = {
+  name : string;
+  setup : Guest.Guestos.t -> Sim.Rng.t -> setup_result;
+}
+
+(** {2 Generator helpers} *)
+
+(** [of_list ops] is a thread yielding a fixed operation list. *)
+val of_list : op list -> thread
+
+(** [of_fun f] wraps a stateful indexed generator: [f i] is the i-th
+    operation, [None] ends the thread. *)
+val of_fun : (int -> op option) -> thread
+
+(** [concat a b] runs thread [a] to completion, then [b]. *)
+val concat : thread -> thread -> thread
+
+(** [repeat n make] runs [make ()]'s thread [n] times in sequence,
+    reconstructing it for each round. *)
+val repeat : int -> (unit -> thread) -> thread

@@ -1,0 +1,1 @@
+lib/workloads/eclipse.ml: Guest Printf Sim Storage Vmm

@@ -1,0 +1,1 @@
+lib/workloads/kernbench.ml: Guest List Option Printf Sim Storage Vmm

@@ -1,0 +1,1 @@
+lib/workloads/kernbench.mli: Vmm

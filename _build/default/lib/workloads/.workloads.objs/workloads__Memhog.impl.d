@@ -1,0 +1,1 @@
+lib/workloads/memhog.ml: Guest Printf Storage Vmm

@@ -1,0 +1,1 @@
+lib/workloads/memhog.mli: Vmm

@@ -1,0 +1,1 @@
+lib/workloads/metis.ml: Guest List Printf Sim Storage Vmm

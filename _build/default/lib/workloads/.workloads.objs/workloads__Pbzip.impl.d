@@ -1,0 +1,1 @@
+lib/workloads/pbzip.ml: Guest List Printf Storage Vmm

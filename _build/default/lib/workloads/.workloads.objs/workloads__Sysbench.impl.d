@@ -1,0 +1,1 @@
+lib/workloads/sysbench.ml: Guest Printf Storage Vmm

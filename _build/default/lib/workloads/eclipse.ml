@@ -1,0 +1,114 @@
+module W = Vmm.Workload
+
+let workload ?(heap_mb = 160) ?(overhead_mb = 0) ?(classes_mb = 32)
+    ?(burst_mb = 0) ?(iterations = 24) ?(touches_per_iter = 1200)
+    ?(gc_every = 4) ?(compute_us = 400) () =
+  let heap_pages = Storage.Geom.pages_of_mb heap_mb in
+  let overhead_pages = Storage.Geom.pages_of_mb (max 1 overhead_mb) in
+  let class_blocks = Storage.Geom.pages_of_mb classes_mb in
+  let setup os rng =
+    let classes = Guest.Guestos.create_file os ~blocks:class_blocks in
+    let heap = Guest.Guestos.alloc_region os ~pages:heap_pages in
+    (* Cold JVM overhead (JIT code cache, metaspace, buffers): large,
+       resident, but touched only occasionally. *)
+    let overhead = Guest.Guestos.alloc_region os ~pages:overhead_pages in
+    let overhead_pos = ref 0 in
+    let phase = ref `Load and pos = ref 0 and iter = ref 0 in
+    let touches = ref 0 in
+    let burst_pages = Storage.Geom.pages_of_mb (max 1 burst_mb) in
+    let burst_region = ref None in
+    let rec thread () =
+      match !phase with
+      | `Load ->
+          if !pos < class_blocks then begin
+            let op = W.File_read (classes, !pos) in
+            incr pos;
+            Some op
+          end
+          else begin
+            phase := `Mutate;
+            pos := 0;
+            touches := 0;
+            thread ()
+          end
+      | `Mutate ->
+          if !iter >= iterations then None
+          else if !touches < touches_per_iter then begin
+            incr touches;
+            if !touches land 7 = 0 then Some (W.Compute compute_us)
+            else if overhead_mb > 0 && !touches land 31 = 0 then begin
+              (* An occasional walk through the cold JVM area. *)
+              overhead_pos := (!overhead_pos + 1) mod overhead_pages;
+              Some (W.Touch (overhead, !overhead_pos, false))
+            end
+            else begin
+              (* Mutator behaviour: mostly reads, with strong temporal
+                 locality around a slowly drifting nursery window. *)
+              let hot = max 1 (heap_pages / 4) in
+              let hot_base = !iter * 131 mod heap_pages in
+              let idx =
+                if Sim.Rng.bool rng 0.8 then
+                  (hot_base + Sim.Rng.int rng hot) mod heap_pages
+                else Sim.Rng.int rng heap_pages
+              in
+              let write = Sim.Rng.int rng 4 = 0 in
+              Some (W.Touch (heap, idx, write))
+            end
+          end
+          else begin
+            incr iter;
+            touches := 0;
+            if gc_every > 0 && !iter mod gc_every = 0 then begin
+              phase := `Gc;
+              pos := 0
+            end
+            else if burst_mb > 0 && !iter mod 2 = 1 then begin
+              (* Transient allocation burst (harness/JIT activity): the
+                 demand spike that triggers over-ballooning kills. *)
+              phase := `Burst;
+              pos := 0;
+              burst_region := Some (Guest.Guestos.alloc_region os ~pages:burst_pages)
+            end;
+            thread ()
+          end
+      | `Burst -> (
+          match !burst_region with
+          | None ->
+              phase := `Mutate;
+              thread ()
+          | Some r ->
+              if !pos < burst_pages then begin
+                let i = !pos in
+                incr pos;
+                Some (W.Overwrite (r, i))
+              end
+              else begin
+                Guest.Guestos.free_region os r;
+                burst_region := None;
+                phase := `Mutate;
+                thread ()
+              end)
+      | `Gc ->
+          (* Full-heap mark pass; every 16th page is compacted (copied). *)
+          if !pos < heap_pages then begin
+            let i = !pos in
+            incr pos;
+            if i land 15 = 0 then Some (W.Memcpy (heap, i))
+            else Some (W.Touch (heap, i, false))
+          end
+          else begin
+            phase := `Mutate;
+            touches := 0;
+            thread ()
+          end
+    in
+    let cleanup () =
+      Guest.Guestos.free_region os heap;
+      Guest.Guestos.free_region os overhead;
+      match !burst_region with
+      | Some r -> Guest.Guestos.free_region os r
+      | None -> ()
+    in
+    { W.threads = [ thread ]; cleanup }
+  in
+  { W.name = Printf.sprintf "eclipse-heap%dMB" heap_mb; setup }

@@ -1,0 +1,16 @@
+(** DaCapo-Eclipse-like JVM workload (paper Figure 13): a managed heap
+    whose garbage collector periodically walks and compacts everything —
+    the LRU-pathological access pattern the paper calls out for Java in
+    undersized guests. *)
+
+val workload :
+  ?heap_mb:int ->
+  ?overhead_mb:int ->
+  ?classes_mb:int ->
+  ?burst_mb:int ->
+  ?iterations:int ->
+  ?touches_per_iter:int ->
+  ?gc_every:int ->
+  ?compute_us:int ->
+  unit ->
+  Vmm.Workload.t

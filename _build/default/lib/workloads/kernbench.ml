@@ -1,0 +1,75 @@
+module W = Vmm.Workload
+
+let workload ?(threads = 2) ?(units = 1500) ?(tree_mb = 320)
+    ?(job_anon_pages = 64) ?(compute_us = 15_000) () =
+  let tree_blocks = Storage.Geom.pages_of_mb tree_mb in
+  let fill = min 32 job_anon_pages in
+  let setup os rng =
+    let tree = Guest.Guestos.create_file os ~blocks:tree_blocks in
+    let objs = Guest.Guestos.create_file os ~blocks:(max 1 (units * 2)) in
+    let next_unit = ref 0 in
+    let live_regions = ref [] in
+    let make_thread _tid =
+      let rng = Sim.Rng.split rng in
+      (* Job phases: 2 hot header reads, 6 locality source reads, alloc
+         workspace, fill 32 pages, compute, 2 object writes, exit. *)
+      let unit_no = ref (-1) and step = ref 0 in
+      let region = ref None in
+      let claim () =
+        if !next_unit >= units then false
+        else begin
+          unit_no := !next_unit;
+          incr next_unit;
+          step := 0;
+          true
+        end
+      in
+      let rec thread () =
+        if !unit_no < 0 && not (claim ()) then None
+        else begin
+          let u = !unit_no in
+          let s = !step in
+          incr step;
+          if s < 2 then
+            (* Hot shared headers: first 2k blocks of the tree. *)
+            Some (W.File_read (tree, Sim.Rng.int rng (min 2048 tree_blocks)))
+          else if s < 8 then begin
+            let base = u * 37 mod max 1 (tree_blocks - 8) in
+            Some (W.File_read (tree, base + (s - 2)))
+          end
+          else if s = 8 then begin
+            let r = Guest.Guestos.alloc_region os ~pages:job_anon_pages in
+            region := Some r;
+            live_regions := r :: !live_regions;
+            thread ()
+          end
+          else if s < 9 + fill then begin
+            let r = Option.get !region in
+            let i = s - 9 in
+            if i land 1 = 0 then Some (W.Overwrite (r, i))
+            else Some (W.Memcpy (r, i))
+          end
+          else if s = 9 + fill then Some (W.Compute compute_us)
+          else if s < 9 + fill + 3 then
+            Some (W.File_write (objs, ((u * 2) + (s - (10 + fill))) mod (units * 2)))
+          else begin
+            (match !region with
+            | Some r ->
+                Guest.Guestos.free_region os r;
+                live_regions := List.filter (fun x -> x != r) !live_regions;
+                region := None
+            | None -> ());
+            if claim () then thread () else None
+          end
+        end
+      in
+      thread
+    in
+    let ths = List.init threads make_thread in
+    let cleanup () =
+      List.iter (Guest.Guestos.free_region os) !live_regions;
+      live_regions := []
+    in
+    { W.threads = ths; cleanup }
+  in
+  { W.name = Printf.sprintf "kernbench-%du" units; setup }

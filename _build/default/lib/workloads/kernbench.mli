@@ -1,0 +1,14 @@
+(** Kernbench-like kernel build (paper Figure 12): a stream of short
+    compiler jobs.  Each job reads a few source blocks (with a shared hot
+    header set), allocates a fresh anonymous workspace, fills it (page
+    zeroing and copying — the Preventer's prey), computes, writes an
+    object file and exits, returning its memory to the guest free list. *)
+
+val workload :
+  ?threads:int ->
+  ?units:int ->
+  ?tree_mb:int ->
+  ?job_anon_pages:int ->
+  ?compute_us:int ->
+  unit ->
+  Vmm.Workload.t

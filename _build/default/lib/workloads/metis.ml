@@ -1,0 +1,61 @@
+module W = Vmm.Workload
+
+let workload ?(threads = 2) ?(table_mb = 512) ?(compute_us_per_block = 900)
+    ?(writes_per_block = 4) ~input_mb () =
+  let input_blocks = Storage.Geom.pages_of_mb input_mb in
+  let table_pages = Storage.Geom.pages_of_mb table_mb in
+  let setup os rng =
+    let input = Guest.Guestos.create_file os ~blocks:input_blocks in
+    let table = Guest.Guestos.alloc_region os ~pages:table_pages in
+    let next_block = ref 0 in
+    let slice = (table_pages + threads - 1) / threads in
+    let make_thread tid =
+      let rng = Sim.Rng.split rng in
+      let block = ref (-1) and step = ref 0 in
+      let reduce_pos = ref (tid * slice) in
+      let reduce_end = min table_pages ((tid + 1) * slice) in
+      let rec thread () =
+        if !block >= 0 || !next_block < input_blocks then begin
+          (* Map phase. *)
+          if !block < 0 then begin
+            block := !next_block;
+            incr next_block;
+            step := 0;
+            thread ()
+          end
+          else begin
+            let s = !step in
+            incr step;
+            if s = 0 then Some (W.File_read (input, !block))
+            else if s = 1 then Some (W.Compute compute_us_per_block)
+            else if s < 2 + writes_per_block then begin
+              (* Word counts are zipfian: most updates hit hot buckets. *)
+              let hot = max 1 (table_pages / 5) in
+              let idx =
+                if Sim.Rng.bool rng 0.75 then Sim.Rng.int rng hot
+                else Sim.Rng.int rng table_pages
+              in
+              Some (W.Touch (table, idx, true))
+            end
+            else begin
+              block := -1;
+              thread ()
+            end
+          end
+        end
+        else if !reduce_pos < reduce_end then begin
+          (* Reduce phase: sequential scan of this thread's table slice. *)
+          let i = !reduce_pos in
+          incr reduce_pos;
+          if i land 31 = 0 then Some (W.Compute compute_us_per_block)
+          else Some (W.Touch (table, i, false))
+        end
+        else None
+      in
+      thread
+    in
+    let ths = List.init threads make_thread in
+    let cleanup () = Guest.Guestos.free_region os table in
+    { W.threads = ths; cleanup }
+  in
+  { W.name = Printf.sprintf "metis-%dMB" input_mb; setup }

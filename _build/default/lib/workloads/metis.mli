@@ -1,0 +1,14 @@
+(** Metis MapReduce word count (paper Figures 4 and 14): map threads
+    stream a large input file and scatter writes into big in-memory hash
+    tables; a reduce pass then scans the tables.  Memory consumption is
+    dominated by the tables, giving the bursty, growing working set that
+    challenges balloon managers. *)
+
+val workload :
+  ?threads:int ->
+  ?table_mb:int ->
+  ?compute_us_per_block:int ->
+  ?writes_per_block:int ->
+  input_mb:int ->
+  unit ->
+  Vmm.Workload.t

@@ -1,0 +1,72 @@
+module W = Vmm.Workload
+
+let workload ?(threads = 8) ?(chunk_pages = 225) ?(compute_us_per_page = 600)
+    ?(anon_mb_per_thread = 8) ?(queue_mb = 48) ~input_mb () =
+  let input_blocks = Storage.Geom.pages_of_mb input_mb in
+  let output_blocks = max 1 (input_blocks / 4) in
+  let anon_pages = Storage.Geom.pages_of_mb anon_mb_per_thread in
+  let queue_pages = Storage.Geom.pages_of_mb queue_mb in
+  let setup os _rng =
+    let input = Guest.Guestos.create_file os ~blocks:input_blocks in
+    let output = Guest.Guestos.create_file os ~blocks:output_blocks in
+    (* Shared producer/consumer block queue (pbzip2 keeps many blocks in
+       flight between its reader and the compressors). *)
+    let queue = Guest.Guestos.alloc_region os ~pages:queue_pages in
+    let next_chunk = ref 0 in
+    let nchunks = (input_blocks + chunk_pages - 1) / chunk_pages in
+    let regions = ref [ queue ] in
+    let make_thread tid =
+      let region = Guest.Guestos.alloc_region os ~pages:anon_pages in
+      regions := region :: !regions;
+      let chunk = ref (-1) and j = ref 0 and step = ref 0 in
+      let claim () =
+        if !next_chunk >= nchunks then false
+        else begin
+          chunk := !next_chunk;
+          incr next_chunk;
+          j := 0;
+          step := 0;
+          true
+        end
+      in
+      (* Per input page: read -> compress (CPU) -> buffer churn -> every
+         fourth page, write one output page. *)
+      let rec thread () =
+        if !chunk < 0 && not (claim ()) then None
+        else begin
+          let start = !chunk * chunk_pages in
+          let size = min chunk_pages (input_blocks - start) in
+          if !j >= size then
+            if claim () then thread () else None
+          else begin
+            let block = start + !j in
+            match !step with
+            | 0 ->
+                step := 1;
+                Some (W.File_read (input, block))
+            | 1 ->
+                step := 2;
+                Some (W.Compute compute_us_per_page)
+            | 2 ->
+                step := 3;
+                if block land 1 = 0 then
+                  Some (W.Touch (queue, block mod queue_pages, true))
+                else
+                  Some (W.Touch (region, ((block * 7) + tid) mod anon_pages, true))
+            | _ ->
+                step := 0;
+                incr j;
+                let out = block / 4 in
+                if block land 3 = 3 && out < output_blocks then
+                  Some (W.File_write (output, out))
+                else thread ()
+          end
+        end
+      in
+      thread
+    in
+    let ths = List.init threads make_thread in
+    let cleanup () = List.iter (Guest.Guestos.free_region os) !regions in
+    { W.threads = ths; cleanup }
+  in
+  { W.name = Printf.sprintf "pbzip-%dMB" input_mb; setup }

@@ -1,0 +1,16 @@
+(** pbzip2-like parallel compressor (paper Figures 5 and 11): several
+    worker threads claim fixed-size chunks of a shared input file, read
+    them through the page cache, compress them (CPU burst plus a
+    per-thread sorting buffer of anonymous memory), and write a smaller
+    output.  Multi-threading lets Linux-style asynchronous page faults
+    overlap host swap-ins with compute. *)
+
+val workload :
+  ?threads:int ->
+  ?chunk_pages:int ->
+  ?compute_us_per_page:int ->
+  ?anon_mb_per_thread:int ->
+  ?queue_mb:int ->
+  input_mb:int ->
+  unit ->
+  Vmm.Workload.t

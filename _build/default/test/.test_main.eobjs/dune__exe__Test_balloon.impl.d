@@ -1,0 +1,1 @@
+test/test_balloon.ml: Alcotest Array Balloon Guest Host List Metrics Sim Storage Test_util Vmm Vswapper

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Format List Metrics QCheck Sim Storage Test_util Vswapper

@@ -1,0 +1,1 @@
+test/test_guest.ml: Alcotest Guest Host Metrics Option Printf Sim Storage Test_util Vswapper

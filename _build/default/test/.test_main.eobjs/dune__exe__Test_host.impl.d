@@ -1,0 +1,1 @@
+test/test_host.ml: Alcotest Array Host List Metrics Option Printf QCheck Sim Storage String Test_util Vswapper

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Array List Mem Option QCheck Test_util

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Format List Metrics Sim String Test_util

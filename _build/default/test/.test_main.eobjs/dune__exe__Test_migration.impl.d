@@ -1,0 +1,1 @@
+test/test_migration.ml: Alcotest Format List Migration Option Sim Storage Test_util Vmm Vswapper Workloads

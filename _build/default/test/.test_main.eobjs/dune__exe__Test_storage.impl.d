@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Hashtbl List Metrics Option Printf QCheck Sim Storage Test_util

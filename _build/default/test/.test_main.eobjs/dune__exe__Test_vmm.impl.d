@@ -1,0 +1,1 @@
+test/test_vmm.ml: Alcotest Array Guest List Option Printf Sim Vmm Vswapper

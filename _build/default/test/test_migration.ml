@@ -1,0 +1,97 @@
+(* Tests for the Mapper-aware migration transfer (the paper's Section 7
+   future work). *)
+
+let check = Alcotest.check
+module M = Migration.Migrate
+
+let tiny_machine ~vs =
+  let workload =
+    Workloads.Sysbench.workload ~iterations:1 ~file_mb:24 ()
+  in
+  let guest =
+    {
+      (Vmm.Config.default_guest ~workload) with
+      mem_mb = 48;
+      resident_limit_mb = Some 24;
+      warm_all = true;
+      data_mb = 48;
+    }
+  in
+  let cfg =
+    {
+      (Vmm.Config.default ~guests:[ guest ]) with
+      vs;
+      host_mem_mb = 128;
+      host_swap_mb = 96;
+    }
+  in
+  let machine = Vmm.Machine.build cfg in
+  ignore (Vmm.Machine.run machine);
+  machine
+
+let migrate machine link strategy =
+  let result = ref None in
+  M.migrate ~machine ~guest:0 link strategy (fun r -> result := Some r);
+  let engine = Vmm.Machine.engine machine in
+  let steps = ref 0 in
+  while !result = None && Sim.Engine.step engine && !steps < 1_000_000 do
+    incr steps
+  done;
+  Option.get !result
+
+let accounts_cover_all_pages () =
+  let machine = tiny_machine ~vs:Vswapper.Vsconfig.vswapper in
+  let pages = Storage.Geom.pages_of_mb 48 in
+  List.iter
+    (fun strategy ->
+      let machine = tiny_machine ~vs:Vswapper.Vsconfig.vswapper in
+      ignore machine;
+      let r = migrate machine M.gbe strategy in
+      check Alcotest.int "every page classified" pages
+        (r.M.pages_copied + r.M.mappings_sent + r.M.pages_skipped))
+    [ M.Full_copy; M.Mapper_aware ];
+  ignore machine
+
+let mapper_aware_sends_less () =
+  let m1 = tiny_machine ~vs:Vswapper.Vsconfig.vswapper in
+  let full = migrate m1 M.gbe M.Full_copy in
+  let m2 = tiny_machine ~vs:Vswapper.Vsconfig.vswapper in
+  let aware = migrate m2 M.gbe M.Mapper_aware in
+  Alcotest.(check bool) "less traffic" true
+    (aware.M.bytes_sent < full.M.bytes_sent);
+  Alcotest.(check bool) "mappings used" true (aware.M.mappings_sent > 0);
+  Alcotest.(check bool) "not slower" true
+    (aware.M.duration <= full.M.duration)
+
+let baseline_has_no_mappings () =
+  let m = tiny_machine ~vs:Vswapper.Vsconfig.baseline in
+  let r = migrate m M.gbe M.Mapper_aware in
+  (* Without the Mapper nothing is tracked, so even the aware strategy
+     degenerates to copying (except zero pages). *)
+  check Alcotest.int "no mappings" 0 r.M.mappings_sent
+
+let faster_link_helps_when_wire_bound () =
+  let m1 = tiny_machine ~vs:Vswapper.Vsconfig.baseline in
+  let slow = migrate m1 { M.bandwidth_mb_s = 10.0; rtt = Sim.Time.ms 1 } M.Full_copy in
+  let m2 = tiny_machine ~vs:Vswapper.Vsconfig.baseline in
+  let fast = migrate m2 M.ten_gbe M.Full_copy in
+  Alcotest.(check bool) "bandwidth matters" true
+    (fast.M.duration < slow.M.duration)
+
+let report_printable () =
+  let m = tiny_machine ~vs:Vswapper.Vsconfig.vswapper in
+  let r = migrate m M.gbe M.Mapper_aware in
+  let s = Format.asprintf "%a" M.pp_report r in
+  Alcotest.(check bool) "mentions MB" true (Test_util.contains s "MB")
+
+let tests =
+  [
+    ( "migration:transfer",
+      [
+        Alcotest.test_case "covers all pages" `Quick accounts_cover_all_pages;
+        Alcotest.test_case "mapper-aware sends less" `Quick mapper_aware_sends_less;
+        Alcotest.test_case "baseline has no mappings" `Quick baseline_has_no_mappings;
+        Alcotest.test_case "bandwidth matters" `Quick faster_link_helps_when_wire_bound;
+        Alcotest.test_case "report printable" `Quick report_printable;
+      ] );
+  ]

@@ -1,0 +1,247 @@
+(* Unit and property tests for the simulation substrate: virtual time,
+   the deterministic PRNG, the stable binary heap, and the engine. *)
+
+let check = Alcotest.check
+let qcheck = Test_util.qcheck
+
+(* ------------------------------------------------------------------ *)
+(* Time                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let time_units () =
+  check Alcotest.int "ms" 5_000 (Sim.Time.ms 5);
+  check Alcotest.int "sec" 3_000_000 (Sim.Time.sec 3);
+  check Alcotest.int "us" 7 (Sim.Time.us 7);
+  check (Alcotest.float 1e-9) "to_sec" 1.5 (Sim.Time.to_sec_float (Sim.Time.ms 1_500));
+  check Alcotest.int "add" 11 (Sim.Time.add 5 6);
+  check Alcotest.int "sub" 4 (Sim.Time.sub 10 6);
+  check Alcotest.int "round" 3 (Sim.Time.of_float_us 2.6)
+
+let time_pp () =
+  check Alcotest.string "seconds" "2.5s" (Sim.Time.to_string (Sim.Time.us 2_500_000));
+  check Alcotest.string "millis" "1.5ms" (Sim.Time.to_string (Sim.Time.us 1_500));
+  check Alcotest.string "micros" "17us" (Sim.Time.to_string (Sim.Time.us 17))
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rng_deterministic () =
+  let a = Sim.Rng.of_int 42 and b = Sim.Rng.of_int 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Sim.Rng.int a 1_000_000)
+      (Sim.Rng.int b 1_000_000)
+  done
+
+let rng_split_independent () =
+  let a = Sim.Rng.of_int 42 in
+  let b = Sim.Rng.split a in
+  let xs = List.init 20 (fun _ -> Sim.Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Sim.Rng.int b 1000) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let rng_bounds =
+  QCheck.Test.make ~name:"rng: int stays within bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 10_000))
+    (fun (seed, bound) ->
+      let rng = Sim.Rng.of_int seed in
+      let v = Sim.Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let rng_shuffle_permutes =
+  QCheck.Test.make ~name:"rng: shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, l) ->
+      let rng = Sim.Rng.of_int seed in
+      let arr = Array.of_list l in
+      Sim.Rng.shuffle rng arr;
+      List.sort compare (Array.to_list arr) = List.sort compare l)
+
+let rng_int_in_bounds =
+  QCheck.Test.make ~name:"rng: int_in inclusive bounds" ~count:300
+    QCheck.(triple small_int (int_range 0 100) (int_range 0 100))
+    (fun (seed, a, b) ->
+      let lo = min a b and hi = max a b in
+      let rng = Sim.Rng.of_int seed in
+      let v = Sim.Rng.int_in rng lo hi in
+      v >= lo && v <= hi)
+
+let rng_exponential_positive () =
+  let rng = Sim.Rng.of_int 3 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "non-negative" true
+      (Sim.Rng.exponential rng ~mean:5.0 >= 0.0)
+  done
+
+let rng_float_bounds =
+  QCheck.Test.make ~name:"rng: float stays within bounds" ~count:500
+    QCheck.small_int (fun seed ->
+      let rng = Sim.Rng.of_int seed in
+      let v = Sim.Rng.float rng 3.5 in
+      v >= 0.0 && v < 3.5)
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let heap_basic () =
+  let h = Sim.Heap.create () in
+  Alcotest.(check bool) "empty" true (Sim.Heap.is_empty h);
+  Sim.Heap.add h ~priority:5 "five";
+  Sim.Heap.add h ~priority:1 "one";
+  Sim.Heap.add h ~priority:3 "three";
+  check Alcotest.int "length" 3 (Sim.Heap.length h);
+  check Alcotest.(option (pair int string)) "peek" (Some (1, "one")) (Sim.Heap.peek_min h);
+  check Alcotest.(option (pair int string)) "pop1" (Some (1, "one")) (Sim.Heap.pop_min h);
+  check Alcotest.(option (pair int string)) "pop2" (Some (3, "three")) (Sim.Heap.pop_min h);
+  check Alcotest.(option (pair int string)) "pop3" (Some (5, "five")) (Sim.Heap.pop_min h);
+  check Alcotest.(option (pair int string)) "pop4" None (Sim.Heap.pop_min h)
+
+let heap_stable_at_equal_priority () =
+  let h = Sim.Heap.create () in
+  List.iteri (fun i v -> Sim.Heap.add h ~priority:(i mod 2) v) [ "a"; "b"; "c"; "d"; "e" ];
+  (* priorities: a:0 b:1 c:0 d:1 e:0 -> pops a,c,e (FIFO within 0), b,d *)
+  let pops = List.init 5 (fun _ -> snd (Option.get (Sim.Heap.pop_min h))) in
+  Alcotest.(check (list string)) "stable" [ "a"; "c"; "e"; "b"; "d" ] pops
+
+let heap_clear () =
+  let h = Sim.Heap.create () in
+  Sim.Heap.add h ~priority:1 "x";
+  Sim.Heap.clear h;
+  Alcotest.(check bool) "empty after clear" true (Sim.Heap.is_empty h);
+  check Alcotest.(option (pair int string)) "no peek" None (Sim.Heap.peek_min h)
+
+let heap_sorts =
+  QCheck.Test.make ~name:"heap: pops in sorted order" ~count:200
+    QCheck.(list small_int)
+    (fun l ->
+      let h = Sim.Heap.create () in
+      List.iter (fun p -> Sim.Heap.add h ~priority:p p) l;
+      let rec drain acc =
+        match Sim.Heap.pop_min h with
+        | None -> List.rev acc
+        | Some (p, _) -> drain (p :: acc)
+      in
+      drain [] = List.sort compare l)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let engine_ordering () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  ignore (Sim.Engine.schedule_at e (Sim.Time.us 30) (fun () -> log := 30 :: !log));
+  ignore (Sim.Engine.schedule_at e (Sim.Time.us 10) (fun () -> log := 10 :: !log));
+  ignore (Sim.Engine.schedule_at e (Sim.Time.us 20) (fun () -> log := 20 :: !log));
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "fires in order" [ 10; 20; 30 ] (List.rev !log);
+  check Alcotest.int "clock at last event" 30 (Sim.Engine.now e)
+
+let engine_cascade () =
+  let e = Sim.Engine.create () in
+  let count = ref 0 in
+  let rec tick n () =
+    if n > 0 then begin
+      incr count;
+      ignore (Sim.Engine.schedule_after e (Sim.Time.us 5) (tick (n - 1)))
+    end
+  in
+  ignore (Sim.Engine.schedule_after e (Sim.Time.us 5) (tick 10));
+  Sim.Engine.run e;
+  check Alcotest.int "all ticks" 10 !count;
+  check Alcotest.int "clock" 55 (Sim.Engine.now e)
+
+let engine_cancel () =
+  let e = Sim.Engine.create () in
+  let fired = ref false in
+  let ev = Sim.Engine.schedule_at e (Sim.Time.us 10) (fun () -> fired := true) in
+  Sim.Engine.cancel e ev;
+  check Alcotest.int "pending drops" 0 (Sim.Engine.pending e);
+  Sim.Engine.run e;
+  Alcotest.(check bool) "cancelled" false !fired;
+  (* double-cancel is a no-op *)
+  Sim.Engine.cancel e ev
+
+let engine_past_rejected () =
+  let e = Sim.Engine.create () in
+  ignore (Sim.Engine.schedule_at e (Sim.Time.us 50) (fun () -> ()));
+  Sim.Engine.run e;
+  Alcotest.check_raises "past" (Invalid_argument "Engine.schedule_at: 10 is in the past (now=50)")
+    (fun () -> ignore (Sim.Engine.schedule_at e (Sim.Time.us 10) (fun () -> ())))
+
+let engine_run_until () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  List.iter
+    (fun t -> ignore (Sim.Engine.schedule_at e (Sim.Time.us t) (fun () -> log := t :: !log)))
+    [ 10; 20; 30; 40 ];
+  let remaining = Sim.Engine.run_until e (Sim.Time.us 25) in
+  Alcotest.(check bool) "events remain" true remaining;
+  Alcotest.(check (list int)) "only early" [ 10; 20 ] (List.rev !log);
+  let remaining = Sim.Engine.run_until e (Sim.Time.us 100) in
+  Alcotest.(check bool) "drained" false remaining;
+  Alcotest.(check (list int)) "all" [ 10; 20; 30; 40 ] (List.rev !log)
+
+let engine_monotone_time =
+  QCheck.Test.make ~name:"engine: callbacks fire in non-decreasing time"
+    ~count:200
+    QCheck.(list (int_range 0 10_000))
+    (fun times ->
+      let e = Sim.Engine.create () in
+      let fired = ref [] in
+      List.iter
+        (fun t ->
+          ignore
+            (Sim.Engine.schedule_at e (Sim.Time.us t) (fun () ->
+                 fired := Sim.Engine.now e :: !fired)))
+        times;
+      Sim.Engine.run e;
+      let seq = List.rev !fired in
+      List.length seq = List.length times
+      && seq = List.sort compare seq)
+
+let engine_same_time_fifo () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  List.iter
+    (fun v -> ignore (Sim.Engine.schedule_at e (Sim.Time.us 10) (fun () -> log := v :: !log)))
+    [ 1; 2; 3 ];
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "FIFO at same instant" [ 1; 2; 3 ] (List.rev !log)
+
+let tests =
+    [
+      ( "sim:time",
+        [
+          Alcotest.test_case "unit conversions" `Quick time_units;
+          Alcotest.test_case "pretty printing" `Quick time_pp;
+        ] );
+      ( "sim:rng",
+        [
+          Alcotest.test_case "deterministic" `Quick rng_deterministic;
+          Alcotest.test_case "split independence" `Quick rng_split_independent;
+          Alcotest.test_case "exponential positive" `Quick rng_exponential_positive;
+          qcheck rng_bounds;
+          qcheck rng_int_in_bounds;
+          qcheck rng_shuffle_permutes;
+          qcheck rng_float_bounds;
+        ] );
+      ( "sim:heap",
+        [
+          Alcotest.test_case "basic ops" `Quick heap_basic;
+          Alcotest.test_case "stability" `Quick heap_stable_at_equal_priority;
+          Alcotest.test_case "clear" `Quick heap_clear;
+          qcheck heap_sorts;
+        ] );
+      ( "sim:engine",
+        [
+          Alcotest.test_case "ordering" `Quick engine_ordering;
+          Alcotest.test_case "cascading events" `Quick engine_cascade;
+          Alcotest.test_case "cancellation" `Quick engine_cancel;
+          Alcotest.test_case "past rejected" `Quick engine_past_rejected;
+          Alcotest.test_case "run_until" `Quick engine_run_until;
+          Alcotest.test_case "same-time FIFO" `Quick engine_same_time_fifo;
+          qcheck engine_monotone_time;
+        ] );
+    ]

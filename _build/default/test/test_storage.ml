@@ -1,0 +1,319 @@
+(* Tests for geometry, content tags, the virtual disk, the mechanical
+   disk model (including the write-back cache), and the cluster-based
+   swap-slot allocator. *)
+
+let check = Alcotest.check
+let qcheck = Test_util.qcheck
+
+(* ------------------------------------------------------------------ *)
+(* Geom / Content                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let geom_units () =
+  check Alcotest.int "sectors per page" 8 Storage.Geom.sectors_per_page;
+  check Alcotest.int "pages of mb" 256 (Storage.Geom.pages_of_mb 1);
+  check Alcotest.int "sectors of pages" 80 (Storage.Geom.sectors_of_pages 10);
+  check Alcotest.int "mb of pages" 2 (Storage.Geom.mb_of_pages 512)
+
+let content_equality () =
+  let open Storage.Content in
+  Alcotest.(check bool) "zero" true (equal Zero Zero);
+  Alcotest.(check bool) "anon same" true (equal (Anon 3) (Anon 3));
+  Alcotest.(check bool) "anon diff" false (equal (Anon 3) (Anon 4));
+  let b v = Block { disk = 1; block = 2; version = v } in
+  Alcotest.(check bool) "block same" true (equal (b 0) (b 0));
+  Alcotest.(check bool) "block version" false (equal (b 0) (b 1));
+  Alcotest.(check bool) "cross kind" false (equal Zero (Anon 0))
+
+let content_fresh_unique () =
+  let a = Storage.Content.fresh_anon () in
+  let b = Storage.Content.fresh_anon () in
+  Alcotest.(check bool) "unique" false (Storage.Content.equal a b)
+
+let content_combine_deterministic () =
+  let open Storage.Content in
+  let base = Block { disk = 0; block = 7; version = 2 } in
+  Alcotest.(check bool) "same inputs same tag" true
+    (equal (combine base 5) (combine base 5));
+  Alcotest.(check bool) "different base differs" false
+    (equal (combine base 5) (combine Zero 5));
+  Alcotest.(check bool) "different gen differs" false
+    (equal (combine base 5) (combine base 6))
+
+(* ------------------------------------------------------------------ *)
+(* Vdisk                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let vdisk_pristine_and_write () =
+  let vd = Storage.Vdisk.create ~id:3 ~base_sector:1000 ~nblocks:16 in
+  check Alcotest.int "sector of block" (1000 + 40) (Storage.Vdisk.sector_of_block vd 5);
+  (match Storage.Vdisk.content vd 5 with
+  | Storage.Content.Block { disk = 3; block = 5; version = 0 } -> ()
+  | c -> Alcotest.failf "pristine content: %s" (Storage.Content.to_string c));
+  let v1 = Storage.Vdisk.write vd 5 (Storage.Content.Anon 99) in
+  check Alcotest.int "version bumps" 1 v1;
+  Alcotest.(check bool) "reads back what was written" true
+    (Storage.Content.equal (Storage.Vdisk.content vd 5) (Storage.Content.Anon 99));
+  check Alcotest.int "other block untouched" 0 (Storage.Vdisk.version vd 6)
+
+let vdisk_bounds () =
+  let vd = Storage.Vdisk.create ~id:0 ~base_sector:0 ~nblocks:4 in
+  Alcotest.check_raises "oob" (Invalid_argument "Vdisk 0: block 4 out of range")
+    (fun () -> ignore (Storage.Vdisk.content vd 4))
+
+(* ------------------------------------------------------------------ *)
+(* Disk                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let mk_disk () =
+  let engine = Sim.Engine.create () in
+  let stats = Metrics.Stats.create () in
+  let disk = Storage.Disk.create ~engine ~stats Storage.Disk.default_config in
+  (engine, stats, disk)
+
+let disk_sequential_cheaper_than_random () =
+  let _, _, disk = mk_disk () in
+  (* Head starts at 0; reading at 0 is sequential. *)
+  let seq = Storage.Disk.service_time disk ~sector:0 ~nsectors:8 in
+  let rnd = Storage.Disk.service_time disk ~sector:50_000_000 ~nsectors:8 in
+  Alcotest.(check bool) "big asymmetry" true (rnd > 50 * seq)
+
+let disk_forward_skip_cheap () =
+  let _, _, disk = mk_disk () in
+  let skip = Storage.Disk.service_time disk ~sector:100 ~nsectors:8 in
+  let back = Storage.Disk.service_time disk ~sector:(-100) ~nsectors:8 in
+  ignore back;
+  (* A 100-sector forward gap costs about the gap's transfer time. *)
+  Alcotest.(check bool) "forward skip < 1ms" true (Sim.Time.to_us skip < 1_000)
+
+let disk_backward_expensive () =
+  let engine, _, disk = mk_disk () in
+  (* Park the head at sector 1008 by serving one read. *)
+  Storage.Disk.submit disk ~sector:1000 ~nsectors:8 ~kind:Storage.Disk.Read
+    (fun () -> ());
+  Test_util.drain engine;
+  let back = Storage.Disk.service_time disk ~sector:900 ~nsectors:8 in
+  let fwd = Storage.Disk.service_time disk ~sector:1100 ~nsectors:8 in
+  (* A short backward jump pays seek + rotation; forward does not. *)
+  Alcotest.(check bool) "backward >> forward" true
+    (Sim.Time.to_us back > 4 * Sim.Time.to_us fwd)
+
+let disk_read_completion_ordering () =
+  let engine, stats, disk = mk_disk () in
+  let log = ref [] in
+  Storage.Disk.submit disk ~sector:0 ~nsectors:8 ~kind:Storage.Disk.Read
+    (fun () -> log := "a" :: !log);
+  Storage.Disk.submit disk ~sector:8 ~nsectors:8 ~kind:Storage.Disk.Read
+    (fun () -> log := "b" :: !log);
+  Test_util.drain engine;
+  Alcotest.(check (list string)) "FIFO reads" [ "a"; "b" ] (List.rev !log);
+  check Alcotest.int "two media reads" 2 stats.Metrics.Stats.disk_ops;
+  check Alcotest.int "sectors" 16 stats.Metrics.Stats.disk_sectors_read;
+  check Alcotest.int "second was sequential" 2 stats.Metrics.Stats.disk_seq_reads
+
+let disk_write_acks_fast () =
+  let engine, _, disk = mk_disk () in
+  let acked_at = ref (-1) in
+  Storage.Disk.submit disk ~sector:1_000_000 ~nsectors:8 ~kind:Storage.Disk.Write
+    (fun () -> acked_at := Sim.Engine.now engine);
+  Test_util.drain engine;
+  (* Buffered ack is orders of magnitude below a random-seek time. *)
+  Alcotest.(check bool) "fast ack" true (!acked_at >= 0 && !acked_at < 1_000)
+
+let disk_read_served_from_write_buffer () =
+  let engine, stats, disk = mk_disk () in
+  Storage.Disk.submit disk ~sector:500_000 ~nsectors:8 ~kind:Storage.Disk.Write
+    (fun () -> ());
+  let done_at = ref (-1) in
+  Storage.Disk.submit disk ~sector:500_000 ~nsectors:8 ~kind:Storage.Disk.Read
+    (fun () -> done_at := Sim.Engine.now engine);
+  Test_util.drain_until engine (fun () -> !done_at >= 0);
+  Alcotest.(check bool) "RAM-speed read" true (!done_at < 1_000);
+  check Alcotest.int "no media read" 0 stats.Metrics.Stats.disk_sectors_read
+
+let disk_flushes_when_idle () =
+  let engine, stats, disk = mk_disk () in
+  Storage.Disk.submit disk ~sector:100 ~nsectors:16 ~kind:Storage.Disk.Write
+    (fun () -> ());
+  Storage.Disk.submit disk ~sector:116 ~nsectors:16 ~kind:Storage.Disk.Write
+    (fun () -> ());
+  check Alcotest.int "buffered" 32 (Storage.Disk.buffered_write_sectors disk);
+  Test_util.drain engine;
+  check Alcotest.int "flushed" 0 (Storage.Disk.buffered_write_sectors disk);
+  (* Adjacent runs merged into one media write. *)
+  check Alcotest.int "one flush op" 1 stats.Metrics.Stats.disk_ops;
+  check Alcotest.int "sectors written" 32 stats.Metrics.Stats.disk_sectors_written
+
+let disk_rejects_empty () =
+  let _, _, disk = mk_disk () in
+  Alcotest.check_raises "zero sectors"
+    (Invalid_argument "Disk.submit: nsectors must be positive") (fun () ->
+      Storage.Disk.submit disk ~sector:0 ~nsectors:0 ~kind:Storage.Disk.Read
+        (fun () -> ()))
+
+(* ------------------------------------------------------------------ *)
+(* Swap area                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let swap_cluster_sequential () =
+  let sa = Storage.Swap_area.create ~base_sector:0 ~nslots:1024 in
+  let slots =
+    List.init 300 (fun i ->
+        Option.get (Storage.Swap_area.alloc sa (Storage.Content.Anon i)))
+  in
+  (* Consecutive allocations fill clusters sequentially. *)
+  let consecutive =
+    List.for_all2 (fun a b -> b = a + 1)
+      (List.filteri (fun i _ -> i < 299) slots)
+      (List.tl slots)
+  in
+  Alcotest.(check bool) "sequential runs" true consecutive;
+  check Alcotest.int "in use" 300 (Storage.Swap_area.in_use sa)
+
+let swap_cluster_rounding () =
+  check Alcotest.int "cluster size" 256 Storage.Swap_area.cluster_slots;
+  let sa = Storage.Swap_area.create ~base_sector:0 ~nslots:300 in
+  check Alcotest.int "rounded down to one cluster" 256 (Storage.Swap_area.nslots sa);
+  let sa2 = Storage.Swap_area.create ~base_sector:0 ~nslots:100 in
+  check Alcotest.int "minimum one cluster" 256 (Storage.Swap_area.nslots sa2)
+
+let swap_roundtrip () =
+  let sa = Storage.Swap_area.create ~base_sector:800 ~nslots:256 in
+  let c = Storage.Content.Anon 7 in
+  let s = Option.get (Storage.Swap_area.alloc sa c) in
+  Alcotest.(check bool) "allocated" true (Storage.Swap_area.is_allocated sa s);
+  Alcotest.(check bool) "content" true
+    (Storage.Content.equal c (Storage.Swap_area.content sa s));
+  check Alcotest.int "sector" (800 + (s * 8)) (Storage.Swap_area.sector_of_slot sa s);
+  Storage.Swap_area.free sa s;
+  Alcotest.(check bool) "freed" false (Storage.Swap_area.is_allocated sa s);
+  Alcotest.check_raises "double free"
+    (Invalid_argument (Printf.sprintf "Swap_area.free: slot %d is free" s))
+    (fun () -> Storage.Swap_area.free sa s)
+
+let swap_fragmentation_fallback () =
+  let sa = Storage.Swap_area.create ~base_sector:0 ~nslots:512 in
+  (* Fill both clusters entirely. *)
+  let slots =
+    List.init 512 (fun i ->
+        Option.get (Storage.Swap_area.alloc sa (Storage.Content.Anon i)))
+  in
+  check Alcotest.int "full" 512 (Storage.Swap_area.in_use sa);
+  Alcotest.(check (option int)) "exhausted" None
+    (Storage.Swap_area.alloc sa Storage.Content.Zero);
+  (* Free every other slot: no cluster becomes wholly free. *)
+  List.iteri (fun i s -> if i mod 2 = 0 then Storage.Swap_area.free sa s) slots;
+  check Alcotest.int "half free" 256 (Storage.Swap_area.in_use sa);
+  check Alcotest.int "no free clusters" 0 (Storage.Swap_area.free_clusters sa);
+  let before = Storage.Swap_area.fragmented_allocs sa in
+  let s = Option.get (Storage.Swap_area.alloc sa Storage.Content.Zero) in
+  Alcotest.(check bool) "allocated a hole" true (Storage.Swap_area.is_allocated sa s);
+  Alcotest.(check bool) "fell back to scanning" true
+    (Storage.Swap_area.fragmented_allocs sa > before)
+
+let swap_free_cluster_reuse () =
+  let sa = Storage.Swap_area.create ~base_sector:0 ~nslots:512 in
+  let slots =
+    List.init 512 (fun i ->
+        Option.get (Storage.Swap_area.alloc sa (Storage.Content.Anon i)))
+  in
+  (* Free the whole first cluster; it becomes allocatable again. *)
+  List.iteri (fun i s -> if i < 256 then Storage.Swap_area.free sa s) slots;
+  check Alcotest.int "one free cluster" 1 (Storage.Swap_area.free_clusters sa);
+  let s = Option.get (Storage.Swap_area.alloc sa Storage.Content.Zero) in
+  Alcotest.(check bool) "reused cluster 0" true (s < 256)
+
+let swap_model =
+  QCheck.Test.make ~name:"swap_area: random alloc/free keeps books" ~count:100
+    QCheck.(list (int_range 0 99))
+    (fun ops ->
+      let sa = Storage.Swap_area.create ~base_sector:0 ~nslots:256 in
+      let live = Hashtbl.create 16 in
+      List.iter
+        (fun op ->
+          if op < 60 || Hashtbl.length live = 0 then (
+            match Storage.Swap_area.alloc sa (Storage.Content.Anon op) with
+            | Some s ->
+                if Hashtbl.mem live s then failwith "double alloc";
+                Hashtbl.replace live s op
+            | None ->
+                if Hashtbl.length live <> 256 then failwith "early exhaustion")
+          else begin
+            (* free a pseudo-random live slot *)
+            let keys = Hashtbl.fold (fun k _ acc -> k :: acc) live [] in
+            let s = List.nth keys (op mod List.length keys) in
+            Storage.Swap_area.free sa s;
+            Hashtbl.remove live s
+          end)
+        ops;
+      Storage.Swap_area.in_use sa = Hashtbl.length live
+      && Hashtbl.fold
+           (fun s v acc ->
+             acc
+             && Storage.Content.equal
+                  (Storage.Swap_area.content sa s)
+                  (Storage.Content.Anon v))
+           live true)
+
+let disk_service_monotone =
+  QCheck.Test.make ~name:"disk: service time monotone in transfer size"
+    ~count:200
+    QCheck.(pair (int_range 0 1_000_000) (int_range 1 512))
+    (fun (sector, n) ->
+      let _, _, disk = mk_disk () in
+      let a = Storage.Disk.service_time disk ~sector ~nsectors:n in
+      let b = Storage.Disk.service_time disk ~sector ~nsectors:(n + 8) in
+      b >= a)
+
+let vdisk_version_counts_writes =
+  QCheck.Test.make ~name:"vdisk: version equals number of writes" ~count:200
+    QCheck.(list (int_range 0 15))
+    (fun writes ->
+      let vd = Storage.Vdisk.create ~id:0 ~base_sector:0 ~nblocks:16 in
+      let counts = Array.make 16 0 in
+      List.iter
+        (fun b ->
+          counts.(b) <- counts.(b) + 1;
+          let v = Storage.Vdisk.write vd b (Storage.Content.Anon counts.(b)) in
+          if v <> counts.(b) then failwith "version mismatch")
+        writes;
+      Array.to_list counts
+      = List.init 16 (fun b -> Storage.Vdisk.version vd b))
+
+let tests =
+  [
+    ( "storage:geom+content",
+      [
+        Alcotest.test_case "geometry" `Quick geom_units;
+        Alcotest.test_case "content equality" `Quick content_equality;
+        Alcotest.test_case "fresh anon unique" `Quick content_fresh_unique;
+        Alcotest.test_case "combine deterministic" `Quick content_combine_deterministic;
+      ] );
+    ( "storage:vdisk",
+      [
+        Alcotest.test_case "pristine and write" `Quick vdisk_pristine_and_write;
+        Alcotest.test_case "bounds" `Quick vdisk_bounds;
+        qcheck vdisk_version_counts_writes;
+      ] );
+    ( "storage:disk",
+      [
+        Alcotest.test_case "seq vs random" `Quick disk_sequential_cheaper_than_random;
+        Alcotest.test_case "backward expensive" `Quick disk_backward_expensive;
+        Alcotest.test_case "forward skip" `Quick disk_forward_skip_cheap;
+        Alcotest.test_case "read ordering" `Quick disk_read_completion_ordering;
+        Alcotest.test_case "write ack" `Quick disk_write_acks_fast;
+        Alcotest.test_case "read from buffer" `Quick disk_read_served_from_write_buffer;
+        Alcotest.test_case "idle flush + merge" `Quick disk_flushes_when_idle;
+        Alcotest.test_case "rejects empty" `Quick disk_rejects_empty;
+        qcheck disk_service_monotone;
+      ] );
+    ( "storage:swap_area",
+      [
+        Alcotest.test_case "cluster sequential" `Quick swap_cluster_sequential;
+        Alcotest.test_case "cluster rounding" `Quick swap_cluster_rounding;
+        Alcotest.test_case "roundtrip" `Quick swap_roundtrip;
+        Alcotest.test_case "fragmentation fallback" `Quick swap_fragmentation_fallback;
+        Alcotest.test_case "free cluster reuse" `Quick swap_free_cluster_reuse;
+        qcheck swap_model;
+      ] );
+  ]

@@ -1,0 +1,30 @@
+(* Shared helpers for the test suites. *)
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  if nl = 0 then true
+  else begin
+    let found = ref false in
+    for i = 0 to hl - nl do
+      if (not !found) && String.sub haystack i nl = needle then found := true
+    done;
+    !found
+  end
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+(* Run an engine until it is quiet, with a safety bound. *)
+let drain engine =
+  let steps = ref 0 in
+  while Sim.Engine.step engine && !steps < 10_000_000 do
+    incr steps
+  done;
+  if !steps >= 10_000_000 then failwith "Test_util.drain: engine runaway"
+
+(* Run an engine until [p ()] holds or events run out; fails otherwise. *)
+let drain_until engine p =
+  let steps = ref 0 in
+  while (not (p ())) && Sim.Engine.step engine && !steps < 10_000_000 do
+    incr steps
+  done;
+  if not (p ()) then failwith "Test_util.drain_until: condition never held"

@@ -1,0 +1,127 @@
+(* Tests for the synthetic workload generators: they must produce the
+   right op mix and complete inside a small machine. *)
+
+let check = Alcotest.check
+module W = Vmm.Workload
+
+(* Run a workload on a small uncontended machine; returns (result, ops
+   observed indirectly via stats). *)
+let run_workload ?(mem_mb = 64) ?(vcpus = 2) ?(data_mb = 64) workload =
+  let guest =
+    { (Vmm.Config.default_guest ~workload) with mem_mb; data_mb; vcpus }
+  in
+  let cfg = { (Vmm.Config.default ~guests:[ guest ]) with host_mem_mb = 256 } in
+  Vmm.Machine.run (Vmm.Machine.build cfg)
+
+let finished result =
+  match result.Vmm.Machine.guests.(0).Vmm.Machine.runtime with
+  | Some rt -> rt
+  | None -> Alcotest.fail "workload did not finish"
+
+let sysbench_runs_and_marks () =
+  let iterations = ref [] in
+  let w =
+    Workloads.Sysbench.workload ~iterations:3
+      ~on_iteration:(fun i -> iterations := i :: !iterations)
+      ~file_mb:4 ()
+  in
+  let result = run_workload w in
+  ignore (finished result);
+  Alcotest.(check (list int)) "marks with leading start" [ -1; 0; 1; 2 ]
+    (List.rev !iterations);
+  (* 3 iterations of a 4MB file: roughly one read+compute per block. *)
+  Alcotest.(check bool) "did real reads" true
+    (result.Vmm.Machine.stats.Metrics.Stats.disk_ops > 0)
+
+let memhog_phases () =
+  let phases = ref [] in
+  let w =
+    Workloads.Memhog.workload ~read_first_mb:2 ~pattern:`Mixed
+      ~on_alloc_phase:(fun () -> phases := "alloc" :: !phases)
+      ~on_done:(fun () -> phases := "done" :: !phases)
+      ~mb:2 ()
+  in
+  ignore (finished (run_workload w));
+  Alcotest.(check (list string)) "phases in order" [ "alloc"; "done" ]
+    (List.rev !phases)
+
+let memhog_patterns_complete () =
+  List.iter
+    (fun pattern ->
+      let w = Workloads.Memhog.workload ~pattern ~mb:2 () in
+      ignore (finished (run_workload w)))
+    [ `Rep; `Memcpy; `Mixed ]
+
+let pbzip_completes_all_chunks () =
+  let w =
+    Workloads.Pbzip.workload ~threads:4 ~chunk_pages:32 ~compute_us_per_page:10
+      ~anon_mb_per_thread:1 ~queue_mb:1 ~input_mb:4 ()
+  in
+  let result = run_workload ~vcpus:4 w in
+  ignore (finished result);
+  (* All 1024 input blocks got read (through readahead batching). *)
+  Alcotest.(check bool) "read the input" true
+    (result.Vmm.Machine.stats.Metrics.Stats.disk_sectors_read
+    >= Storage.Geom.sectors_of_pages 1024)
+
+let kernbench_allocates_and_frees () =
+  let w =
+    Workloads.Kernbench.workload ~threads:2 ~units:20 ~tree_mb:8
+      ~job_anon_pages:16 ~compute_us:100 ()
+  in
+  let result = run_workload w in
+  ignore (finished result);
+  (* Object writes may still sit in the drive's write buffer when the
+     run ends; reads are the reliable witness of real activity. *)
+  Alcotest.(check bool) "did I/O" true
+    (result.Vmm.Machine.stats.Metrics.Stats.disk_ops > 0)
+
+let eclipse_gc_cycles () =
+  let w =
+    Workloads.Eclipse.workload ~heap_mb:4 ~classes_mb:2 ~iterations:6
+      ~touches_per_iter:50 ~gc_every:2 ~compute_us:10 ()
+  in
+  ignore (finished (run_workload w))
+
+let eclipse_with_overhead_and_bursts () =
+  let w =
+    Workloads.Eclipse.workload ~heap_mb:4 ~overhead_mb:4 ~classes_mb:2
+      ~burst_mb:2 ~iterations:6 ~touches_per_iter:50 ~gc_every:3
+      ~compute_us:10 ()
+  in
+  ignore (finished (run_workload w))
+
+let metis_map_and_reduce () =
+  let w =
+    Workloads.Metis.workload ~threads:2 ~table_mb:4 ~compute_us_per_block:10
+      ~writes_per_block:2 ~input_mb:2 ()
+  in
+  ignore (finished (run_workload w))
+
+let deterministic_across_runs () =
+  let run () =
+    let w =
+      Workloads.Eclipse.workload ~heap_mb:4 ~classes_mb:2 ~iterations:4
+        ~touches_per_iter:40 ~gc_every:2 ()
+    in
+    let r = run_workload w in
+    (finished r, r.Vmm.Machine.stats.Metrics.Stats.disk_ops)
+  in
+  let a = run () and b = run () in
+  check Alcotest.(pair int int) "bit-identical reruns" a b
+
+let tests =
+  [
+    ( "workloads:generators",
+      [
+        Alcotest.test_case "sysbench marks" `Quick sysbench_runs_and_marks;
+        Alcotest.test_case "memhog phases" `Quick memhog_phases;
+        Alcotest.test_case "memhog patterns" `Quick memhog_patterns_complete;
+        Alcotest.test_case "pbzip chunks" `Quick pbzip_completes_all_chunks;
+        Alcotest.test_case "kernbench jobs" `Quick kernbench_allocates_and_frees;
+        Alcotest.test_case "eclipse gc" `Quick eclipse_gc_cycles;
+        Alcotest.test_case "eclipse bursts" `Quick eclipse_with_overhead_and_bursts;
+        Alcotest.test_case "metis phases" `Quick metis_map_and_reduce;
+        Alcotest.test_case "determinism" `Quick deterministic_across_runs;
+      ] );
+  ]
