@@ -2,16 +2,24 @@
 
    Default mode regenerates every table and figure of the paper's
    evaluation section, printing the same rows/series the paper reports
-   (paper values alongside, for shape comparison):
+   (paper values alongside, for shape comparison).  Experiments fan out
+   across a domain pool; outputs are buffered and printed in registry
+   order, so the sweep reads identically at any parallelism:
 
-     dune exec bench/main.exe                   # full scale
+     dune exec bench/main.exe                   # full scale, all cores
+     VSWAPPER_JOBS=1 dune exec bench/main.exe   # serial reference
      VSWAPPER_BENCH_SCALE=0.25 dune exec bench/main.exe
      dune exec bench/main.exe -- fig9 fig10     # a subset
 
    `--micro` instead runs Bechamel microbenchmarks of the simulator's
    hot paths — one Test.make per experiment (a small-scale end-to-end
    run) plus the core data-structure operations — and prints their
-   measured costs. *)
+   measured costs.
+
+   `--json [FILE]` additionally writes a machine-readable summary
+   (per-experiment wall-clock, estimated speedup vs serial, micro ns/run)
+   to FILE, default `BENCH_<yyyy-mm-dd>.json`, so future changes have a
+   perf trajectory to compare against. *)
 
 let scale () =
   match Sys.getenv_opt "VSWAPPER_BENCH_SCALE" with
@@ -19,10 +27,73 @@ let scale () =
   | None -> 1.0
 
 (* ------------------------------------------------------------------ *)
+(* JSON output                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let today () =
+  let tm = Unix.localtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday
+
+type bench_record = {
+  mutable experiments : (string * float * bool) list;  (* id, wall_s, ok *)
+  mutable total_wall_s : float;
+  mutable micros : (string * float) list;  (* name, ns/run *)
+  jobs : int;
+}
+
+let write_json ~file ~scale r =
+  let oc = open_out file in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"date\": \"%s\",\n" (today ());
+  out "  \"scale\": %g,\n" scale;
+  out "  \"jobs\": %d,\n" r.jobs;
+  let serial_s =
+    List.fold_left (fun acc (_, s, _) -> acc +. s) 0.0 r.experiments
+  in
+  out "  \"total_wall_s\": %.3f,\n" r.total_wall_s;
+  out "  \"serial_equivalent_s\": %.3f,\n" serial_s;
+  out "  \"speedup_vs_serial\": %.3f,\n"
+    (if r.total_wall_s > 0.0 then serial_s /. r.total_wall_s else 1.0);
+  out "  \"experiments\": [";
+  List.iteri
+    (fun i (id, wall_s, ok) ->
+      out "%s\n    {\"id\": \"%s\", \"wall_s\": %.3f, \"ok\": %b}"
+        (if i = 0 then "" else ",")
+        (json_escape id) wall_s ok)
+    r.experiments;
+  out "\n  ],\n";
+  out "  \"micros\": [";
+  List.iteri
+    (fun i (name, ns) ->
+      out "%s\n    {\"name\": \"%s\", \"ns_per_run\": %.1f}"
+        (if i = 0 then "" else ",")
+        (json_escape name) ns)
+    r.micros;
+  out "\n  ]\n}\n";
+  close_out oc;
+  Printf.printf "[bench summary written to %s]\n%!" file
+
+(* ------------------------------------------------------------------ *)
 (* Experiment reproduction mode                                        *)
 (* ------------------------------------------------------------------ *)
 
-let run_experiments ids =
+let run_experiments ~record ids =
   let scale = scale () in
   let chosen =
     match ids with
@@ -39,17 +110,29 @@ let run_experiments ids =
           ids
   in
   Printf.printf
-    "VSwapper (ASPLOS'14) reproduction bench - scale %.2f, %d experiments\n\n"
-    scale (List.length chosen);
+    "VSwapper (ASPLOS'14) reproduction bench - scale %.2f, %d experiments, \
+     %d jobs\n\n\
+     %!"
+    scale (List.length chosen) record.jobs;
+  let t0 = Unix.gettimeofday () in
+  let outcomes =
+    Experiments.Registry.run_all ~jobs:record.jobs ~scale chosen
+  in
+  record.total_wall_s <- Unix.gettimeofday () -. t0;
   List.iter
-    (fun e ->
-      let t0 = Sys.time () in
-      let out = e.Experiments.Exp.run ~scale in
-      let dt = Sys.time () -. t0 in
-      print_endline out;
-      Printf.printf "[%s completed in %.1fs cpu time]\n\n%!"
-        e.Experiments.Exp.id dt)
-    chosen
+    (fun (o : Experiments.Registry.outcome) ->
+      let id = o.exp.Experiments.Exp.id in
+      (match o.output with
+      | Ok out ->
+          print_endline out;
+          Printf.printf "[%s completed in %.1fs wall]\n\n%!" id o.wall_s
+      | Error exn ->
+          Printf.printf "[%s FAILED after %.1fs: %s]\n\n%!" id o.wall_s
+            (Printexc.to_string exn));
+      record.experiments <-
+        record.experiments
+        @ [ (id, o.wall_s, match o.output with Ok _ -> true | Error _ -> false) ])
+    outcomes
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmark mode                                        *)
@@ -63,7 +146,7 @@ let engine_bench =
     (Staged.stage (fun () ->
          let e = Sim.Engine.create () in
          for i = 1 to 1000 do
-           ignore (Sim.Engine.schedule_at e (Sim.Time.us i) (fun () -> ()))
+           Sim.Engine.run_at e (Sim.Time.us i) (fun () -> ())
          done;
          Sim.Engine.run e))
 
@@ -120,7 +203,7 @@ let experiment_bench (e : Experiments.Exp.t) =
   Test.make ~name:("experiment: " ^ e.Experiments.Exp.id)
     (Staged.stage (fun () -> ignore (e.Experiments.Exp.run ~scale:0.06)))
 
-let run_micro () =
+let run_micro ~record () =
   let tests =
     [
       engine_bench; heap_bench; mapper_bench; preventer_bench;
@@ -149,13 +232,49 @@ let run_micro () =
       Hashtbl.iter
         (fun name est ->
           match Analyze.OLS.estimates est with
-          | Some [ v ] -> Printf.printf "%-52s %14.1f ns/run\n%!" name v
+          | Some [ v ] ->
+              record.micros <- record.micros @ [ (name, v) ];
+              Printf.printf "%-52s %14.1f ns/run\n%!" name v
           | Some _ | None -> Printf.printf "%-52s (no estimate)\n%!" name)
         analyzed)
     tests
 
+(* ------------------------------------------------------------------ *)
+(* Argument parsing                                                    *)
+(* ------------------------------------------------------------------ *)
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  match args with
-  | [ "--micro" ] -> run_micro ()
-  | ids -> run_experiments ids
+  let micro = ref false in
+  let json = ref None in
+  let ids = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--micro" :: rest ->
+        micro := true;
+        parse rest
+    | "--json" :: value :: rest
+      when String.length value > 0 && value.[0] <> '-'
+           && Experiments.Registry.find value = None ->
+        json := Some value;
+        parse rest
+    | "--json" :: rest ->
+        json := Some (Printf.sprintf "BENCH_%s.json" (today ()));
+        parse rest
+    | id :: rest ->
+        ids := !ids @ [ id ];
+        parse rest
+  in
+  parse args;
+  let record =
+    {
+      experiments = [];
+      total_wall_s = 0.0;
+      micros = [];
+      jobs = Parallel.Pool.default_jobs ();
+    }
+  in
+  if !micro then run_micro ~record () else run_experiments ~record !ids;
+  match !json with
+  | Some file -> write_json ~file ~scale:(scale ()) record
+  | None -> ()

@@ -64,13 +64,13 @@ let adjust t =
 let rec tick t () =
   if t.running then begin
     adjust t;
-    ignore (Sim.Engine.schedule_after t.engine t.policy.period (tick t))
+    (Sim.Engine.run_after t.engine t.policy.period (tick t))
   end
 
 let start t =
   if not t.running then begin
     t.running <- true;
-    ignore (Sim.Engine.schedule_after t.engine t.policy.period (tick t))
+    (Sim.Engine.run_after t.engine t.policy.period (tick t))
   end
 
 let stop t = t.running <- false

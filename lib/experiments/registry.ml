@@ -19,3 +19,22 @@ let all =
 
 let find id = List.find_opt (fun e -> e.Exp.id = id) all
 let ids () = List.map (fun e -> e.Exp.id) all
+
+type outcome = {
+  exp : Exp.t;
+  output : (string, exn) result;
+  wall_s : float;
+}
+
+let run_one ~scale (e : Exp.t) =
+  let t0 = Unix.gettimeofday () in
+  let output = try Ok (e.Exp.run ~scale) with exn -> Error exn in
+  { exp = e; output; wall_s = Unix.gettimeofday () -. t0 }
+
+let run_all ?jobs ~scale chosen =
+  (* Each experiment builds its own engine/RNG/disk and returns a buffered
+     string, so whole experiments fan out across domains; collecting with
+     [Pool.map] keeps the results in registry order, making the printed
+     sweep byte-identical to a serial run. *)
+  let results = Parallel.Pool.run ?jobs (run_one ~scale) chosen in
+  List.map (function Ok o -> o | Error e -> raise e) results

@@ -6,3 +6,21 @@ val all : Exp.t list
 val find : string -> Exp.t option
 
 val ids : unit -> string list
+
+(** Result of one experiment run: the rendered output block (or the
+    exception the experiment raised, captured per job) and its wall-clock
+    cost in seconds. *)
+type outcome = {
+  exp : Exp.t;
+  output : (string, exn) result;
+  wall_s : float;
+}
+
+(** [run_all ?jobs ~scale exps] runs the experiments, fanning them out
+    over a {!Parallel.Pool} of [jobs] domains ([Pool.default_jobs ()]
+    when omitted — the [VSWAPPER_JOBS] environment variable, else
+    [Domain.recommended_domain_count () - 1]).  Outcomes come back in the
+    order of [exps] regardless of completion order, and every experiment
+    is deterministic given its scale, so the rendered outputs are
+    byte-identical for any [jobs]. *)
+val run_all : ?jobs:int -> scale:float -> Exp.t list -> outcome list

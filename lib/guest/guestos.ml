@@ -105,7 +105,7 @@ let create ~engine ~host ~gid ~stats ~config =
 
 let gid t = t.gid
 let config t = t.cfg
-let after t cost_us k = ignore (Sim.Engine.schedule_after t.engine (Sim.Time.us cost_us) k)
+let after t cost_us k = (Sim.Engine.run_after t.engine (Sim.Time.us cost_us) k)
 
 let set_ref t gpa = Bytes.set t.referenced gpa '\001'
 let clear_ref t gpa = Bytes.set t.referenced gpa '\000'
@@ -749,7 +749,7 @@ let rec balloon_loop t () =
   end
 
 and schedule_balloon t =
-  ignore (Sim.Engine.schedule_after t.engine t.cfg.balloon_poll (balloon_loop t))
+  (Sim.Engine.run_after t.engine t.cfg.balloon_poll (balloon_loop t))
 
 (* Light periodic kernel activity: the guest kernel touches a few of its
    own pages (timers, daemons).  Under host pressure these generate
@@ -760,8 +760,7 @@ let rec kernel_activity t () =
     let touched = ref 0 in
     let rec touch_next () =
       if !touched >= 4 then
-        ignore
-          (Sim.Engine.schedule_after t.engine (Sim.Time.ms 100)
+        (Sim.Engine.run_after t.engine (Sim.Time.ms 100)
              (kernel_activity t))
       else begin
         incr touched;
@@ -779,8 +778,7 @@ let start_services t =
   if not t.services_started then begin
     t.services_started <- true;
     schedule_balloon t;
-    ignore
-      (Sim.Engine.schedule_after t.engine (Sim.Time.ms 100) (kernel_activity t))
+    (Sim.Engine.run_after t.engine (Sim.Time.ms 100) (kernel_activity t))
   end
 
 (* ------------------------------------------------------------------ *)

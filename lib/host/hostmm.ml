@@ -37,15 +37,26 @@ type t = {
   hv_base_sector : int;
   frames : Frames.t;
   guests : (int, guest) Hashtbl.t;
-  mutable guest_ids : int list;
-  slot_owner : (int, int * int) Hashtbl.t;  (* swap slot -> (guest, gpa) *)
-  (* (guest, gpa) -> continuations waiting for an in-flight fault *)
-  inflight : (int * int, (unit -> unit) list ref) Hashtbl.t;
+  mutable guest_ids : int array;  (* growable; first [nguests] are live *)
+  mutable nguests : int;
+  slot_owner : (int, int) Hashtbl.t;  (* swap slot -> packed (guest, gpa) *)
+  (* packed (guest, gpa) -> continuations waiting for an in-flight fault *)
+  inflight : (int, (unit -> unit) list ref) Hashtbl.t;
   mutable reclaim_toggle : bool;  (* fairness when named_preference is off *)
   mutable global_rr : int;  (* round-robin cursor for global reclaim *)
 }
 
 let page_sectors = Storage.Geom.sectors_per_page
+
+(* (guest, gpa) pairs are packed into one int so the per-fault hashtable
+   lookups ([slot_owner], [inflight]) hash and compare an immediate
+   instead of allocating a tuple per probe.  40 bits of gpa covers a
+   four-petabyte guest; gids are bounded by the guest table. *)
+let owner_gpa_bits = 40
+let owner_gpa_mask = (1 lsl owner_gpa_bits) - 1
+let owner_key ~gid ~gpa = (gid lsl owner_gpa_bits) lor gpa
+let owner_gid key = key lsr owner_gpa_bits
+let owner_gpa key = key land owner_gpa_mask
 
 (* Temporary debug hook: called with (gpa, slot) on each swap-out. *)
 let debug_evict_hook : (int -> int -> unit) ref = ref (fun _ _ -> ())
@@ -61,7 +72,8 @@ let create ~engine ~disk ~stats ~config ~vsconfig ~swap ~hv_base_sector =
     hv_base_sector;
     frames = Frames.create ~nframes:config.Hconfig.total_frames;
     guests = Hashtbl.create 16;
-    guest_ids = [];
+    guest_ids = Array.make 8 0;
+    nguests = 0;
     slot_owner = Hashtbl.create 4096;
     inflight = Hashtbl.create 64;
     reclaim_toggle = false;
@@ -87,7 +99,13 @@ let register_guest t ~vdisk ~gpa_pages ~resident_limit =
     }
   in
   Hashtbl.replace t.guests gid g;
-  t.guest_ids <- t.guest_ids @ [ gid ];
+  if t.nguests = Array.length t.guest_ids then begin
+    let bigger = Array.make (2 * t.nguests) 0 in
+    Array.blit t.guest_ids 0 bigger 0 t.nguests;
+    t.guest_ids <- bigger
+  end;
+  t.guest_ids.(t.nguests) <- gid;
+  t.nguests <- t.nguests + 1;
   gid
 
 let guest t gid =
@@ -97,8 +115,7 @@ let guest t gid =
 
 let set_resident_limit t gid limit = Cgroup.set_limit (guest t gid).cgroup limit
 
-let after t cost_us k =
-  ignore (Sim.Engine.schedule_after t.engine (Sim.Time.us cost_us) k)
+let after t cost_us k = Sim.Engine.run_after t.engine (Sim.Time.us cost_us) k
 
 (* [join t n k] returns a thunk to be invoked [n] times; [k] runs after
    the n-th call.  With [n = 0], [k] is scheduled immediately. *)
@@ -157,7 +174,8 @@ let evict_frame t frame =
          | Some slot ->
              (* Swap cache hit: an identical copy already sits in the
                 slot; drop the frame without any I/O. *)
-             assert (Hashtbl.find_opt t.slot_owner slot = Some (gid, gpa));
+             assert (
+               Hashtbl.find_opt t.slot_owner slot = Some (owner_key ~gid ~gpa));
              assert
                (Content.equal content (Storage.Swap_area.content t.swap slot));
              g.ept.(gpa) <- E_in_swap slot
@@ -166,7 +184,7 @@ let evict_frame t frame =
              | None -> failwith "Hostmm: host swap area full"
              | Some slot ->
                  !debug_evict_hook gpa slot;
-                 Hashtbl.replace t.slot_owner slot (gid, gpa);
+                 Hashtbl.replace t.slot_owner slot (owner_key ~gid ~gpa);
                  g.ept.(gpa) <- E_in_swap slot;
                  t.stats.host_swapouts <- t.stats.host_swapouts + 1;
                  t.stats.swap_sectors_written <-
@@ -277,24 +295,25 @@ let ensure_frames t g ~need =
     (* Global reclaim visits cgroups round-robin (like Linux walking
        memcgs), skipping the small ones, so pressure is shared instead of
        convoying on one victim. *)
-    let n = List.length t.guest_ids in
+    let n = t.nguests in
     let consecutive_failures = ref 0 in
     while Frames.nfree t.frames < goal && !consecutive_failures < max 1 n do
-      match List.nth_opt t.guest_ids (t.global_rr mod max 1 n) with
-      | None -> consecutive_failures := n
-      | Some gid ->
-          t.global_rr <- t.global_rr + 1;
-          let victim = guest t gid in
-          if Cgroup.resident victim.cgroup * n < t.config.total_frames / 4
-          then incr consecutive_failures
-          else begin
-            let freed, scanned =
-              shrink_cgroup t victim ~target:t.config.reclaim_batch
-            in
-            scanned_total := !scanned_total + scanned;
-            if freed = 0 then incr consecutive_failures
-            else consecutive_failures := 0
-          end
+      if n = 0 then consecutive_failures := 1
+      else begin
+        let gid = t.guest_ids.(t.global_rr mod n) in
+        t.global_rr <- t.global_rr + 1;
+        let victim = guest t gid in
+        if Cgroup.resident victim.cgroup * n < t.config.total_frames / 4 then
+          incr consecutive_failures
+        else begin
+          let freed, scanned =
+            shrink_cgroup t victim ~target:t.config.reclaim_batch
+          in
+          scanned_total := !scanned_total + scanned;
+          if freed = 0 then incr consecutive_failures
+          else consecutive_failures := 0
+        end
+      end
     done
   end;
   int_of_float
@@ -358,7 +377,7 @@ let discard_backing t g ~gpa =
       Frames.release t.frames frame
   | E_in_swap slot -> (
       match Hashtbl.find_opt t.slot_owner slot with
-      | Some (gg, pp) when gg = g.gid && pp = gpa ->
+      | Some key when key = owner_key ~gid:g.gid ~gpa ->
           Hashtbl.remove t.slot_owner slot;
           Storage.Swap_area.free t.swap slot
       | Some _ | None -> ())
@@ -408,9 +427,10 @@ let count_fault t ~host_context =
   else t.stats.guest_context_faults <- t.stats.guest_context_faults + 1
 
 (* Install an anonymous page read back from swap slot [slot], if the
-   world still looks like it did at submission time. *)
+   world still looks like it did at submission time.  [owner] is a packed
+   (guest, gpa) key. *)
 let install_from_swap t ~slot ~owner ~target =
-  let gid, gpa = owner in
+  let gid = owner_gid owner and gpa = owner_gpa owner in
   let g = guest t gid in
   let still_valid =
     Storage.Swap_area.is_allocated t.swap slot
@@ -471,18 +491,19 @@ let rec fault_in t g ~gpa ~host_context k =
       in
       after t (t.config.minor_fault_us + cost) k
   | E_in_swap _ | E_in_image _ -> (
-      match Hashtbl.find_opt t.inflight (g.gid, gpa) with
+      let key = owner_key ~gid:g.gid ~gpa in
+      match Hashtbl.find_opt t.inflight key with
       | Some waiters ->
           (* Piggyback: when the in-flight read lands, try again (the
              retry will hit the fast path if the install succeeded). *)
           waiters := (fun () -> fault_in t g ~gpa ~host_context k) :: !waiters
       | None ->
           let waiters = ref [] in
-          Hashtbl.replace t.inflight (g.gid, gpa) waiters;
+          Hashtbl.replace t.inflight key waiters;
           (* Handling a major fault runs hypervisor code. *)
           let hv_cost = hv_touch t g t.config.hv_touch_per_fault in
           let finish0 () =
-            Hashtbl.remove t.inflight (g.gid, gpa);
+            Hashtbl.remove t.inflight key;
             let ws = !waiters in
             waiters := [];
             (match g.ept.(gpa) with
@@ -513,8 +534,8 @@ and swapin_cluster t g ~gpa ~slot ~host_context k =
   for s = s_end - 1 downto s0 do
     if s <> slot then
       match Hashtbl.find_opt t.slot_owner s with
-      | Some ((gg, pp) as owner) when not (Hashtbl.mem t.inflight owner) -> (
-          match (guest t gg).ept.(pp) with
+      | Some owner when not (Hashtbl.mem t.inflight owner) -> (
+          match (guest t (owner_gid owner)).ept.(owner_gpa owner) with
           | E_in_swap s' when s' = s -> neighbours := (s, owner) :: !neighbours
           | _ -> ())
       | Some _ | None -> ()
@@ -543,7 +564,7 @@ and swapin_cluster t g ~gpa ~slot ~host_context k =
     t.stats.swap_sectors_read + (List.length slots * page_sectors);
   Storage.Disk.submit t.disk ~sector ~nsectors ~kind:Storage.Disk.Read
     (fun () ->
-      install_from_swap t ~slot ~owner:(g.gid, gpa) ~target:true;
+      install_from_swap t ~slot ~owner:(owner_key ~gid:g.gid ~gpa) ~target:true;
       List.iter
         (fun (s, owner, ws) ->
           install_from_swap t ~slot:s ~owner ~target:false;
@@ -573,10 +594,12 @@ and refetch_image t g ~gpa ~block ~host_context k =
           if p <> gpa && !headroom > 0 then
             match g.ept.(p) with
             | E_in_image bb
-              when bb = b && not (Hashtbl.mem t.inflight (g.gid, p)) ->
+              when bb = b
+                   && not (Hashtbl.mem t.inflight (owner_key ~gid:g.gid ~gpa:p))
+              ->
                 decr headroom;
                 let ws = ref [] in
-                Hashtbl.replace t.inflight (g.gid, p) ws;
+                Hashtbl.replace t.inflight (owner_key ~gid:g.gid ~gpa:p) ws;
                 installs := (b, p, ws) :: !installs
             | _ -> ())
         gpas)
@@ -593,7 +616,7 @@ and refetch_image t g ~gpa ~block ~host_context k =
       List.iter
         (fun (b, p, ws) ->
           install_from_image t g ~gpa:p ~block:b ~target:false;
-          Hashtbl.remove t.inflight (g.gid, p);
+          Hashtbl.remove t.inflight (owner_key ~gid:g.gid ~gpa:p);
           let waiters = !ws in
           ws := [];
           List.iter (fun w -> w ()) waiters)
@@ -1140,7 +1163,10 @@ let check_invariants t =
               | Some slot ->
                   if not (Storage.Swap_area.is_allocated t.swap slot) then
                     fail "guest %d gpa %d: backing slot %d free" gid gpa slot;
-                  if Hashtbl.find_opt t.slot_owner slot <> Some (gid, gpa) then
+                  if
+                    Hashtbl.find_opt t.slot_owner slot
+                    <> Some (owner_key ~gid ~gpa)
+                  then
                     fail "guest %d gpa %d: backing slot %d owner" gid gpa slot;
                   if
                     not
@@ -1164,7 +1190,9 @@ let check_invariants t =
           | E_in_swap slot ->
               if not (Storage.Swap_area.is_allocated t.swap slot) then
                 fail "guest %d gpa %d: swap slot %d not allocated" gid gpa slot;
-              if Hashtbl.find_opt t.slot_owner slot <> Some (gid, gpa) then
+              if
+                Hashtbl.find_opt t.slot_owner slot <> Some (owner_key ~gid ~gpa)
+              then
                 fail "guest %d gpa %d: swap slot %d owner mismatch" gid gpa slot
           | E_in_image block -> (
               match Mapper.lookup g.mapper ~gpa with

@@ -1,100 +1,109 @@
+(* Sentinel-node representation: every list owns one circular sentinel,
+   and a node's [prev]/[next] always point at a node (never an option), so
+   insert/remove/move allocate nothing and branch on nothing.  A detached
+   node self-loops.  Membership is tracked by an unboxed [owner_id]
+   (0 = detached); list ids are drawn from an atomic counter so lists can
+   be created from any domain. *)
+
 type 'a node = {
   value : 'a;
-  mutable prev : 'a node option;
-  mutable next : 'a node option;
-  mutable owner : 'a t option;
+  mutable prev : 'a node;
+  mutable next : 'a node;
+  mutable owner_id : int;  (* 0 when detached, else the owning list's id *)
 }
 
-and 'a t = {
-  mutable front : 'a node option;
-  mutable back : 'a node option;
-  mutable length : int;
-  id : int;  (* distinguishes lists for membership checks *)
-}
+type 'a t = { sentinel : 'a node; mutable length : int; id : int }
 
-let next_id = ref 0
+let next_id = Atomic.make 1
+
+let node value =
+  let rec n = { value; prev = n; next = n; owner_id = 0 } in
+  n
 
 let create () =
-  incr next_id;
-  { front = None; back = None; length = 0; id = !next_id }
+  let id = Atomic.fetch_and_add next_id 1 in
+  (* The sentinel's value is never exposed: it is an immediate dummy, and
+     every accessor below checks emptiness (or walks back to the sentinel)
+     before touching [value]. *)
+  let rec s = { value = Obj.magic 0; prev = s; next = s; owner_id = 0 } in
+  { sentinel = s; length = 0; id }
 
-let node value = { value; prev = None; next = None; owner = None }
 let value n = n.value
-let in_some_list n = n.owner <> None
-
-let same_list a b = a.id = b.id
-
-let mem t n =
-  match n.owner with Some o -> same_list o t | None -> false
+let in_some_list n = n.owner_id <> 0
+let mem t n = n.owner_id = t.id
 
 let check_detached n =
-  if n.owner <> None then invalid_arg "Lru: node already in a list"
+  if n.owner_id <> 0 then invalid_arg "Lru: node already in a list"
 
 let check_member t n =
-  match n.owner with
-  | Some o when same_list o t -> ()
-  | Some _ -> invalid_arg "Lru: node belongs to another list"
-  | None -> invalid_arg "Lru: node not in any list"
+  if n.owner_id <> t.id then
+    if n.owner_id = 0 then invalid_arg "Lru: node not in any list"
+    else invalid_arg "Lru: node belongs to another list"
+
+let link_front t n =
+  let s = t.sentinel in
+  n.prev <- s;
+  n.next <- s.next;
+  s.next.prev <- n;
+  s.next <- n
 
 let push_front t n =
   check_detached n;
-  n.owner <- Some t;
-  n.prev <- None;
-  n.next <- t.front;
-  (match t.front with
-  | Some f -> f.prev <- Some n
-  | None -> t.back <- Some n);
-  t.front <- Some n;
+  n.owner_id <- t.id;
+  link_front t n;
   t.length <- t.length + 1
 
 let push_back t n =
   check_detached n;
-  n.owner <- Some t;
-  n.next <- None;
-  n.prev <- t.back;
-  (match t.back with
-  | Some b -> b.next <- Some n
-  | None -> t.front <- Some n);
-  t.back <- Some n;
+  n.owner_id <- t.id;
+  let s = t.sentinel in
+  n.next <- s;
+  n.prev <- s.prev;
+  s.prev.next <- n;
+  s.prev <- n;
   t.length <- t.length + 1
+
+let unlink n =
+  n.prev.next <- n.next;
+  n.next.prev <- n.prev;
+  n.prev <- n;
+  n.next <- n
 
 let remove t n =
   check_member t n;
-  (match n.prev with
-  | Some p -> p.next <- n.next
-  | None -> t.front <- n.next);
-  (match n.next with
-  | Some s -> s.prev <- n.prev
-  | None -> t.back <- n.prev);
-  n.prev <- None;
-  n.next <- None;
-  n.owner <- None;
+  unlink n;
+  n.owner_id <- 0;
   t.length <- t.length - 1
 
 let move_front t n =
-  remove t n;
-  push_front t n
+  check_member t n;
+  unlink n;
+  link_front t n
 
 let pop_back t =
-  match t.back with
-  | None -> None
-  | Some n ->
-      remove t n;
-      Some n
+  if t.length = 0 then None
+  else begin
+    let n = t.sentinel.prev in
+    unlink n;
+    n.owner_id <- 0;
+    t.length <- t.length - 1;
+    Some n
+  end
 
-let peek_back t = t.back
+let peek_back t = if t.length = 0 then None else Some t.sentinel.prev
 let length t = t.length
 let is_empty t = t.length = 0
 
 let iter t f =
-  let rec go = function
-    | None -> ()
-    | Some n ->
-        let next = n.next in
-        f n.value;
-        go next
+  let s = t.sentinel in
+  let rec go n =
+    if n != s then begin
+      let next = n.next in
+      f n.value;
+      go next
+    end
   in
-  go t.front
+  go s.next
 
 let to_list t =
   let acc = ref [] in

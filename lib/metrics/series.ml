@@ -14,14 +14,14 @@ let rec tick t () =
         let cell = Hashtbl.find t.samples name in
         cell := (now, fn ()) :: !cell)
       t.probes;
-    ignore (Sim.Engine.schedule_after t.engine t.period (tick t))
+    (Sim.Engine.run_after t.engine t.period (tick t))
   end
 
 let create ~engine ~period probes =
   let samples = Hashtbl.create 8 in
   List.iter (fun (name, _) -> Hashtbl.replace samples name (ref [])) probes;
   let t = { engine; period; probes; samples; stopped = false } in
-  ignore (Sim.Engine.schedule_after engine period (tick t));
+  (Sim.Engine.run_after engine period (tick t));
   t
 
 let stop t = t.stopped <- true

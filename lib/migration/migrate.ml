@@ -101,8 +101,7 @@ let migrate ~machine ~guest link strategy k =
       let fire =
         Sim.Time.max finish_at (Sim.Engine.now engine)
       in
-      ignore
-        (Sim.Engine.schedule_at engine fire (fun () ->
+      (Sim.Engine.run_at engine fire (fun () ->
              k
                {
                  duration = Sim.Time.sub (Sim.Engine.now engine) started;

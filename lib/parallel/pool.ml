@@ -1,0 +1,120 @@
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  tasks : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* The OCaml runtime supports at most 128 simultaneous domains; stay
+   comfortably below, counting the submitting domain. *)
+let max_jobs = 126
+
+let clamp_jobs j = max 1 (min max_jobs j)
+
+let default_jobs () =
+  let fallback () = clamp_jobs (Domain.recommended_domain_count () - 1) in
+  match Sys.getenv_opt "VSWAPPER_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> clamp_jobs n
+      | Some _ | None -> fallback ())
+  | None -> fallback ()
+
+(* Worker loop: block for work, run it, repeat until closed and drained.
+   Tasks never raise — [map] wraps each job in its own exception capture —
+   so a worker only exits via [shutdown]. *)
+let rec worker t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.tasks && not t.closed do
+    Condition.wait t.nonempty t.mutex
+  done;
+  if Queue.is_empty t.tasks then Mutex.unlock t.mutex (* closed *)
+  else begin
+    let task = Queue.pop t.tasks in
+    Mutex.unlock t.mutex;
+    task ();
+    worker t
+  end
+
+let create ?jobs () =
+  let jobs =
+    match jobs with Some j -> clamp_jobs j | None -> default_jobs ()
+  in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      tasks = Queue.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  if jobs > 1 then
+    t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let jobs t = t.jobs
+
+let map t f xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let results = Array.make n None in
+  if t.jobs <= 1 || n <= 1 then
+    (* Serial reference path: same code the workers run, same order the
+       results come back in. *)
+    Array.iteri
+      (fun i x -> results.(i) <- Some (try Ok (f x) with e -> Error e))
+      arr
+  else begin
+    let done_mutex = Mutex.create () in
+    let done_cond = Condition.create () in
+    let remaining = ref n in
+    Mutex.lock t.mutex;
+    Array.iteri
+      (fun i x ->
+        Queue.add
+          (fun () ->
+            let r = try Ok (f x) with e -> Error e in
+            Mutex.lock done_mutex;
+            results.(i) <- Some r;
+            decr remaining;
+            if !remaining = 0 then Condition.signal done_cond;
+            Mutex.unlock done_mutex)
+          t.tasks)
+      arr;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    (* The submitting domain works too, then waits for the stragglers. *)
+    let rec drain () =
+      Mutex.lock t.mutex;
+      if Queue.is_empty t.tasks then Mutex.unlock t.mutex
+      else begin
+        let task = Queue.pop t.tasks in
+        Mutex.unlock t.mutex;
+        task ();
+        drain ()
+      end
+    in
+    drain ();
+    Mutex.lock done_mutex;
+    while !remaining > 0 do
+      Condition.wait done_cond done_mutex
+    done;
+    Mutex.unlock done_mutex
+  end;
+  Array.to_list (Array.map Option.get results)
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let run ?jobs f xs =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> map t f xs)

@@ -1,0 +1,41 @@
+(** Fixed-size pool of OCaml 5 domains with a shared work queue.
+
+    The pool is built for fan-out over independent jobs — each bench
+    experiment owns its engine, RNG and disk, so whole experiments can run
+    on separate domains.  Results always come back in submission order and
+    per-job exceptions are captured rather than tearing down the pool, so
+    a parallel sweep is observably identical to the serial one (modulo
+    wall-clock).
+
+    Jobs must not themselves call {!map} on the same pool (workers do not
+    steal, so nested submissions can deadlock once all workers block). *)
+
+type t
+
+(** [default_jobs ()] is the pool width used when [?jobs] is omitted: the
+    [VSWAPPER_JOBS] environment variable if set to a positive integer,
+    otherwise [Domain.recommended_domain_count () - 1], floored at 1. *)
+val default_jobs : unit -> int
+
+(** [create ?jobs ()] spawns [jobs - 1] worker domains ([jobs] counts the
+    submitting domain, which also executes work during {!map}).  With
+    [jobs <= 1] no domains are spawned and [map] degenerates to an inline
+    serial loop — bit-identical to running the jobs by hand. *)
+val create : ?jobs:int -> unit -> t
+
+(** [jobs t] is the effective parallelism (clamped to [1 .. 126]). *)
+val jobs : t -> int
+
+(** [map t f xs] applies [f] to every element of [xs], fanning the calls
+    out across the pool, and returns the results in the order of [xs].
+    An exception raised by [f x] is captured as [Error exn] for that
+    element only; other jobs are unaffected. *)
+val map : t -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+
+(** [shutdown t] drains nothing (no jobs may be in flight), stops the
+    workers and joins their domains.  The pool is unusable afterwards.
+    Idempotent. *)
+val shutdown : t -> unit
+
+(** [run ?jobs f xs] is [create ?jobs ()], {!map}, {!shutdown}. *)
+val run : ?jobs:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list

@@ -1,25 +1,65 @@
-type event = { mutable cancelled : bool; fn : unit -> unit }
+type event = {
+  mutable cancelled : bool;
+  mutable fn : unit -> unit;
+  recyclable : bool;
+      (* [run_at]/[run_after] events: no handle escapes, so the record can
+         go back on the freelist the moment it fires. *)
+  mutable next_free : event;  (* freelist link; self-loop terminates *)
+}
+
+(* Freelist terminator.  Shared across engines (and domains) but never
+   mutated: [next_free] of a live record always points into its own
+   engine's list or at [nil]. *)
+let nil =
+  let rec e = { cancelled = false; fn = ignore; recyclable = false; next_free = e } in
+  e
 
 type t = {
   mutable clock : Time.t;
   queue : event Heap.t;
   mutable live : int;
+  mutable free : event;  (* head of the recycled-record freelist *)
 }
 
-let create () = { clock = Time.zero; queue = Heap.create (); live = 0 }
+let create () = { clock = Time.zero; queue = Heap.create (); live = 0; free = nil }
 let now t = t.clock
 
-let schedule_at t time fn =
+let check_not_past t time =
   if Time.compare time t.clock < 0 then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: %d is in the past (now=%d)"
-         (Time.to_us time) (Time.to_us t.clock));
-  let ev = { cancelled = false; fn } in
+         (Time.to_us time) (Time.to_us t.clock))
+
+let schedule_at t time fn =
+  check_not_past t time;
+  let ev = { cancelled = false; fn; recyclable = false; next_free = nil } in
   Heap.add t.queue ~priority:(Time.to_us time) ev;
   t.live <- t.live + 1;
   ev
 
 let schedule_after t delay fn = schedule_at t (Time.add t.clock delay) fn
+
+let run_at t time fn =
+  check_not_past t time;
+  let ev =
+    if t.free != nil then begin
+      let e = t.free in
+      t.free <- e.next_free;
+      e.next_free <- nil;
+      e.fn <- fn;
+      e
+    end
+    else { cancelled = false; fn; recyclable = true; next_free = nil }
+  in
+  Heap.add t.queue ~priority:(Time.to_us time) ev;
+  t.live <- t.live + 1
+
+let run_after t delay fn = run_at t (Time.add t.clock delay) fn
+
+let release t ev =
+  ev.fn <- ignore;  (* drop the closure so the freelist retains nothing *)
+  ev.next_free <- t.free;
+  t.free <- ev
 
 let cancel t ev =
   if not ev.cancelled then begin
@@ -30,28 +70,40 @@ let cancel t ev =
 let pending t = t.live
 
 let rec step t =
-  match Heap.pop_min t.queue with
-  | None -> false
-  | Some (time, ev) ->
-      if ev.cancelled then step t
-      else begin
-        t.clock <- time;
-        t.live <- t.live - 1;
-        ev.fn ();
-        true
-      end
+  if Heap.is_empty t.queue then false
+  else begin
+    let time = Heap.top_priority t.queue in
+    let ev = Heap.top t.queue in
+    Heap.drop_min t.queue;
+    if ev.cancelled then step t
+    else begin
+      t.clock <- time;
+      t.live <- t.live - 1;
+      let fn = ev.fn in
+      (* Recycle before firing: the callback may schedule and can reuse
+         this very record.  Only handle-less events are recyclable, so
+         no stale [cancel] can reach a reused record. *)
+      if ev.recyclable then release t ev;
+      fn ();
+      true
+    end
+  end
 
 let run t = while step t do () done
 
 let rec run_until t limit =
-  match Heap.peek_min t.queue with
-  | None -> false
-  | Some (_, ev) when ev.cancelled ->
-      ignore (Heap.pop_min t.queue);
+  if Heap.is_empty t.queue then false
+  else begin
+    let ev = Heap.top t.queue in
+    if ev.cancelled then begin
+      Heap.drop_min t.queue;
+      if ev.recyclable then release t ev;
       run_until t limit
-  | Some (time, _) ->
-      if time > Time.to_us limit then true
-      else begin
-        ignore (step t);
-        run_until t limit
-      end
+    end
+    else if Time.compare (Time.us (Heap.top_priority t.queue)) limit > 0 then
+      true
+    else begin
+      ignore (step t);
+      run_until t limit
+    end
+  end

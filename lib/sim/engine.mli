@@ -23,6 +23,15 @@ val schedule_at : t -> Time.t -> (unit -> unit) -> event
 (** [schedule_after t delay fn] runs [fn] [delay] microseconds from now. *)
 val schedule_after : t -> Time.t -> (unit -> unit) -> event
 
+(** [run_at t time fn] is [schedule_at] without a handle: the event cannot
+    be cancelled, which lets the engine recycle its record through an
+    internal freelist instead of allocating one per event.  Prefer this on
+    hot paths that would [ignore] the handle anyway. *)
+val run_at : t -> Time.t -> (unit -> unit) -> unit
+
+(** [run_after t delay fn] is [schedule_after] without a handle. *)
+val run_after : t -> Time.t -> (unit -> unit) -> unit
+
 (** [cancel t ev] prevents a pending event from firing.  Cancelling an
     already-fired or already-cancelled event is a no-op. *)
 val cancel : t -> event -> unit

@@ -1,33 +1,62 @@
-type 'a entry = { priority : int; seq : int; value : 'a }
+(* Parallel-array layout: priorities and sequence numbers live in plain
+   [int array]s (no per-element box, no option), values in a companion
+   array.  The value array is seeded with an immediate dummy, so it is
+   always a generic (never flat-float) array and the polymorphic accesses
+   below stay representation-safe even at ['a = float]. *)
 
 type 'a t = {
-  mutable data : 'a entry option array;
+  mutable prio : int array;
+  mutable seq : int array;
+  mutable vals : 'a array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { data = Array.make 64 None; size = 0; next_seq = 0 }
+let dummy : unit -> 'a = fun () -> Obj.magic 0
 
-let entry_exn = function
-  | Some e -> e
-  | None -> assert false
+let create () =
+  {
+    prio = Array.make 64 0;
+    seq = Array.make 64 0;
+    vals = Array.make 64 (dummy ());
+    size = 0;
+    next_seq = 0;
+  }
 
-(* [lt a b] orders first by priority, then by insertion sequence. *)
-let lt a b =
-  a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)
+(* [lt t i j] orders slot [i] before slot [j]: first by priority, then by
+   insertion sequence (stability). *)
+let lt t i j =
+  let pi = t.prio.(i) and pj = t.prio.(j) in
+  pi < pj || (pi = pj && t.seq.(i) < t.seq.(j))
+
+let swap t i j =
+  let p = t.prio.(i) in
+  t.prio.(i) <- t.prio.(j);
+  t.prio.(j) <- p;
+  let s = t.seq.(i) in
+  t.seq.(i) <- t.seq.(j);
+  t.seq.(j) <- s;
+  let v = t.vals.(i) in
+  t.vals.(i) <- t.vals.(j);
+  t.vals.(j) <- v
 
 let grow t =
-  let data = Array.make (2 * Array.length t.data) None in
-  Array.blit t.data 0 data 0 t.size;
-  t.data <- data
+  let cap = 2 * Array.length t.prio in
+  let prio = Array.make cap 0 in
+  Array.blit t.prio 0 prio 0 t.size;
+  t.prio <- prio;
+  let seq = Array.make cap 0 in
+  Array.blit t.seq 0 seq 0 t.size;
+  t.seq <- seq;
+  let vals = Array.make cap (dummy ()) in
+  Array.blit t.vals 0 vals 0 t.size;
+  t.vals <- vals
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    let ei = entry_exn t.data.(i) and ep = entry_exn t.data.(parent) in
-    if lt ei ep then begin
-      t.data.(i) <- Some ep;
-      t.data.(parent) <- Some ei;
+    if lt t i parent then begin
+      swap t i parent;
       sift_up t parent
     end
   end
@@ -35,45 +64,53 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.size && lt (entry_exn t.data.(l)) (entry_exn t.data.(!smallest)) then
-    smallest := l;
-  if r < t.size && lt (entry_exn t.data.(r)) (entry_exn t.data.(!smallest)) then
-    smallest := r;
+  if l < t.size && lt t l !smallest then smallest := l;
+  if r < t.size && lt t r !smallest then smallest := r;
   if !smallest <> i then begin
-    let tmp = t.data.(i) in
-    t.data.(i) <- t.data.(!smallest);
-    t.data.(!smallest) <- tmp;
+    swap t i !smallest;
     sift_down t !smallest
   end
 
 let add t ~priority value =
-  if t.size = Array.length t.data then grow t;
-  let e = { priority; seq = t.next_seq; value } in
+  if t.size = Array.length t.prio then grow t;
+  let i = t.size in
+  t.prio.(i) <- priority;
+  t.seq.(i) <- t.next_seq;
+  t.vals.(i) <- value;
   t.next_seq <- t.next_seq + 1;
-  t.data.(t.size) <- Some e;
-  t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  t.size <- i + 1;
+  sift_up t i
+
+let top_priority t =
+  if t.size = 0 then invalid_arg "Heap.top_priority: empty heap";
+  t.prio.(0)
+
+let top t =
+  if t.size = 0 then invalid_arg "Heap.top: empty heap";
+  t.vals.(0)
+
+let drop_min t =
+  if t.size = 0 then invalid_arg "Heap.drop_min: empty heap";
+  let last = t.size - 1 in
+  t.size <- last;
+  t.prio.(0) <- t.prio.(last);
+  t.seq.(0) <- t.seq.(last);
+  t.vals.(0) <- t.vals.(last);
+  t.vals.(last) <- dummy ();
+  if last > 0 then sift_down t 0
 
 let pop_min t =
   if t.size = 0 then None
   else begin
-    let e = entry_exn t.data.(0) in
-    t.size <- t.size - 1;
-    t.data.(0) <- t.data.(t.size);
-    t.data.(t.size) <- None;
-    if t.size > 0 then sift_down t 0;
-    Some (e.priority, e.value)
+    let p = t.prio.(0) and v = t.vals.(0) in
+    drop_min t;
+    Some (p, v)
   end
 
-let peek_min t =
-  if t.size = 0 then None
-  else
-    let e = entry_exn t.data.(0) in
-    Some (e.priority, e.value)
-
+let peek_min t = if t.size = 0 then None else Some (t.prio.(0), t.vals.(0))
 let length t = t.size
 let is_empty t = t.size = 0
 
 let clear t =
-  Array.fill t.data 0 t.size None;
+  Array.fill t.vals 0 t.size (dummy ());
   t.size <- 0

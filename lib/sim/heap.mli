@@ -18,6 +18,19 @@ val pop_min : 'a t -> (int * 'a) option
 (** [peek_min t] returns the minimum without removing it. O(1). *)
 val peek_min : 'a t -> (int * 'a) option
 
+(** Allocation-free access to the minimum, for hot loops that would
+    otherwise box an option and a tuple per event.  All three raise
+    [Invalid_argument] on an empty heap. *)
+
+(** [top_priority t] is the priority of the minimum. O(1). *)
+val top_priority : 'a t -> int
+
+(** [top t] is the minimum element. O(1). *)
+val top : 'a t -> 'a
+
+(** [drop_min t] removes the minimum without returning it. O(log n). *)
+val drop_min : 'a t -> unit
+
 val length : 'a t -> int
 val is_empty : 'a t -> bool
 val clear : 'a t -> unit

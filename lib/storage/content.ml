@@ -11,15 +11,14 @@ let equal a b =
       a.disk = b.disk && a.block = b.block && a.version = b.version
   | (Zero | Anon _ | Block _), _ -> false
 
-let anon_counter = ref 0
+(* Atomic so that simulations running on different domains (the parallel
+   bench runner) still draw globally unique generations: behaviour depends
+   only on generation (in)equality, and a cross-domain duplicate would
+   make two unrelated writes spuriously equal. *)
+let anon_counter = Atomic.make 0
 
-let fresh_anon () =
-  incr anon_counter;
-  Anon !anon_counter
-
-let fresh_gen () =
-  incr anon_counter;
-  !anon_counter
+let fresh_anon () = Anon (Atomic.fetch_and_add anon_counter 1 + 1)
+let fresh_gen () = Atomic.fetch_and_add anon_counter 1 + 1
 
 let combine base gen =
   let base_key =
@@ -30,7 +29,7 @@ let combine base gen =
   in
   Anon (Hashtbl.hash (base_key, gen))
 
-let reset_anon_counter () = anon_counter := 0
+let reset_anon_counter () = Atomic.set anon_counter 0
 
 let pp fmt = function
   | Zero -> Format.pp_print_string fmt "zero"

@@ -177,14 +177,13 @@ and flush_chunk t =
       account_flush t ~sector nsectors;
       let dt = service_time t ~sector ~nsectors in
       t.head <- sector + nsectors;
-      ignore (Sim.Engine.schedule_after t.engine dt (fun () -> start_next t))
+      (Sim.Engine.run_after t.engine dt (fun () -> start_next t))
 
 and arm_idle_timer t =
   t.in_service <- false;
   if not t.idle_timer_armed then begin
     t.idle_timer_armed <- true;
-    ignore
-      (Sim.Engine.schedule_after t.engine
+    (Sim.Engine.run_after t.engine
          (Sim.Time.us t.config.idle_flush_delay_us)
          (fun () ->
            t.idle_timer_armed <- false;
@@ -198,8 +197,7 @@ and serve_read t =
   t.in_service <- true;
   if covered_by_buffer t req.sector req.nsectors then
     (* Served from the write buffer at RAM speed. *)
-    ignore
-      (Sim.Engine.schedule_after t.engine
+    (Sim.Engine.run_after t.engine
          (Sim.Time.us t.config.write_ack_us)
          (fun () ->
            req.completion ();
@@ -208,8 +206,7 @@ and serve_read t =
     account_read t ~sector:req.sector req.nsectors;
     let dt = service_time t ~sector:req.sector ~nsectors:req.nsectors in
     t.head <- req.sector + req.nsectors;
-    ignore
-      (Sim.Engine.schedule_after t.engine dt (fun () ->
+    (Sim.Engine.run_after t.engine dt (fun () ->
            req.completion ();
            start_next t))
   end
@@ -222,8 +219,7 @@ let submit t ~sector ~nsectors ~kind completion =
       if not t.in_service then start_next t
   | Write ->
       add_write_run t sector nsectors;
-      ignore
-        (Sim.Engine.schedule_after t.engine
+      (Sim.Engine.run_after t.engine
            (Sim.Time.us t.config.write_ack_us)
            completion);
       if not t.in_service then start_next t

@@ -152,8 +152,7 @@ and run_thread t g th =
         run_thread t g th
     | Some (Workload.Compute us) ->
         (* Compute holds the VCPU and continues the same thread. *)
-        ignore
-          (Sim.Engine.schedule_after t.engine (Sim.Time.us us) (fun () ->
+        (Sim.Engine.run_after t.engine (Sim.Time.us us) (fun () ->
                run_thread t g th))
     | Some op ->
         (* I/O-ish operations release the VCPU while waiting, giving the
@@ -212,8 +211,7 @@ let open_epoch t =
     (match t.manager with Some m -> Balloon.Manager.start m | None -> ());
     Array.iter
       (fun g ->
-        ignore
-          (Sim.Engine.schedule_at t.engine
+        (Sim.Engine.run_at t.engine
              (Sim.Time.add now g.spec.start_after)
              (start_workload t g)))
       t.gruns
@@ -224,8 +222,7 @@ let open_epoch t =
    never dirties memory beyond its allowance) -> disk settle -> ready. *)
 let rec wait_settled t g () =
   if Storage.Disk.queue_depth t.disk > 0 then
-    ignore
-      (Sim.Engine.schedule_after t.engine (Sim.Time.ms 50) (wait_settled t g))
+    (Sim.Engine.run_after t.engine (Sim.Time.ms 50) (wait_settled t g))
   else begin
     g.ready_for_epoch <- true;
     open_epoch t
@@ -237,7 +234,7 @@ let rec wait_balloon t g k () =
     Guestos.balloon_size os < Guestos.balloon_target os
     && not (Guestos.oomed os)
   then
-    ignore (Sim.Engine.schedule_after t.engine (Sim.Time.ms 50) (wait_balloon t g k))
+    (Sim.Engine.run_after t.engine (Sim.Time.ms 50) (wait_balloon t g k))
   else k ()
 
 let boot_guest t g () =
@@ -262,7 +259,7 @@ let run t =
   if t.ran then invalid_arg "Machine.run: already ran";
   t.ran <- true;
   Array.iter
-    (fun g -> ignore (Sim.Engine.schedule_at t.engine Sim.Time.zero (boot_guest t g)))
+    (fun g -> (Sim.Engine.run_at t.engine Sim.Time.zero (boot_guest t g)))
     t.gruns;
   let all_done () =
     Array.for_all (fun g -> g.finished_at <> None || g.killed) t.gruns

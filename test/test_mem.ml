@@ -83,12 +83,93 @@ let lru_model =
         ops;
       !ok && Mem.Lru.to_list l = !model)
 
+(* Directed coverage for the sentinel-node representation: the edge
+   cases are a single element (node's neighbours are both the sentinel)
+   and head/tail churn, where a broken sentinel link would surface as a
+   wrong to_list or a crash. *)
+let lru_sentinel_edges () =
+  let l = Mem.Lru.create () in
+  let a = Mem.Lru.node "a" in
+  (* Singleton: remove, re-insert, move_front (a no-op at the head). *)
+  Mem.Lru.push_front l a;
+  Mem.Lru.move_front l a;
+  Alcotest.(check (list string)) "singleton move_front" [ "a" ]
+    (Mem.Lru.to_list l);
+  Mem.Lru.remove l a;
+  Alcotest.(check bool) "empty again" true (Mem.Lru.is_empty l);
+  check Alcotest.(option string) "pop_back on empty" None
+    (Option.map Mem.Lru.value (Mem.Lru.pop_back l));
+  (* Re-use the detached node: links must have been reset. *)
+  Mem.Lru.push_back l a;
+  Alcotest.(check (list string)) "detached node reusable" [ "a" ]
+    (Mem.Lru.to_list l);
+  (* Head/tail churn around the sentinel. *)
+  let b = Mem.Lru.node "b" and c = Mem.Lru.node "c" in
+  Mem.Lru.push_front l b;
+  Mem.Lru.push_back l c;
+  (* b a c *)
+  Mem.Lru.move_front l c;
+  (* c b a *)
+  Mem.Lru.remove l b;
+  (* c a *)
+  Mem.Lru.move_front l a;
+  (* a c *)
+  check Alcotest.(option string) "tail after churn" (Some "c")
+    (Option.map Mem.Lru.value (Mem.Lru.peek_back l));
+  Alcotest.(check (list string)) "order after churn" [ "a"; "c" ]
+    (Mem.Lru.to_list l);
+  check Alcotest.int "length after churn" 2 (Mem.Lru.length l)
+
+(* remove/move_front-heavy interleavings: every step revalidates the
+   full front->back order, so a sentinel link broken by one operation is
+   caught at the next step rather than only at the end. *)
+let lru_sentinel_interleavings =
+  QCheck.Test.make
+    ~name:"lru: sentinel survives remove/move_front interleavings" ~count:300
+    QCheck.(list (pair (int_range 0 2) (int_range 0 5)))
+    (fun ops ->
+      let l = Mem.Lru.create () in
+      let nodes = Array.init 6 Mem.Lru.node in
+      let model = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun (op, i) ->
+          let inside = List.mem i !model in
+          (match op with
+          | 0 ->
+              if inside then begin
+                Mem.Lru.remove l nodes.(i);
+                model := List.filter (fun x -> x <> i) !model
+              end
+              else begin
+                Mem.Lru.push_front l nodes.(i);
+                model := i :: !model
+              end
+          | 1 ->
+              if inside then begin
+                Mem.Lru.move_front l nodes.(i);
+                model := i :: List.filter (fun x -> x <> i) !model
+              end
+          | _ -> (
+              match (Mem.Lru.pop_back l, List.rev !model) with
+              | None, [] -> ()
+              | Some n, last :: _ when Mem.Lru.value n = last ->
+                  model := List.filter (fun x -> x <> last) !model
+              | _ -> ok := false));
+          (* Invariants re-checked after *every* operation. *)
+          if Mem.Lru.to_list l <> !model then ok := false;
+          if Mem.Lru.length l <> List.length !model then ok := false)
+        ops;
+      !ok)
+
 let tests =
   [
     ( "mem:lru",
       [
         Alcotest.test_case "basic ops" `Quick lru_basic;
         Alcotest.test_case "membership errors" `Quick lru_membership_errors;
+        Alcotest.test_case "sentinel edge cases" `Quick lru_sentinel_edges;
         qcheck lru_model;
+        qcheck lru_sentinel_interleavings;
       ] );
   ]

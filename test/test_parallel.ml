@@ -1,0 +1,135 @@
+(* Tests for the domain pool and the parallel experiment runner:
+   deterministic result ordering, per-job exception capture, and
+   bit-equal outputs/stats between serial and parallel sweeps. *)
+
+let check = Alcotest.check
+
+let pool_maps_in_order () =
+  let p = Parallel.Pool.create ~jobs:4 () in
+  Fun.protect
+    ~finally:(fun () -> Parallel.Pool.shutdown p)
+    (fun () ->
+      let xs = List.init 50 Fun.id in
+      let out = Parallel.Pool.map p (fun x -> x * x) xs in
+      check
+        Alcotest.(list int)
+        "squares in submission order"
+        (List.map (fun x -> x * x) xs)
+        (List.map Result.get_ok out))
+
+let pool_captures_exceptions () =
+  let out =
+    Parallel.Pool.run ~jobs:4
+      (fun x -> if x mod 7 = 0 then failwith ("boom " ^ string_of_int x) else x)
+      (List.init 20 Fun.id)
+  in
+  List.iteri
+    (fun i r ->
+      match r with
+      | Ok v ->
+          Alcotest.(check bool) "non-multiples survive" true (v = i && i mod 7 <> 0)
+      | Error (Failure msg) ->
+          Alcotest.(check bool) "multiples of 7 fail" true
+            (i mod 7 = 0 && msg = "boom " ^ string_of_int i)
+      | Error _ -> Alcotest.fail "unexpected exception")
+    out
+
+let pool_reusable_and_serial_equal () =
+  let p = Parallel.Pool.create ~jobs:3 () in
+  Fun.protect
+    ~finally:(fun () -> Parallel.Pool.shutdown p)
+    (fun () ->
+      let xs = List.init 10 Fun.id in
+      let a = Parallel.Pool.map p succ xs in
+      let b = Parallel.Pool.map p succ xs in
+      check Alcotest.(list int) "two maps agree"
+        (List.map Result.get_ok a)
+        (List.map Result.get_ok b);
+      let serial = Parallel.Pool.run ~jobs:1 succ xs in
+      check Alcotest.(list int) "parallel equals serial"
+        (List.map Result.get_ok serial)
+        (List.map Result.get_ok a))
+
+let jobs_env_override () =
+  let old = Sys.getenv_opt "VSWAPPER_JOBS" in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "VSWAPPER_JOBS" (Option.value old ~default:""))
+    (fun () ->
+      Unix.putenv "VSWAPPER_JOBS" "5";
+      check Alcotest.int "override respected" 5 (Parallel.Pool.default_jobs ());
+      Unix.putenv "VSWAPPER_JOBS" "not-a-number";
+      Alcotest.(check bool) "garbage falls back to >= 1" true
+        (Parallel.Pool.default_jobs () >= 1))
+
+(* A small fig3-style machine; everything the run touches is built here,
+   so concurrent copies must produce identical counters. *)
+let tiny_machine_stats () =
+  let workload = Workloads.Sysbench.workload ~iterations:1 ~file_mb:16 () in
+  let guest =
+    {
+      (Vmm.Config.default_guest ~workload) with
+      mem_mb = 24;
+      resident_limit_mb = Some 16;
+      warm_all = true;
+      data_mb = 16 + 64;
+    }
+  in
+  let cfg =
+    {
+      (Vmm.Config.default ~guests:[ guest ]) with
+      host_mem_mb = 48;
+      host_swap_mb = 36;
+    }
+  in
+  let result = Vmm.Machine.run (Vmm.Machine.build cfg) in
+  Format.asprintf "%a" Metrics.Stats.pp result.Vmm.Machine.stats
+
+let stats_deterministic_under_domains () =
+  let reference = tiny_machine_stats () in
+  let outs =
+    Parallel.Pool.run ~jobs:4 (fun _ -> tiny_machine_stats ()) [ 0; 1; 2; 3 ]
+  in
+  List.iteri
+    (fun i r ->
+      check Alcotest.string
+        (Printf.sprintf "copy %d matches serial counters" i)
+        reference (Result.get_ok r))
+    outs
+
+let run_all_deterministic () =
+  let chosen =
+    List.filter_map Experiments.Registry.find [ "fig3"; "tab1" ]
+  in
+  let render jobs =
+    Experiments.Registry.run_all ~jobs ~scale:0.05 chosen
+    |> List.map (fun (o : Experiments.Registry.outcome) ->
+           Alcotest.(check bool)
+             (o.exp.Experiments.Exp.id ^ " wall time recorded")
+             true (o.wall_s >= 0.0);
+           Result.get_ok o.output)
+    |> String.concat "\n"
+  in
+  let serial = render 1 in
+  let parallel = render 4 in
+  check Alcotest.string "jobs:4 output equals jobs:1" serial parallel
+
+let tests =
+  [
+    ( "parallel:pool",
+      [
+        Alcotest.test_case "map preserves order" `Quick pool_maps_in_order;
+        Alcotest.test_case "exceptions captured per job" `Quick
+          pool_captures_exceptions;
+        Alcotest.test_case "pool reusable, serial-equal" `Quick
+          pool_reusable_and_serial_equal;
+        Alcotest.test_case "VSWAPPER_JOBS override" `Quick jobs_env_override;
+      ] );
+    ( "parallel:determinism",
+      [
+        Alcotest.test_case "machine stats identical across domains" `Slow
+          stats_deterministic_under_domains;
+        Alcotest.test_case "run_all jobs:4 == jobs:1" `Slow
+          run_all_deterministic;
+      ] );
+  ]

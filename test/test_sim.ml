@@ -124,6 +124,72 @@ let heap_sorts =
       in
       drain [] = List.sort compare l)
 
+let heap_unboxed_accessors () =
+  let h = Sim.Heap.create () in
+  Alcotest.check_raises "top_priority on empty"
+    (Invalid_argument "Heap.top_priority: empty heap") (fun () ->
+      ignore (Sim.Heap.top_priority h));
+  Alcotest.check_raises "top on empty" (Invalid_argument "Heap.top: empty heap")
+    (fun () -> ignore (Sim.Heap.top h));
+  Alcotest.check_raises "drop_min on empty"
+    (Invalid_argument "Heap.drop_min: empty heap") (fun () -> Sim.Heap.drop_min h);
+  Sim.Heap.add h ~priority:7 "seven";
+  Sim.Heap.add h ~priority:2 "two";
+  check Alcotest.int "top_priority" 2 (Sim.Heap.top_priority h);
+  check Alcotest.string "top" "two" (Sim.Heap.top h);
+  Sim.Heap.drop_min h;
+  check Alcotest.(option (pair int string)) "drop removed the min"
+    (Some (7, "seven"))
+    (Sim.Heap.pop_min h)
+
+(* Interleave pushes and pops in a random order against a sorted-list
+   model.  Values record insertion order, so this also checks that ties
+   drain FIFO-stably — including across pops that shrink and re-sift the
+   backing arrays. *)
+let heap_interleaved_stable =
+  QCheck.Test.make
+    ~name:"heap: random push/pop interleavings drain sorted and FIFO-stable"
+    ~count:300
+    (* Some None = pop; Some p = push with priority p (small range forces
+       ties). *)
+    QCheck.(list (option (int_range 0 8)))
+    (fun ops ->
+      let h = Sim.Heap.create () in
+      let model = ref [] (* sorted (priority, insertion_seq) list *)
+      and seq = ref 0
+      and ok = ref true in
+      let insert (p, s) =
+        let rec go = function
+          | [] -> [ (p, s) ]
+          | (p', s') :: rest when p' < p || (p' = p && s' < s) ->
+              (p', s') :: go rest
+          | rest -> (p, s) :: rest
+        in
+        model := go !model
+      in
+      List.iter
+        (fun op ->
+          match op with
+          | Some p ->
+              Sim.Heap.add h ~priority:p !seq;
+              insert (p, !seq);
+              incr seq
+          | None -> (
+              match (Sim.Heap.pop_min h, !model) with
+              | None, [] -> ()
+              | Some got, expected :: rest ->
+                  if got <> expected then ok := false;
+                  model := rest
+              | Some _, [] | None, _ :: _ -> ok := false))
+        ops;
+      (* Drain whatever remains and compare against the model tail. *)
+      let rec drain acc =
+        match Sim.Heap.pop_min h with
+        | None -> List.rev acc
+        | Some pv -> drain (pv :: acc)
+      in
+      !ok && drain [] = !model)
+
 (* ------------------------------------------------------------------ *)
 (* Engine                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -183,6 +249,59 @@ let engine_run_until () =
   Alcotest.(check bool) "drained" false remaining;
   Alcotest.(check (list int)) "all" [ 10; 20; 30; 40 ] (List.rev !log)
 
+(* Regression: an event scheduled exactly at the limit must fire during
+   [run_until limit] (the cutoff is events *after* the limit), and the
+   comparison must go through [Time.compare], not raw ints. *)
+let engine_run_until_at_limit () =
+  let e = Sim.Engine.create () in
+  let fired = ref [] in
+  List.iter
+    (fun t ->
+      ignore
+        (Sim.Engine.schedule_at e (Sim.Time.us t) (fun () ->
+             fired := t :: !fired)))
+    [ 10; 25; 40 ];
+  let remaining = Sim.Engine.run_until e (Sim.Time.us 25) in
+  Alcotest.(check bool) "later event remains" true remaining;
+  Alcotest.(check (list int)) "event at limit fires" [ 10; 25 ]
+    (List.rev !fired);
+  check Alcotest.int "clock advanced to limit event" 25 (Sim.Engine.now e);
+  (* A limit landing exactly on the final event drains the queue. *)
+  let remaining = Sim.Engine.run_until e (Sim.Time.us 40) in
+  Alcotest.(check bool) "drained at exact limit" false remaining;
+  Alcotest.(check (list int)) "all fired" [ 10; 25; 40 ] (List.rev !fired)
+
+(* run_at/run_after events recycle through a freelist; interleave them
+   with cancellable schedule_at handles to check neither corrupts the
+   other. *)
+let engine_recycled_events () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  for round = 0 to 2 do
+    let base = Sim.Engine.now e in
+    for i = 1 to 50 do
+      Sim.Engine.run_at e
+        (Sim.Time.add base (Sim.Time.us i))
+        (fun () -> log := ((round * 100) + i) :: !log)
+    done;
+    let h =
+      Sim.Engine.schedule_at e
+        (Sim.Time.add base (Sim.Time.us 10))
+        (fun () -> log := (-1) :: !log)
+    in
+    Sim.Engine.cancel e h;
+    Sim.Engine.run e
+  done;
+  let expected =
+    List.concat_map
+      (fun round -> List.init 50 (fun i -> (round * 100) + i + 1))
+      [ 0; 1; 2 ]
+  in
+  Alcotest.(check (list int)) "recycled events all fire in order" expected
+    (List.rev !log);
+  Alcotest.(check bool) "cancelled handle never fired" false
+    (List.mem (-1) !log)
+
 let engine_monotone_time =
   QCheck.Test.make ~name:"engine: callbacks fire in non-decreasing time"
     ~count:200
@@ -232,7 +351,9 @@ let tests =
           Alcotest.test_case "basic ops" `Quick heap_basic;
           Alcotest.test_case "stability" `Quick heap_stable_at_equal_priority;
           Alcotest.test_case "clear" `Quick heap_clear;
+          Alcotest.test_case "unboxed accessors" `Quick heap_unboxed_accessors;
           qcheck heap_sorts;
+          qcheck heap_interleaved_stable;
         ] );
       ( "sim:engine",
         [
@@ -241,6 +362,10 @@ let tests =
           Alcotest.test_case "cancellation" `Quick engine_cancel;
           Alcotest.test_case "past rejected" `Quick engine_past_rejected;
           Alcotest.test_case "run_until" `Quick engine_run_until;
+          Alcotest.test_case "run_until: event exactly at limit" `Quick
+            engine_run_until_at_limit;
+          Alcotest.test_case "freelist event recycling" `Quick
+            engine_recycled_events;
           Alcotest.test_case "same-time FIFO" `Quick engine_same_time_fifo;
           qcheck engine_monotone_time;
         ] );
