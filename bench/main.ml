@@ -56,7 +56,49 @@ type bench_record = {
   jobs : int;
 }
 
+(* Per-experiment wall-clocks of an earlier summary, for delta lines.
+   Parses only the writer's own "id"/"wall_s" record format. *)
+let prev_walls file =
+  if not (Sys.file_exists file) then []
+  else begin
+    let ic = open_in file in
+    let acc = ref [] in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         try
+           Scanf.sscanf line "{\"id\": %S, \"wall_s\": %f" (fun id w ->
+               acc := (id, w) :: !acc)
+         with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !acc
+  end
+
+(* Most recent BENCH_*.json other than [excluding]; dates sort
+   lexicographically. *)
+let latest_bench_file ~excluding =
+  Sys.readdir "." |> Array.to_list
+  |> List.filter (fun f ->
+         String.length f > 6
+         && String.sub f 0 6 = "BENCH_"
+         && Filename.check_suffix f ".json"
+         && f <> Filename.basename excluding)
+  |> List.sort compare |> List.rev
+  |> function
+  | [] -> None
+  | f :: _ -> Some f
+
 let write_json ~file ~scale r =
+  (* Snapshot the comparison baseline before open_out truncates it. *)
+  let prev =
+    if Sys.file_exists file then prev_walls file
+    else
+      match latest_bench_file ~excluding:file with
+      | Some f -> prev_walls f
+      | None -> []
+  in
   let oc = open_out file in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
@@ -70,12 +112,27 @@ let write_json ~file ~scale r =
   out "  \"serial_equivalent_s\": %.3f,\n" serial_s;
   out "  \"speedup_vs_serial\": %.3f,\n"
     (if r.total_wall_s > 0.0 then serial_s /. r.total_wall_s else 1.0);
+  let d = Experiments.Exp.disk_totals () in
+  out
+    "  \"disk\": {\"read_batches\": %d, \"batched_reads\": %d, \
+     \"coalesced_reads\": %d, \"mean_batch_sectors\": %.1f},\n"
+    d.Experiments.Exp.batches d.Experiments.Exp.reads
+    (d.Experiments.Exp.reads - d.Experiments.Exp.batches)
+    (if d.Experiments.Exp.batches > 0 then
+       float_of_int d.Experiments.Exp.batch_sectors
+       /. float_of_int d.Experiments.Exp.batches
+     else 0.0);
   out "  \"experiments\": [";
   List.iteri
     (fun i (id, wall_s, ok) ->
-      out "%s\n    {\"id\": \"%s\", \"wall_s\": %.3f, \"ok\": %b}"
+      let delta =
+        match List.assoc_opt id prev with
+        | Some w -> Printf.sprintf ", \"delta_s\": %+.3f" (wall_s -. w)
+        | None -> ""
+      in
+      out "%s\n    {\"id\": \"%s\", \"wall_s\": %.3f%s, \"ok\": %b}"
         (if i = 0 then "" else ",")
-        (json_escape id) wall_s ok)
+        (json_escape id) wall_s delta ok)
     r.experiments;
   out "\n  ],\n";
   out "  \"micros\": [";
@@ -132,7 +189,17 @@ let run_experiments ~record ids =
       record.experiments <-
         record.experiments
         @ [ (id, o.wall_s, match o.output with Ok _ -> true | Error _ -> false) ])
-    outcomes
+    outcomes;
+  let d = Experiments.Exp.disk_totals () in
+  if d.Experiments.Exp.batches > 0 then
+    Printf.printf
+      "[disk queue: %d media reads served in %d batches (%d coalesced away), \
+       mean span %.1f sectors]\n\n\
+       %!"
+      d.Experiments.Exp.reads d.Experiments.Exp.batches
+      (d.Experiments.Exp.reads - d.Experiments.Exp.batches)
+      (float_of_int d.Experiments.Exp.batch_sectors
+      /. float_of_int d.Experiments.Exp.batches)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmark mode                                        *)

@@ -23,10 +23,11 @@ type t = {
   guests : Guest.Guestos.t list;
   policy : policy;
   mutable running : bool;
+  mutable timer : Sim.Engine.event;  (* the armed tick, for stop *)
 }
 
 let create ~engine ~host ~guests policy =
-  { engine; host; guests; policy; running = false }
+  { engine; host; guests; policy; running = false; timer = Sim.Engine.null }
 
 (* One adjustment round.  Roughly MOM's Balloon rule: compute each
    guest's "slack" (free + clean page cache); under host pressure, grow
@@ -62,15 +63,24 @@ let adjust t =
     t.guests
 
 let rec tick t () =
+  t.timer <- Sim.Engine.null;
   if t.running then begin
     adjust t;
-    (Sim.Engine.run_after t.engine t.policy.period (tick t))
+    arm t
   end
+
+and arm t =
+  t.timer <- Sim.Engine.schedule_after t.engine t.policy.period (tick t)
 
 let start t =
   if not t.running then begin
     t.running <- true;
-    (Sim.Engine.run_after t.engine t.policy.period (tick t))
+    arm t
   end
 
-let stop t = t.running <- false
+(* Cancels the armed tick outright instead of leaving a dead event to
+   fire into a stopped manager. *)
+let stop t =
+  t.running <- false;
+  Sim.Engine.cancel t.engine t.timer;
+  t.timer <- Sim.Engine.null

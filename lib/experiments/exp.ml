@@ -60,8 +60,41 @@ type run_out = {
   marks : mark list;
 }
 
+(* Cross-run disk-batching totals.  Machines run on worker domains under
+   the parallel sweep, so the accumulators are atomics; sums are
+   order-independent, keeping the totals deterministic at any job
+   count. *)
+type disk_totals = {
+  reads : int;  (** individual read requests served from the media *)
+  batches : int;  (** media accesses those reads were coalesced into *)
+  batch_sectors : int;  (** total sectors spanned by read batches *)
+}
+
+let acc_reads = Atomic.make 0
+let acc_batches = Atomic.make 0
+let acc_batch_sectors = Atomic.make 0
+
+let reset_disk_totals () =
+  Atomic.set acc_reads 0;
+  Atomic.set acc_batches 0;
+  Atomic.set acc_batch_sectors 0
+
+let disk_totals () =
+  {
+    reads = Atomic.get acc_reads;
+    batches = Atomic.get acc_batches;
+    batch_sectors = Atomic.get acc_batch_sectors;
+  }
+
+let record_disk_stats (s : Metrics.Stats.t) =
+  ignore (Atomic.fetch_and_add acc_reads s.Metrics.Stats.disk_batched_reads);
+  ignore (Atomic.fetch_and_add acc_batches s.Metrics.Stats.disk_read_batches);
+  ignore
+    (Atomic.fetch_and_add acc_batch_sectors s.Metrics.Stats.disk_batch_sectors)
+
 let run_machine ?(get_marks = fun () -> []) machine =
   let result = Vmm.Machine.run machine in
+  record_disk_stats result.Vmm.Machine.stats;
   let to_s = Option.map Sim.Time.to_sec_float in
   let per_guest_s =
     Array.map (fun g -> to_s g.Vmm.Machine.runtime) result.Vmm.Machine.guests

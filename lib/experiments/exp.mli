@@ -57,6 +57,19 @@ type run_out = {
     collector's getter, invoked after the run. *)
 val run_machine : ?get_marks:(unit -> mark list) -> Vmm.Machine.t -> run_out
 
+(** Disk read-batching totals summed over every [run_machine] since the
+    last [reset_disk_totals].  Accumulated with atomics so runs on
+    parallel sweep domains count too; sums are order-independent, so the
+    totals are deterministic at any job count. *)
+type disk_totals = {
+  reads : int;  (** individual read requests served from the media *)
+  batches : int;  (** media accesses those reads were coalesced into *)
+  batch_sectors : int;  (** total sectors spanned by read batches *)
+}
+
+val reset_disk_totals : unit -> unit
+val disk_totals : unit -> disk_totals
+
 (** [opt_s r] is the runtime as an option-float cell for series tables. *)
 val opt_s : run_out -> float option
 

@@ -192,10 +192,11 @@ let evict_frame t frame =
                  if is_silent_write g content then
                    t.stats.silent_swap_writes <-
                      t.stats.silent_swap_writes + 1;
-                 Storage.Disk.submit t.disk
+                 (* Fire-and-forget: nobody awaits the swap-out ack, so
+                    skip the completion event entirely. *)
+                 Storage.Disk.write_buffered t.disk
                    ~sector:(Storage.Swap_area.sector_of_slot t.swap slot)
-                   ~nsectors:page_sectors ~kind:Storage.Disk.Write
-                   (fun () -> ())));
+                   ~nsectors:page_sectors));
       Cgroup.remove g.cgroup (Frames.node t.frames frame);
       Frames.release t.frames frame
 

@@ -3,6 +3,9 @@ type t = {
   mutable disk_sectors_read : int;
   mutable disk_sectors_written : int;
   mutable disk_seq_reads : int;
+  mutable disk_read_batches : int;
+  mutable disk_batched_reads : int;
+  mutable disk_batch_sectors : int;
   mutable swap_sectors_read : int;
   mutable swap_sectors_written : int;
   mutable host_swapins : int;
@@ -36,6 +39,9 @@ let create () =
     disk_sectors_read = 0;
     disk_sectors_written = 0;
     disk_seq_reads = 0;
+    disk_read_batches = 0;
+    disk_batched_reads = 0;
+    disk_batch_sectors = 0;
     swap_sectors_read = 0;
     swap_sectors_written = 0;
     host_swapins = 0;
@@ -71,6 +77,9 @@ let diff a b =
     disk_sectors_read = a.disk_sectors_read - b.disk_sectors_read;
     disk_sectors_written = a.disk_sectors_written - b.disk_sectors_written;
     disk_seq_reads = a.disk_seq_reads - b.disk_seq_reads;
+    disk_read_batches = a.disk_read_batches - b.disk_read_batches;
+    disk_batched_reads = a.disk_batched_reads - b.disk_batched_reads;
+    disk_batch_sectors = a.disk_batch_sectors - b.disk_batch_sectors;
     swap_sectors_read = a.swap_sectors_read - b.swap_sectors_read;
     swap_sectors_written = a.swap_sectors_written - b.swap_sectors_written;
     host_swapins = a.host_swapins - b.host_swapins;
@@ -107,6 +116,9 @@ let fields t =
     ("disk_sectors_read", t.disk_sectors_read);
     ("disk_sectors_written", t.disk_sectors_written);
     ("disk_seq_reads", t.disk_seq_reads);
+    ("disk_read_batches", t.disk_read_batches);
+    ("disk_batched_reads", t.disk_batched_reads);
+    ("disk_batch_sectors", t.disk_batch_sectors);
     ("swap_sectors_read", t.swap_sectors_read);
     ("swap_sectors_written", t.swap_sectors_written);
     ("host_swapins", t.host_swapins);

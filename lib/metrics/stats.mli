@@ -12,7 +12,13 @@ type t = {
   mutable disk_sectors_read : int;
   mutable disk_sectors_written : int;
   mutable disk_seq_reads : int;
-      (** reads that started exactly at the head position (no seek) *)
+      (** read batches that started at/just past the head (no seek) *)
+  mutable disk_read_batches : int;
+      (** coalesced media read accesses (one seek+transfer each) *)
+  mutable disk_batched_reads : int;
+      (** read requests completed via media batches (>= batches) *)
+  mutable disk_batch_sectors : int;
+      (** media sectors transferred by read batches (mean = /batches) *)
   (* Host swap traffic (subset of disk traffic). *)
   mutable swap_sectors_read : int;
   mutable swap_sectors_written : int;

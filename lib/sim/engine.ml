@@ -1,28 +1,73 @@
-type event = {
-  mutable cancelled : bool;
+(* Event records live in a slab indexed by the heap, and every record —
+   cancellable or not — recycles through a freelist.  A handle is a
+   packed (slot index, generation) immediate: releasing a slot bumps its
+   generation, so stale handles (fired or long-cancelled events) are
+   detected and ignored instead of corrupting a reused record. *)
+
+type slot = {
   mutable fn : unit -> unit;
-  recyclable : bool;
-      (* [run_at]/[run_after] events: no handle escapes, so the record can
-         go back on the freelist the moment it fires. *)
-  mutable next_free : event;  (* freelist link; self-loop terminates *)
+  mutable gen : int;  (* bumped on release; low [gen_bits] of a handle *)
+  mutable cancelled : bool;
+  mutable next_free : int;  (* freelist link; -1 terminates; unused when live *)
 }
 
-(* Freelist terminator.  Shared across engines (and domains) but never
-   mutated: [next_free] of a live record always points into its own
-   engine's list or at [nil]. *)
-let nil =
-  let rec e = { cancelled = false; fn = ignore; recyclable = false; next_free = e } in
-  e
+type event = int
+(* [(idx lsl gen_bits) lor (gen land gen_mask)]; negative = null. *)
+
+let gen_bits = 31
+let gen_mask = (1 lsl gen_bits) - 1
+let null = -1
 
 type t = {
   mutable clock : Time.t;
-  queue : event Heap.t;
+  queue : int Heap.t;  (* slot indices, prioritized by firing time *)
   mutable live : int;
-  mutable free : event;  (* head of the recycled-record freelist *)
+  mutable slots : slot array;
+  mutable free_head : int;  (* head of the free-slot index chain; -1 = none *)
 }
 
-let create () = { clock = Time.zero; queue = Heap.create (); live = 0; free = nil }
+let fresh_slot i = { fn = ignore; gen = 0; cancelled = false; next_free = i }
+
+(* Chain slots [lo, hi) onto the freelist in ascending order. *)
+let chain slots lo hi tail =
+  for i = lo to hi - 1 do
+    slots.(i).next_free <- (if i = hi - 1 then tail else i + 1)
+  done;
+  lo
+
+let create () =
+  let n = 64 in
+  let slots = Array.init n (fun i -> fresh_slot i) in
+  let free_head = chain slots 0 n (-1) in
+  { clock = Time.zero; queue = Heap.create (); live = 0; slots; free_head }
+
 let now t = t.clock
+
+let grow t =
+  let n = Array.length t.slots in
+  let slots = Array.init (2 * n) (fun i -> if i < n then t.slots.(i) else fresh_slot i) in
+  t.slots <- slots;
+  t.free_head <- chain slots n (2 * n) t.free_head
+
+let alloc_slot t fn =
+  if t.free_head < 0 then grow t;
+  let i = t.free_head in
+  let s = t.slots.(i) in
+  t.free_head <- s.next_free;
+  s.fn <- fn;
+  s.cancelled <- false;
+  i
+
+(* Release a popped slot: bump the generation (outstanding handles go
+   stale), drop the closure so the freelist retains nothing, and push the
+   slot back for reuse. *)
+let release t i =
+  let s = t.slots.(i) in
+  s.fn <- ignore;
+  s.gen <- (s.gen + 1) land gen_mask;
+  s.cancelled <- false;
+  s.next_free <- t.free_head;
+  t.free_head <- i
 
 let check_not_past t time =
   if Time.compare time t.clock < 0 then
@@ -32,39 +77,30 @@ let check_not_past t time =
 
 let schedule_at t time fn =
   check_not_past t time;
-  let ev = { cancelled = false; fn; recyclable = false; next_free = nil } in
-  Heap.add t.queue ~priority:(Time.to_us time) ev;
+  let i = alloc_slot t fn in
+  Heap.add t.queue ~priority:(Time.to_us time) i;
   t.live <- t.live + 1;
-  ev
+  (i lsl gen_bits) lor t.slots.(i).gen
 
 let schedule_after t delay fn = schedule_at t (Time.add t.clock delay) fn
 
 let run_at t time fn =
   check_not_past t time;
-  let ev =
-    if t.free != nil then begin
-      let e = t.free in
-      t.free <- e.next_free;
-      e.next_free <- nil;
-      e.fn <- fn;
-      e
-    end
-    else { cancelled = false; fn; recyclable = true; next_free = nil }
-  in
-  Heap.add t.queue ~priority:(Time.to_us time) ev;
+  let i = alloc_slot t fn in
+  Heap.add t.queue ~priority:(Time.to_us time) i;
   t.live <- t.live + 1
 
 let run_after t delay fn = run_at t (Time.add t.clock delay) fn
 
-let release t ev =
-  ev.fn <- ignore;  (* drop the closure so the freelist retains nothing *)
-  ev.next_free <- t.free;
-  t.free <- ev
-
 let cancel t ev =
-  if not ev.cancelled then begin
-    ev.cancelled <- true;
-    t.live <- t.live - 1
+  if ev >= 0 then begin
+    let s = t.slots.(ev lsr gen_bits) in
+    (* The generation check makes cancelling a fired (or fired-and-reused)
+       event a no-op instead of sabotaging the slot's new occupant. *)
+    if s.gen = ev land gen_mask && not s.cancelled then begin
+      s.cancelled <- true;
+      t.live <- t.live - 1
+    end
   end
 
 let pending t = t.live
@@ -73,17 +109,21 @@ let rec step t =
   if Heap.is_empty t.queue then false
   else begin
     let time = Heap.top_priority t.queue in
-    let ev = Heap.top t.queue in
+    let i = Heap.top t.queue in
     Heap.drop_min t.queue;
-    if ev.cancelled then step t
+    let s = t.slots.(i) in
+    if s.cancelled then begin
+      (* Cancelled records are reclaimed on every drain path. *)
+      release t i;
+      step t
+    end
     else begin
       t.clock <- time;
       t.live <- t.live - 1;
-      let fn = ev.fn in
+      let fn = s.fn in
       (* Recycle before firing: the callback may schedule and can reuse
-         this very record.  Only handle-less events are recyclable, so
-         no stale [cancel] can reach a reused record. *)
-      if ev.recyclable then release t ev;
+         this very slot; any handle to the fired event is now stale. *)
+      release t i;
       fn ();
       true
     end
@@ -94,10 +134,10 @@ let run t = while step t do () done
 let rec run_until t limit =
   if Heap.is_empty t.queue then false
   else begin
-    let ev = Heap.top t.queue in
-    if ev.cancelled then begin
+    let i = Heap.top t.queue in
+    if t.slots.(i).cancelled then begin
       Heap.drop_min t.queue;
-      if ev.recyclable then release t ev;
+      release t i;
       run_until t limit
     end
     else if Time.compare (Time.us (Heap.top_priority t.queue)) limit > 0 then

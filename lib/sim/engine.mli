@@ -8,8 +8,16 @@
 
 type t
 
-(** Handle to a scheduled event, usable with {!cancel}. *)
+(** Handle to a scheduled event, usable with {!cancel}.  Handles are
+    generation-counted: the underlying event record is recycled through a
+    freelist the moment the event fires (or its cancelled record is
+    drained), and a handle held past that point goes stale — cancelling a
+    stale handle is a guaranteed no-op. *)
 type event
+
+(** A handle that designates no event; {!cancel} ignores it.  Useful as
+    the rest state of a [mutable] timer field without boxing an option. *)
+val null : event
 
 val create : unit -> t
 
@@ -23,17 +31,18 @@ val schedule_at : t -> Time.t -> (unit -> unit) -> event
 (** [schedule_after t delay fn] runs [fn] [delay] microseconds from now. *)
 val schedule_after : t -> Time.t -> (unit -> unit) -> event
 
-(** [run_at t time fn] is [schedule_at] without a handle: the event cannot
-    be cancelled, which lets the engine recycle its record through an
-    internal freelist instead of allocating one per event.  Prefer this on
-    hot paths that would [ignore] the handle anyway. *)
+(** [run_at t time fn] is [schedule_at] without a handle, for call sites
+    that would [ignore] it anyway.  Every event record — handled or not —
+    comes from the engine's internal freelist, so neither form allocates
+    on the steady-state hot path. *)
 val run_at : t -> Time.t -> (unit -> unit) -> unit
 
 (** [run_after t delay fn] is [schedule_after] without a handle. *)
 val run_after : t -> Time.t -> (unit -> unit) -> unit
 
 (** [cancel t ev] prevents a pending event from firing.  Cancelling an
-    already-fired or already-cancelled event is a no-op. *)
+    already-fired, already-cancelled, stale, or {!null} handle is a
+    no-op. *)
 val cancel : t -> event -> unit
 
 (** [pending t] is the number of not-yet-fired, not-cancelled events. *)

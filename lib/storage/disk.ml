@@ -10,6 +10,7 @@ type config = {
   write_ack_us : int;
   write_buffer_sectors : int;
   max_flush_sectors : int;
+  max_batch_sectors : int;
   idle_flush_delay_us : int;
 }
 
@@ -24,22 +25,31 @@ let default_config =
     write_ack_us = 25;
     write_buffer_sectors = 65_536; (* 32 MiB *)
     max_flush_sectors = 8_192; (* 4 MiB destaging chunks *)
+    max_batch_sectors = 8_192; (* 4 MiB read batches *)
     idle_flush_delay_us = 3_000;
   }
 
-type request = { sector : int; nsectors : int; completion : unit -> unit }
+type request = {
+  sector : int;
+  nsectors : int;
+  seq : int;  (* submission order; ties same-sector completions *)
+  completion : unit -> unit;
+}
 
 type t = {
   engine : Sim.Engine.t;
   stats : Metrics.Stats.t;
   config : config;
-  reads : request Queue.t;
+  (* Pending reads, sorted by (sector, seq): the elevator's request set. *)
+  mutable reads : request list;
+  mutable nreads : int;
+  mutable next_seq : int;
   (* Sorted, disjoint (start, len) runs of dirty sectors. *)
   mutable write_runs : (int * int) list;
   mutable write_buf_sectors : int;
   mutable head : int;  (* sector just past the last transfer *)
   mutable in_service : bool;
-  mutable idle_timer_armed : bool;
+  mutable idle_timer : Sim.Engine.event;
   mutable trace :
     (kind -> head:int -> sector:int -> nsectors:int -> unit) option;
 }
@@ -49,12 +59,14 @@ let create ~engine ~stats config =
     engine;
     stats;
     config;
-    reads = Queue.create ();
+    reads = [];
+    nreads = 0;
+    next_seq = 0;
     write_runs = [];
     write_buf_sectors = 0;
     head = 0;
     in_service = false;
-    idle_timer_armed = false;
+    idle_timer = Sim.Engine.null;
     trace = None;
   }
 
@@ -90,22 +102,30 @@ let service_time_from t ~head ~sector ~nsectors =
 let service_time t ~sector ~nsectors =
   service_time_from t ~head:t.head ~sector ~nsectors
 
-(* Insert a dirty run, merging with overlapping/adjacent runs. *)
+(* Insert a dirty run, merging with overlapping/adjacent runs; the buffer
+   occupancy is maintained incrementally (placed minus merged-away). *)
 let add_write_run t sector nsectors =
   let s0 = sector and e0 = sector + nsectors in
+  let merged = ref 0 in
+  let placed = ref 0 in
   let rec insert acc s e = function
-    | [] -> List.rev ((s, e - s) :: acc)
+    | [] ->
+        placed := e - s;
+        List.rev ((s, e - s) :: acc)
     | ((rs, rl) as run) :: rest ->
         let re = rs + rl in
         if re < s then insert (run :: acc) s e rest
-        else if rs > e then List.rev_append acc ((s, e - s) :: run :: rest)
-        else insert acc (min s rs) (max e re) rest
+        else if rs > e then begin
+          placed := e - s;
+          List.rev_append acc ((s, e - s) :: run :: rest)
+        end
+        else begin
+          merged := !merged + rl;
+          insert acc (min s rs) (max e re) rest
+        end
   in
-  let before = t.write_buf_sectors in
   t.write_runs <- insert [] s0 e0 t.write_runs;
-  let after = List.fold_left (fun n (_, l) -> n + l) 0 t.write_runs in
-  ignore before;
-  t.write_buf_sectors <- after
+  t.write_buf_sectors <- t.write_buf_sectors + !placed - !merged
 
 (* Is [sector, sector+n) fully inside some buffered run? *)
 let covered_by_buffer t sector nsectors =
@@ -114,7 +134,10 @@ let covered_by_buffer t sector nsectors =
     t.write_runs
 
 (* Take up to [max_flush_sectors] from the buffered run closest to the
-   head (a one-step elevator with bounded chunks). *)
+   head (a one-step elevator with bounded chunks).  When the head sits
+   inside the chosen run the chunk starts at the head — continuing the
+   current sweep — rather than paying a backward seek to the run start;
+   the sectors behind the head stay buffered for a later pass. *)
 let pop_flush_chunk t =
   match t.write_runs with
   | [] -> None
@@ -135,24 +158,113 @@ let pop_flush_chunk t =
       (match best with
       | None -> None
       | Some (_, ((rs, rl) as run)) ->
-          let chunk = min rl t.config.max_flush_sectors in
-          let rest = rl - chunk in
+          let re = rs + rl in
+          let start = if t.head > rs && t.head < re then t.head else rs in
+          let chunk = min (re - start) t.config.max_flush_sectors in
+          let left = start - rs in
+          let right = re - (start + chunk) in
           t.write_runs <-
-            (if rest = 0 then List.filter (fun r -> r <> run) t.write_runs
-             else
-               List.map (fun r -> if r = run then (rs + chunk, rest) else r)
-                 t.write_runs);
+            List.concat_map
+              (fun r ->
+                if r = run then
+                  (if left > 0 then [ (rs, left) ] else [])
+                  @ (if right > 0 then [ (start + chunk, right) ] else [])
+                else [ r ])
+              t.write_runs;
           t.write_buf_sectors <- t.write_buf_sectors - chunk;
-          Some (rs, chunk))
+          Some (start, chunk))
 
-let account_read t ~sector nsectors =
+(* ------------------------------------------------------------------ *)
+(* Read batching                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The next unit of read service: either one request served from the
+   write buffer at RAM speed, or a batch of media requests coalesced
+   into a single seek+transfer. *)
+type batch =
+  | From_buffer of request
+  | Media of { span_start : int; span_end : int; members : request list }
+
+let insert_read t (r : request) =
+  let rec go = function
+    | [] -> [ r ]
+    | (x : request) :: rest as l ->
+        if x.sector < r.sector || (x.sector = r.sector && x.seq < r.seq) then
+          x :: go rest
+        else r :: l
+  in
+  t.reads <- go t.reads;
+  t.nreads <- t.nreads + 1
+
+(* C-LOOK pick: serve the lowest-sector request at or past the head,
+   wrapping to the lowest-sector request overall when none is ahead.
+   Starting from the pick, coalesce every later request within
+   [forward_skip_sectors] of the running span end (overlaps included)
+   into one media transfer, bounded by [max_batch_sectors].  Requests
+   covered by the write buffer never join a media batch: they are served
+   from RAM when their turn as pick comes. *)
+let take_batch t =
+  match t.reads with
+  | [] -> None
+  | reads ->
+      let pick =
+        match List.find_opt (fun (r : request) -> r.sector >= t.head) reads with
+        | Some r -> r
+        | None -> List.hd reads
+      in
+      if covered_by_buffer t pick.sector pick.nsectors then begin
+        t.reads <- List.filter (fun r -> r != pick) t.reads;
+        t.nreads <- t.nreads - 1;
+        Some (From_buffer pick)
+      end
+      else begin
+        let span_start = pick.sector in
+        let span_end = ref (pick.sector + pick.nsectors) in
+        let members = ref [ pick ] in
+        let nmembers = ref 1 in
+        (* [reads] is sorted, so candidates are visited in ascending
+           sector order and the span only ever grows forward. *)
+        let rec sweep = function
+          | [] -> []
+          | (r : request) :: rest ->
+              if r == pick then sweep rest
+              else if
+                r.sector >= span_start
+                && r.sector <= !span_end + forward_skip_sectors
+                && max !span_end (r.sector + r.nsectors) - span_start
+                   <= t.config.max_batch_sectors
+                && not (covered_by_buffer t r.sector r.nsectors)
+              then begin
+                span_end := max !span_end (r.sector + r.nsectors);
+                members := r :: !members;
+                incr nmembers;
+                sweep rest
+              end
+              else r :: sweep rest
+        in
+        t.reads <- sweep reads;
+        t.nreads <- t.nreads - !nmembers;
+        Some
+          (Media
+             {
+               span_start;
+               span_end = !span_end;
+               members = List.rev !members;
+             })
+      end
+
+let account_batch t ~span_start ~span_end ~nrequests =
+  let nsectors = span_end - span_start in
   (match t.trace with
-  | Some f -> f Read ~head:t.head ~sector ~nsectors
+  | Some f -> f Read ~head:t.head ~sector:span_start ~nsectors
   | None -> ());
   t.stats.disk_ops <- t.stats.disk_ops + 1;
   t.stats.disk_sectors_read <- t.stats.disk_sectors_read + nsectors;
-  if sector >= t.head && sector - t.head <= forward_skip_sectors then
-    t.stats.disk_seq_reads <- t.stats.disk_seq_reads + 1
+  if span_start >= t.head && span_start - t.head <= forward_skip_sectors then
+    t.stats.disk_seq_reads <- t.stats.disk_seq_reads + 1;
+  t.stats.disk_read_batches <- t.stats.disk_read_batches + 1;
+  t.stats.disk_batched_reads <- t.stats.disk_batched_reads + nrequests;
+  t.stats.disk_batch_sectors <- t.stats.disk_batch_sectors + nsectors
 
 let account_flush t ~sector nsectors =
   (match t.trace with
@@ -163,11 +275,11 @@ let account_flush t ~sector nsectors =
 
 let rec start_next t =
   let over_cap = t.write_buf_sectors > t.config.write_buffer_sectors in
-  if over_cap || Queue.is_empty t.reads then
+  if over_cap || t.reads = [] then
     if over_cap then flush_chunk t
     else if t.write_runs <> [] then arm_idle_timer t
     else t.in_service <- false
-  else serve_read t
+  else serve_reads t
 
 and flush_chunk t =
   match pop_flush_chunk t with
@@ -181,41 +293,53 @@ and flush_chunk t =
 
 and arm_idle_timer t =
   t.in_service <- false;
-  if not t.idle_timer_armed then begin
-    t.idle_timer_armed <- true;
-    (Sim.Engine.run_after t.engine
-         (Sim.Time.us t.config.idle_flush_delay_us)
-         (fun () ->
-           t.idle_timer_armed <- false;
-           (* Destage in the background only if still idle. *)
-           if (not t.in_service) && Queue.is_empty t.reads then
-             if t.write_runs <> [] then flush_chunk t))
-  end
+  (* Fire-and-check, deliberately not disarmed when service resumes:
+     the timer samples the queue 3 ms after the disk last went idle and
+     destages if that instant happens to be quiet.  Cancelling it on
+     every new read would demand a full idle window — under a steady
+     trickle of reads the buffer would never destage at all. *)
+  if t.idle_timer = Sim.Engine.null then
+    t.idle_timer <-
+      (Sim.Engine.schedule_after t.engine
+           (Sim.Time.us t.config.idle_flush_delay_us)
+           (fun () ->
+             t.idle_timer <- Sim.Engine.null;
+             (* Destage in the background only if idle right now. *)
+             if (not t.in_service) && t.reads = [] then
+               if t.write_runs <> [] then flush_chunk t))
 
-and serve_read t =
-  let req = Queue.pop t.reads in
-  t.in_service <- true;
-  if covered_by_buffer t req.sector req.nsectors then
-    (* Served from the write buffer at RAM speed. *)
-    (Sim.Engine.run_after t.engine
-         (Sim.Time.us t.config.write_ack_us)
-         (fun () ->
-           req.completion ();
-           start_next t))
-  else begin
-    account_read t ~sector:req.sector req.nsectors;
-    let dt = service_time t ~sector:req.sector ~nsectors:req.nsectors in
-    t.head <- req.sector + req.nsectors;
-    (Sim.Engine.run_after t.engine dt (fun () ->
-           req.completion ();
-           start_next t))
-  end
+and serve_reads t =
+  match take_batch t with
+  | None -> start_next t
+  | Some (From_buffer req) ->
+      t.in_service <- true;
+      (* Served from the write buffer at RAM speed. *)
+      (Sim.Engine.run_after t.engine
+           (Sim.Time.us t.config.write_ack_us)
+           (fun () ->
+             req.completion ();
+             start_next t))
+  | Some (Media { span_start; span_end; members }) ->
+      t.in_service <- true;
+      account_batch t ~span_start ~span_end
+        ~nrequests:(List.length members);
+      let dt =
+        service_time t ~sector:span_start ~nsectors:(span_end - span_start)
+      in
+      t.head <- span_end;
+      (Sim.Engine.run_after t.engine dt (fun () ->
+             (* One media event completes the whole batch; completions run
+                in (sector, submission) order. *)
+             List.iter (fun (r : request) -> r.completion ()) members;
+             start_next t))
 
 let submit t ~sector ~nsectors ~kind completion =
   if nsectors <= 0 then invalid_arg "Disk.submit: nsectors must be positive";
   match kind with
   | Read ->
-      Queue.add { sector; nsectors; completion } t.reads;
+      let seq = t.next_seq in
+      t.next_seq <- seq + 1;
+      insert_read t { sector; nsectors; seq; completion };
       if not t.in_service then start_next t
   | Write ->
       add_write_run t sector nsectors;
@@ -224,9 +348,16 @@ let submit t ~sector ~nsectors ~kind completion =
            completion);
       if not t.in_service then start_next t
 
+(* Buffered write without a completion event: for fire-and-forget
+   destaging traffic (e.g. swap-out) whose ack nobody awaits. *)
+let write_buffered t ~sector ~nsectors =
+  if nsectors <= 0 then
+    invalid_arg "Disk.write_buffered: nsectors must be positive";
+  add_write_run t sector nsectors;
+  if not t.in_service then start_next t
+
 let queue_depth t =
-  Queue.length t.reads + List.length t.write_runs
-  + if t.in_service then 1 else 0
+  t.nreads + List.length t.write_runs + if t.in_service then 1 else 0
 
 let buffered_write_sectors t = t.write_buf_sectors
 let set_trace t f = t.trace <- f

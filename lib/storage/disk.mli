@@ -1,4 +1,5 @@
-(** Mechanical hard-drive model with a write-back cache.
+(** Mechanical hard-drive model with a write-back cache and a batching
+    request queue.
 
     A single-spindle 7200 RPM drive (the paper's testbed has one Seagate
     Constellation 2 TB).  The service time of a media access is
@@ -10,14 +11,26 @@
     - half a rotation of rotational latency whenever a seek occurred, plus
     - transfer time proportional to the sector count.
 
-    Reads queue FIFO and occupy the media.  Writes are acknowledged
-    almost immediately into a write buffer (the drive cache plus host
-    writeback behaves this way); buffered writes are merged into
-    contiguous runs and flushed to the media when no read is waiting — or
-    eagerly once the buffer exceeds its cap, at which point writes do
-    delay reads, which is how heavy swap-out traffic hurts swap-in
-    latency.  A read overlapping a buffered write is served from the
-    buffer at RAM speed.
+    Reads land in a sorted pending set.  A C-LOOK elevator picks the next
+    request at or past the head position (wrapping to the lowest sector
+    when nothing is ahead), and every queued request within
+    [forward_skip_sectors] of the growing span end is coalesced into the
+    same media access — one seek plus one transfer covering the whole
+    span, the way a real NCQ/elevator queue merges adjacent requests.
+    The single batch-completion event dispatches every member's
+    completion callback in (sector, submission-order) position, so
+    requests to the same sector still complete in submission order.  A
+    batch of one behaves exactly like an unbatched read.
+
+    Writes are acknowledged almost immediately into a write buffer (the
+    drive cache plus host writeback behaves this way); buffered writes
+    are merged into contiguous runs and flushed to the media when no read
+    is waiting — or eagerly once the buffer exceeds its cap, at which
+    point writes do delay reads, which is how heavy swap-out traffic
+    hurts swap-in latency.  Destaging flushes from the head position when
+    the head sits inside the chosen run (continuing the sweep instead of
+    seeking back to the run start).  A read overlapping a buffered write
+    is served from the buffer at RAM speed.
 
     The asymmetry between sequential and random access — about 200x at
     page granularity — is what makes every phenomenon in the paper
@@ -35,6 +48,7 @@ type config = {
   write_ack_us : int;  (** latency of a buffered-write acknowledgment *)
   write_buffer_sectors : int;  (** cap before writes push back on reads *)
   max_flush_sectors : int;  (** destaging chunk; bounds read-behind-flush waits *)
+  max_batch_sectors : int;  (** cap on a coalesced read batch's media span *)
   idle_flush_delay_us : int;  (** idle time before background destaging starts *)
 }
 
@@ -47,12 +61,19 @@ val create : engine:Sim.Engine.t -> stats:Metrics.Stats.t -> config -> t
 
 (** [submit t ~sector ~nsectors ~kind k] enqueues a request and calls [k]
     at its virtual completion time (for writes: when the buffer accepts
-    it, not when the media is updated). *)
+    it, not when the media is updated).  Each submitted request's [k] runs
+    exactly once, even when the request is coalesced into a batch. *)
 val submit :
   t -> sector:int -> nsectors:int -> kind:kind -> (unit -> unit) -> unit
 
-(** [queue_depth t] counts waiting-or-in-service reads plus buffered
-    write runs. *)
+(** [write_buffered t ~sector ~nsectors] is [submit ~kind:Write] without a
+    completion: the sectors enter the write buffer and no acknowledgment
+    event is scheduled.  For fire-and-forget destaging traffic (swap-out)
+    whose ack nobody awaits. *)
+val write_buffered : t -> sector:int -> nsectors:int -> unit
+
+(** [queue_depth t] counts waiting reads, plus buffered write runs, plus
+    one for the batch or flush currently occupying the media. *)
 val queue_depth : t -> int
 
 (** [buffered_write_sectors t] is the current write-buffer occupancy. *)
@@ -63,8 +84,9 @@ val buffered_write_sectors : t -> int
     tests and calibration. *)
 val service_time : t -> sector:int -> nsectors:int -> Sim.Time.t
 
-(** [set_trace t f] installs a hook called on every media access (reads
-    and flushes, not buffered-write acks) with the pre-access head
-    position; for tests and debugging. *)
+(** [set_trace t f] installs a hook called on every media access (read
+    batches and flushes, not buffered-write acks) with the pre-access head
+    position; a coalesced batch is one access spanning its whole extent.
+    For tests and debugging. *)
 val set_trace :
   t -> (kind -> head:int -> sector:int -> nsectors:int -> unit) option -> unit

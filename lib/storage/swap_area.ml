@@ -14,14 +14,20 @@ type t = {
   mutable fragmented_allocs : int;
 }
 
+(* The area holds exactly the requested number of slots: the cluster
+   count rounds *up*, and the last cluster may be partial.  (Truncating
+   division silently resized the area — ~nslots:300 gave 256 slots.) *)
 let create ~base_sector ~nslots =
-  let nclusters = max 1 (nslots / cluster_slots) in
-  let nslots = nclusters * cluster_slots in
+  let nslots = max 1 nslots in
+  let nclusters = (nslots + cluster_slots - 1) / cluster_slots in
+  let cluster_free c =
+    min cluster_slots (nslots - (c * cluster_slots))
+  in
   {
     base_sector;
     nslots;
     contents = Array.make nslots None;
-    free_in_cluster = Array.make nclusters cluster_slots;
+    free_in_cluster = Array.init nclusters cluster_free;
     cur_cluster = -1;
     cur_offset = 0;
     scan_cursor = 0;
@@ -30,6 +36,9 @@ let create ~base_sector ~nslots =
   }
 
 let nclusters t = Array.length t.free_in_cluster
+
+(* Slot capacity of cluster [c]; only the last cluster can be partial. *)
+let cluster_capacity t c = min cluster_slots (t.nslots - (c * cluster_slots))
 
 let check t slot =
   if slot < 0 || slot >= t.nslots then
@@ -48,14 +57,16 @@ let find_free_cluster t =
   let start = if t.cur_cluster < 0 then 0 else (t.cur_cluster + 1) mod n in
   let rec go i remaining =
     if remaining = 0 then None
-    else if t.free_in_cluster.(i) = cluster_slots then Some i
+    else if t.free_in_cluster.(i) = cluster_capacity t i then Some i
     else go ((i + 1) mod n) (remaining - 1)
   in
   go start n
 
 let rec alloc t content =
   if t.in_use = t.nslots then None
-  else if t.cur_cluster >= 0 && t.cur_offset < cluster_slots then begin
+  else if
+    t.cur_cluster >= 0 && t.cur_offset < cluster_capacity t t.cur_cluster
+  then begin
     let slot = (t.cur_cluster * cluster_slots) + t.cur_offset in
     t.cur_offset <- t.cur_offset + 1;
     if t.contents.(slot) = None then take t slot content
@@ -111,8 +122,10 @@ let nslots t = t.nslots
 let in_use t = t.in_use
 
 let free_clusters t =
-  Array.fold_left
-    (fun acc f -> if f = cluster_slots then acc + 1 else acc)
-    0 t.free_in_cluster
+  let n = ref 0 in
+  Array.iteri
+    (fun c f -> if f = cluster_capacity t c then incr n)
+    t.free_in_cluster;
+  !n
 
 let fragmented_allocs t = t.fragmented_allocs

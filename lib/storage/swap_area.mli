@@ -12,8 +12,9 @@
 
 type t
 
-(** [create ~base_sector ~nslots] — [nslots] is rounded down to a whole
-    number of clusters (256 slots each); at least one cluster. *)
+(** [create ~base_sector ~nslots] builds an area of exactly [nslots]
+    slots (at least 1).  The cluster count rounds up, so the last
+    cluster may be partial. *)
 val create : base_sector:int -> nslots:int -> t
 
 val cluster_slots : int

@@ -1,11 +1,21 @@
 module Guestos = Guest.Guestos
 
+(* A workload thread plus its currently armed VCPU timeslice event, so a
+   kill can cancel pending compute bursts instead of letting them fire
+   into a dead guest (stale handles are no-ops, so clearing on fire is
+   cosmetic). *)
+type thr = {
+  run : Workload.thread;
+  mutable timeslice : Sim.Engine.event;
+}
+
 type grun = {
   spec : Config.guest_spec;
   os : Guestos.t;
   gid : Host.Hostmm.guest_id;
   mutable idle_vcpus : int;
-  ready : Workload.thread Queue.t;
+  ready : thr Queue.t;
+  mutable threads : thr list;  (* every thread ever started, for kill *)
   mutable live_threads : int;
   mutable cleanup : unit -> unit;
   mutable killed : bool;
@@ -89,6 +99,7 @@ let build (cfg : Config.t) =
              gid;
              idle_vcpus = max 1 spec.vcpus;
              ready = Queue.create ();
+             threads = [];
              live_threads = 0;
              cleanup = (fun () -> ());
              killed = false;
@@ -140,7 +151,7 @@ let rec dispatch t g =
 and run_thread t g th =
   if g.killed then ()
   else
-    match th () with
+    match th.run () with
     | None ->
         g.live_threads <- g.live_threads - 1;
         g.idle_vcpus <- g.idle_vcpus + 1;
@@ -151,8 +162,11 @@ and run_thread t g th =
         f ();
         run_thread t g th
     | Some (Workload.Compute us) ->
-        (* Compute holds the VCPU and continues the same thread. *)
-        (Sim.Engine.run_after t.engine (Sim.Time.us us) (fun () ->
+        (* Compute holds the VCPU and continues the same thread; the
+           timeslice event is cancellable so a kill can revoke it. *)
+        th.timeslice <-
+          (Sim.Engine.schedule_after t.engine (Sim.Time.us us) (fun () ->
+               th.timeslice <- Sim.Engine.null;
                run_thread t g th))
     | Some op ->
         (* I/O-ish operations release the VCPU while waiting, giving the
@@ -183,8 +197,14 @@ let kill t g =
   if not g.killed then begin
     g.killed <- true;
     Queue.clear g.ready;
-    g.cleanup ();
-    ignore t
+    (* Revoke pending VCPU timeslices; handles of already-fired events
+       are stale and cancelling them is a no-op. *)
+    List.iter
+      (fun th ->
+        Sim.Engine.cancel t.engine th.timeslice;
+        th.timeslice <- Sim.Engine.null)
+      g.threads;
+    g.cleanup ()
   end
 
 let start_workload t g () =
@@ -194,11 +214,15 @@ let start_workload t g () =
     let setup = g.spec.workload.Workload.setup g.os rng in
     g.cleanup <- setup.Workload.cleanup;
     Guestos.set_oom_handler g.os (fun () -> kill t g);
-    g.live_threads <- List.length setup.Workload.threads;
-    if setup.Workload.threads = [] then
-      g.finished_at <- Some (Sim.Engine.now t.engine)
-    else
-      List.iter (fun th -> Queue.push th g.ready) setup.Workload.threads;
+    let threads =
+      List.map
+        (fun run -> { run; timeslice = Sim.Engine.null })
+        setup.Workload.threads
+    in
+    g.threads <- threads;
+    g.live_threads <- List.length threads;
+    if threads = [] then g.finished_at <- Some (Sim.Engine.now t.engine)
+    else List.iter (fun th -> Queue.push th g.ready) threads;
     dispatch t g
   end
 

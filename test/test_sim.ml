@@ -302,6 +302,53 @@ let engine_recycled_events () =
   Alcotest.(check bool) "cancelled handle never fired" false
     (List.mem (-1) !log)
 
+(* Handles are generation-counted: cancelling after the event fired is
+   a no-op (it used to corrupt the pending count), and a stale handle
+   never cancels the unrelated event that recycled its slot. *)
+let engine_cancel_after_fire () =
+  let e = Sim.Engine.create () in
+  let fired = ref [] in
+  let h1 = Sim.Engine.schedule_at e (Sim.Time.us 10) (fun () -> fired := 1 :: !fired) in
+  ignore (Sim.Engine.schedule_at e (Sim.Time.us 20) (fun () -> fired := 2 :: !fired));
+  Alcotest.(check bool) "stepped" true (Sim.Engine.step e);
+  Sim.Engine.cancel e h1;
+  check Alcotest.int "pending unchanged by stale cancel" 1 (Sim.Engine.pending e);
+  Sim.Engine.cancel e Sim.Engine.null;
+  check Alcotest.int "null cancel is a no-op" 1 (Sim.Engine.pending e);
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "both fired" [ 1; 2 ] (List.rev !fired)
+
+let engine_stale_handle_spares_slot_reuser () =
+  let e = Sim.Engine.create () in
+  let fired = ref [] in
+  let h1 = Sim.Engine.schedule_at e (Sim.Time.us 10) (fun () -> fired := 1 :: !fired) in
+  Sim.Engine.run e;
+  (* The new event recycles h1's slot with a bumped generation. *)
+  ignore (Sim.Engine.schedule_at e (Sim.Time.us 20) (fun () -> fired := 2 :: !fired));
+  Sim.Engine.cancel e h1;
+  check Alcotest.int "reused slot survives stale cancel" 1 (Sim.Engine.pending e);
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "both fired" [ 1; 2 ] (List.rev !fired)
+
+(* Cancelled records are reclaimed on both drain paths (run/run_until
+   pops them off the top; step drops them on the way to the next live
+   event) and their slots recycle cleanly. *)
+let engine_cancelled_reclaimed_by_step () =
+  let e = Sim.Engine.create () in
+  let leaked = ref false in
+  for _round = 1 to 3 do
+    let h =
+      Sim.Engine.schedule_after e (Sim.Time.us 5) (fun () -> leaked := true)
+    in
+    ignore (Sim.Engine.schedule_after e (Sim.Time.us 7) (fun () -> ()));
+    Sim.Engine.cancel e h;
+    while Sim.Engine.step e do
+      ()
+    done
+  done;
+  Alcotest.(check bool) "cancelled never fired" false !leaked;
+  check Alcotest.int "queue empty" 0 (Sim.Engine.pending e)
+
 let engine_monotone_time =
   QCheck.Test.make ~name:"engine: callbacks fire in non-decreasing time"
     ~count:200
@@ -366,6 +413,12 @@ let tests =
             engine_run_until_at_limit;
           Alcotest.test_case "freelist event recycling" `Quick
             engine_recycled_events;
+          Alcotest.test_case "cancel after fire is a no-op" `Quick
+            engine_cancel_after_fire;
+          Alcotest.test_case "stale handle spares slot reuser" `Quick
+            engine_stale_handle_spares_slot_reuser;
+          Alcotest.test_case "step reclaims cancelled records" `Quick
+            engine_cancelled_reclaimed_by_step;
           Alcotest.test_case "same-time FIFO" `Quick engine_same_time_fifo;
           qcheck engine_monotone_time;
         ] );

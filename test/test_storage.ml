@@ -144,6 +144,127 @@ let disk_flushes_when_idle () =
   check Alcotest.int "one flush op" 1 stats.Metrics.Stats.disk_ops;
   check Alcotest.int "sectors written" 32 stats.Metrics.Stats.disk_sectors_written
 
+(* Reads queued while the disk is busy coalesce: three nearby requests
+   become one seek + one transfer, with every completion dispatched from
+   the single batch event. *)
+let disk_coalesces_queued_reads () =
+  let engine, stats, disk = mk_disk () in
+  let log = ref [] in
+  let r name sector =
+    Storage.Disk.submit disk ~sector ~nsectors:8 ~kind:Storage.Disk.Read
+      (fun () -> log := name :: !log)
+  in
+  (* The first submit dispatches immediately (batch of one)... *)
+  r "busy" 1_000_000;
+  (* ...so these three queue during its service and coalesce. *)
+  r "a" 2_000_000;
+  r "b" 2_000_008;
+  r "c" 2_000_100;
+  Test_util.drain engine;
+  Alcotest.(check (list string)) "ascending-sector completion order"
+    [ "busy"; "a"; "b"; "c" ] (List.rev !log);
+  check Alcotest.int "two media accesses" 2 stats.Metrics.Stats.disk_ops;
+  check Alcotest.int "two batches" 2 stats.Metrics.Stats.disk_read_batches;
+  check Alcotest.int "four batched reads" 4
+    stats.Metrics.Stats.disk_batched_reads;
+  (* batches < requests: the queue actually merged something. *)
+  Alcotest.(check bool) "coalescing happened" true
+    (stats.Metrics.Stats.disk_read_batches
+    < stats.Metrics.Stats.disk_batched_reads);
+  (* Second batch spans 2_000_000..2_000_108 (gaps included). *)
+  check Alcotest.int "sectors include span gaps" (8 + 108)
+    stats.Metrics.Stats.disk_sectors_read
+
+(* A batch's media span never exceeds max_batch_sectors. *)
+let disk_batch_cap () =
+  let engine = Sim.Engine.create () in
+  let stats = Metrics.Stats.create () in
+  let cfg = { Storage.Disk.default_config with max_batch_sectors = 16 } in
+  let disk = Storage.Disk.create ~engine ~stats cfg in
+  Storage.Disk.submit disk ~sector:5_000_000 ~nsectors:8
+    ~kind:Storage.Disk.Read (fun () -> ());
+  List.iter
+    (fun s ->
+      Storage.Disk.submit disk ~sector:s ~nsectors:8 ~kind:Storage.Disk.Read
+        (fun () -> ()))
+    [ 6_000_000; 6_000_008; 6_000_016 ];
+  Test_util.drain engine;
+  (* 24 adjacent sectors under a 16-sector cap: the pair batches, the
+     third goes alone. *)
+  check Alcotest.int "three batches" 3 stats.Metrics.Stats.disk_read_batches;
+  check Alcotest.int "four reads" 4 stats.Metrics.Stats.disk_batched_reads
+
+(* covered_by_buffer semantics: only a read wholly inside a buffered
+   write run is served at RAM speed; partial overlap goes to the media. *)
+let disk_read_after_write_partial_overlap () =
+  let engine, stats, disk = mk_disk () in
+  Storage.Disk.submit disk ~sector:1_000 ~nsectors:16 ~kind:Storage.Disk.Write
+    (fun () -> ());
+  let inside = ref false and partial = ref false in
+  Storage.Disk.submit disk ~sector:1_004 ~nsectors:8 ~kind:Storage.Disk.Read
+    (fun () -> inside := true);
+  Storage.Disk.submit disk ~sector:1_008 ~nsectors:16 ~kind:Storage.Disk.Read
+    (fun () -> partial := true);
+  Test_util.drain_until engine (fun () -> !inside && !partial);
+  (* Only the straddling read touched the media. *)
+  check Alcotest.int "one media read" 16 stats.Metrics.Stats.disk_sectors_read
+
+(* queue_depth counts waiting reads + buffered write runs + the access
+   in flight, and returns to zero once everything drains. *)
+let disk_queue_depth_consistency () =
+  let engine, _, disk = mk_disk () in
+  check Alcotest.int "idle" 0 (Storage.Disk.queue_depth disk);
+  Storage.Disk.submit disk ~sector:3_000_000 ~nsectors:8
+    ~kind:Storage.Disk.Read (fun () -> ());
+  check Alcotest.int "one in service" 1 (Storage.Disk.queue_depth disk);
+  List.iter
+    (fun s ->
+      Storage.Disk.submit disk ~sector:s ~nsectors:8 ~kind:Storage.Disk.Read
+        (fun () -> ()))
+    [ 4_000_000; 4_000_008; 4_000_016 ];
+  Storage.Disk.write_buffered disk ~sector:9_000_000 ~nsectors:8;
+  check Alcotest.int "3 reads + 1 run + 1 in service" 5
+    (Storage.Disk.queue_depth disk);
+  Test_util.drain engine;
+  check Alcotest.int "drained" 0 (Storage.Disk.queue_depth disk)
+
+(* Property: under arbitrary interleavings, every submitted read
+   completes exactly once, and same-sector reads complete in submission
+   order even when coalesced into different positions of a batch. *)
+let disk_every_read_completes_once =
+  QCheck.Test.make
+    ~name:"disk: reads complete exactly once, same-sector in order"
+    ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 30) (int_range 0 40))
+    (fun picks ->
+      let engine, _, disk = mk_disk () in
+      (* A small sector universe (spread out to force seeks) so distinct
+         submissions frequently hit the same sector. *)
+      let completed = ref [] in
+      List.iteri
+        (fun i p ->
+          let sector = p * 10_000 in
+          Storage.Disk.submit disk ~sector ~nsectors:8
+            ~kind:Storage.Disk.Read (fun () ->
+              completed := (sector, i) :: !completed))
+        picks;
+      Test_util.drain engine;
+      let completed = List.rev !completed in
+      let ids = List.map snd completed in
+      let n = List.length picks in
+      List.sort compare ids = List.init n Fun.id
+      && (* per sector, completion ids appear in submission order *)
+      List.for_all
+        (fun p ->
+          let sector = p * 10_000 in
+          let mine =
+            List.filter_map
+              (fun (s, i) -> if s = sector then Some i else None)
+              completed
+          in
+          mine = List.sort compare mine)
+        picks)
+
 let disk_rejects_empty () =
   let _, _, disk = mk_disk () in
   Alcotest.check_raises "zero sectors"
@@ -170,12 +291,34 @@ let swap_cluster_sequential () =
   Alcotest.(check bool) "sequential runs" true consecutive;
   check Alcotest.int "in use" 300 (Storage.Swap_area.in_use sa)
 
+(* Regression: create used truncating division, silently resizing the
+   area (300 -> 256 slots, 100 -> 256).  The cluster count now rounds
+   up and the exact requested nslots is kept. *)
 let swap_cluster_rounding () =
   check Alcotest.int "cluster size" 256 Storage.Swap_area.cluster_slots;
   let sa = Storage.Swap_area.create ~base_sector:0 ~nslots:300 in
-  check Alcotest.int "rounded down to one cluster" 256 (Storage.Swap_area.nslots sa);
+  check Alcotest.int "exact nslots kept" 300 (Storage.Swap_area.nslots sa);
+  check Alcotest.int "partial cluster counts as free" 2
+    (Storage.Swap_area.free_clusters sa);
   let sa2 = Storage.Swap_area.create ~base_sector:0 ~nslots:100 in
-  check Alcotest.int "minimum one cluster" 256 (Storage.Swap_area.nslots sa2)
+  check Alcotest.int "sub-cluster area keeps size" 100
+    (Storage.Swap_area.nslots sa2);
+  (* Every requested slot is allocatable, and exhaustion happens at
+     exactly the requested count, not at a cluster boundary. *)
+  let slots =
+    List.init 300 (fun i -> Storage.Swap_area.alloc sa (Storage.Content.Anon i))
+  in
+  Alcotest.(check bool) "all 300 allocate" true
+    (List.for_all Option.is_some slots);
+  Alcotest.(check (option int)) "301st fails" None
+    (Storage.Swap_area.alloc sa Storage.Content.Zero);
+  check Alcotest.int "in use" 300 (Storage.Swap_area.in_use sa);
+  (* Freeing the partial cluster's slots makes it wholly free again. *)
+  List.iter
+    (fun s -> if Option.get s >= 256 then Storage.Swap_area.free sa (Option.get s))
+    slots;
+  check Alcotest.int "partial cluster free again" 1
+    (Storage.Swap_area.free_clusters sa)
 
 let swap_roundtrip () =
   let sa = Storage.Swap_area.create ~base_sector:800 ~nslots:256 in
@@ -304,8 +447,16 @@ let tests =
         Alcotest.test_case "write ack" `Quick disk_write_acks_fast;
         Alcotest.test_case "read from buffer" `Quick disk_read_served_from_write_buffer;
         Alcotest.test_case "idle flush + merge" `Quick disk_flushes_when_idle;
+        Alcotest.test_case "coalesces queued reads" `Quick
+          disk_coalesces_queued_reads;
+        Alcotest.test_case "batch span cap" `Quick disk_batch_cap;
+        Alcotest.test_case "partial overlap goes to media" `Quick
+          disk_read_after_write_partial_overlap;
+        Alcotest.test_case "queue depth consistency" `Quick
+          disk_queue_depth_consistency;
         Alcotest.test_case "rejects empty" `Quick disk_rejects_empty;
         qcheck disk_service_monotone;
+        qcheck disk_every_read_completes_once;
       ] );
     ( "storage:swap_area",
       [
