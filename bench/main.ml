@@ -16,10 +16,17 @@
    run) plus the core data-structure operations — and prints their
    measured costs.
 
+   `--jobs N` overrides `VSWAPPER_JOBS` (and the core-count default);
+   `--jobs 1` forces the serial inline path.  Both the experiment fan-out
+   and the intra-experiment shards (fig3/fig4/fig5/fig11/fig14/abl) run
+   on the same shared pool — its `map` is re-entrant, so the nesting is
+   safe at any width.
+
    `--json [FILE]` additionally writes a machine-readable summary
-   (per-experiment wall-clock, estimated speedup vs serial, micro ns/run)
-   to FILE, default `BENCH_<yyyy-mm-dd>.json`, so future changes have a
-   perf trajectory to compare against. *)
+   (per-experiment wall-clock with a history of the last runs, estimated
+   speedup vs serial, pool scheduling counters, micro ns/run) to FILE,
+   default `BENCH_<yyyy-mm-dd>.json`, so future changes have a perf
+   trajectory to compare against. *)
 
 let scale () =
   match Sys.getenv_opt "VSWAPPER_BENCH_SCALE" with
@@ -56,8 +63,35 @@ type bench_record = {
   jobs : int;
 }
 
-(* Per-experiment wall-clocks of an earlier summary, for delta lines.
-   Parses only the writer's own "id"/"wall_s" record format. *)
+(* How many past runs each experiment's wall-clock history keeps. *)
+let history_depth = 5
+
+(* [parse_history line] extracts the floats of a `"history": [..]`
+   field, if the line has one. *)
+let parse_history line =
+  let key = "\"history\": [" in
+  match
+    (* Find the key by scanning; String.index-based search, no regex. *)
+    let kl = String.length key and ll = String.length line in
+    let rec find i =
+      if i + kl > ll then None
+      else if String.sub line i kl = key then Some (i + kl)
+      else find (i + 1)
+    in
+    find 0
+  with
+  | None -> []
+  | Some start -> (
+      match String.index_from_opt line start ']' with
+      | None -> []
+      | Some stop ->
+          String.sub line start (stop - start)
+          |> String.split_on_char ','
+          |> List.filter_map (fun s -> float_of_string_opt (String.trim s)))
+
+(* Per-experiment wall-clocks (and their recorded history) of an earlier
+   summary, for delta lines and history roll-forward.  Parses only the
+   writer's own "id"/"wall_s" record format. *)
 let prev_walls file =
   if not (Sys.file_exists file) then []
   else begin
@@ -68,7 +102,7 @@ let prev_walls file =
          let line = String.trim (input_line ic) in
          try
            Scanf.sscanf line "{\"id\": %S, \"wall_s\": %f" (fun id w ->
-               acc := (id, w) :: !acc)
+               acc := (id, (w, parse_history line)) :: !acc)
          with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
        done
      with End_of_file -> ());
@@ -122,17 +156,40 @@ let write_json ~file ~scale r =
        float_of_int d.Experiments.Exp.batch_sectors
        /. float_of_int d.Experiments.Exp.batches
      else 0.0);
+  let ps = Parallel.Pool.stats (Parallel.Pool.global ()) in
+  out
+    "  \"parallel\": {\"jobs\": %d, \"worker_jobs\": %d, \"helper_jobs\": \
+     %d, \"peak_queue_depth\": %d},\n"
+    ps.Parallel.Pool.jobs ps.Parallel.Pool.worker_jobs
+    ps.Parallel.Pool.helper_jobs ps.Parallel.Pool.peak_queue_depth;
   out "  \"experiments\": [";
   List.iteri
     (fun i (id, wall_s, ok) ->
-      let delta =
+      (* [history] rolls the previous file's wall_s (plus its own
+         history) forward, newest first, capped at [history_depth] past
+         runs; [delta_s] stays the one-step comparison. *)
+      let delta, history =
         match List.assoc_opt id prev with
-        | Some w -> Printf.sprintf ", \"delta_s\": %+.3f" (wall_s -. w)
-        | None -> ""
+        | Some (w, past) ->
+            let rec cap n = function
+              | x :: r when n > 0 -> x :: cap (n - 1) r
+              | _ -> []
+            in
+            ( Printf.sprintf ", \"delta_s\": %+.3f" (wall_s -. w),
+              cap history_depth (w :: past) )
+        | None -> ("", [])
       in
-      out "%s\n    {\"id\": \"%s\", \"wall_s\": %.3f%s, \"ok\": %b}"
+      let history =
+        match history with
+        | [] -> ""
+        | hs ->
+            Printf.sprintf ", \"history\": [%s]"
+              (String.concat ", "
+                 (List.map (Printf.sprintf "%.3f") hs))
+      in
+      out "%s\n    {\"id\": \"%s\", \"wall_s\": %.3f%s%s, \"ok\": %b}"
         (if i = 0 then "" else ",")
-        (json_escape id) wall_s delta ok)
+        (json_escape id) wall_s delta history ok)
     r.experiments;
   out "\n  ],\n";
   out "  \"micros\": [";
@@ -314,12 +371,24 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let micro = ref false in
   let json = ref None in
+  let jobs_flag = ref None in
   let ids = ref [] in
   let rec parse = function
     | [] -> ()
     | "--micro" :: rest ->
         micro := true;
         parse rest
+    | "--jobs" :: value :: rest -> (
+        match int_of_string_opt value with
+        | Some n when n >= 1 ->
+            jobs_flag := Some n;
+            parse rest
+        | Some _ | None ->
+            Printf.eprintf "--jobs expects a positive integer, got %S\n" value;
+            exit 2)
+    | [ "--jobs" ] ->
+        Printf.eprintf "--jobs expects a positive integer\n";
+        exit 2
     | "--json" :: value :: rest
       when String.length value > 0 && value.[0] <> '-'
            && Experiments.Registry.find value = None ->
@@ -333,12 +402,17 @@ let () =
         parse rest
   in
   parse args;
+  (* --jobs beats VSWAPPER_JOBS beats the core-count default; size the
+     shared pool once, before anything submits to it. *)
+  (match !jobs_flag with
+  | Some n -> Parallel.Pool.set_global_jobs n
+  | None -> ());
   let record =
     {
       experiments = [];
       total_wall_s = 0.0;
       micros = [];
-      jobs = Parallel.Pool.default_jobs ();
+      jobs = Parallel.Pool.jobs (Parallel.Pool.global ());
     }
   in
   if !micro then run_micro ~record () else run_experiments ~record !ids;

@@ -98,33 +98,39 @@ let run ~scale =
   let buf = Buffer.create 1024 in
   let addf fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
 
+  (* Each ablation grid's points are independent machine runs, so every
+     grid fans out over the shared pool; the jobs return the formatted
+     rows, appended here in submission order, so the rendered block is
+     identical to the old serial loops. *)
+
   (* D2: preventer window / cap sweep under a partial-write storm. *)
   addf "D2: Preventer window and buffer-cap sweep (partial-write storm)";
   addf "%-30s %10s %10s %10s %10s" "config" "time[s]" "timeouts" "rejects" "merges";
-  List.iter
-    (fun (label, window_us, cap) ->
-      let vs =
-        {
-          Vswapper.Vsconfig.vswapper with
-          preventer_window = Sim.Time.us window_us;
-          preventer_max_buffers = cap;
-        }
-      in
-      let out = partial_write_storm ~vs in
-      addf "%-30s %10s %10d %10d %10d" label
-        (match out.Exp.runtime_s with
-        | Some v -> Printf.sprintf "%.2f" v
-        | None -> "crash")
-        out.Exp.stats.Metrics.Stats.preventer_timeouts
-        out.Exp.stats.Metrics.Stats.preventer_rejects
-        out.Exp.stats.Metrics.Stats.preventer_merges)
-    [
-      ("window=0.25ms cap=32", 250, 32);
-      ("window=1ms    cap=32 (paper)", 1_000, 32);
-      ("window=4ms    cap=32", 4_000, 32);
-      ("window=1ms    cap=8", 1_000, 8);
-      ("window=1ms    cap=128", 1_000, 128);
-    ];
+  List.iter (addf "%s")
+    (Exp.shard
+       (fun (label, window_us, cap) ->
+         let vs =
+           {
+             Vswapper.Vsconfig.vswapper with
+             preventer_window = Sim.Time.us window_us;
+             preventer_max_buffers = cap;
+           }
+         in
+         let out = partial_write_storm ~vs in
+         Printf.sprintf "%-30s %10s %10d %10d %10d" label
+           (match out.Exp.runtime_s with
+           | Some v -> Printf.sprintf "%.2f" v
+           | None -> "crash")
+           out.Exp.stats.Metrics.Stats.preventer_timeouts
+           out.Exp.stats.Metrics.Stats.preventer_rejects
+           out.Exp.stats.Metrics.Stats.preventer_merges)
+       [
+         ("window=0.25ms cap=32", 250, 32);
+         ("window=1ms    cap=32 (paper)", 1_000, 32);
+         ("window=4ms    cap=32", 4_000, 32);
+         ("window=1ms    cap=8", 1_000, 8);
+         ("window=1ms    cap=128", 1_000, 128);
+       ]);
   addf "";
 
   (* D3: named-page preference on/off under the Mapper, where guest page
@@ -132,48 +138,52 @@ let run ~scale =
      swaps anonymous pages it could have avoided touching. *)
   addf "D3: named-page reclaim preference (mapper iterated sysbench)";
   addf "%-30s %12s %12s %14s" "config" "iter1[s]" "iter4[s]" "swap-writes-pg";
-  List.iter
-    (fun (label, pref) ->
-      let hbase = { Host.Hconfig.default with named_preference = pref } in
-      match
-        sysbench_run ~vs:Vswapper.Vsconfig.mapper_only ~hbase
-          ~host_swap_mb:384 ~iterations:4 ()
-      with
-      | Some ((first, last), out) ->
-          addf "%-30s %12.2f %12.2f %14d" label first last
-            out.Exp.stats.Metrics.Stats.host_swapouts
-      | None -> addf "%-30s (incomplete)" label)
-    [ ("preference on (linux)", true); ("preference off", false) ];
+  List.iter (addf "%s")
+    (Exp.shard
+       (fun (label, pref) ->
+         let hbase = { Host.Hconfig.default with named_preference = pref } in
+         match
+           sysbench_run ~vs:Vswapper.Vsconfig.mapper_only ~hbase
+             ~host_swap_mb:384 ~iterations:4 ()
+         with
+         | Some ((first, last), out) ->
+             Printf.sprintf "%-30s %12.2f %12.2f %14d" label first last
+               out.Exp.stats.Metrics.Stats.host_swapouts
+         | None -> Printf.sprintf "%-30s (incomplete)" label)
+       [ ("preference on (linux)", true); ("preference off", false) ]);
   addf "";
 
   (* D4: swap cluster readahead size under the baseline. *)
   addf "D4: swap readahead cluster (baseline iterated sysbench, first/last iter)";
   addf "%-26s %12s %12s" "page-cluster" "iter1[s]" "iter4[s]";
-  List.iter
-    (fun pc ->
-      let hbase = { Host.Hconfig.default with page_cluster = pc } in
-      match sysbench_run ~hbase ~host_swap_mb:384 ~iterations:4 () with
-      | Some ((first, last), _) ->
-          addf "%-26s %12.2f %12.2f"
-            (Printf.sprintf "2^%d = %d pages" pc (1 lsl pc))
-            first last
-      | None -> addf "2^%d (incomplete)" pc)
-    [ 0; 3; 5 ];
+  List.iter (addf "%s")
+    (Exp.shard
+       (fun pc ->
+         let hbase = { Host.Hconfig.default with page_cluster = pc } in
+         match sysbench_run ~hbase ~host_swap_mb:384 ~iterations:4 () with
+         | Some ((first, last), _) ->
+             Printf.sprintf "%-26s %12.2f %12.2f"
+               (Printf.sprintf "2^%d = %d pages" pc (1 lsl pc))
+               first last
+         | None -> Printf.sprintf "2^%d (incomplete)" pc)
+       [ 0; 3; 5 ]);
   addf "";
 
   (* D1: swap sizing controls how fast decay arrives. *)
   addf "D1: swap-area size vs sequentiality decay (baseline, first/last iter)";
   addf "%-26s %12s %12s" "swap size" "iter1[s]" "iter6[s]";
-  List.iter
-    (fun swap_mb ->
-      match
-        sysbench_run ~hbase:Host.Hconfig.default ~host_swap_mb:swap_mb
-          ~iterations:6 ()
-      with
-      | Some ((first, last), _) -> addf "%-26s %12.2f %12.2f"
-          (Printf.sprintf "%dMB" swap_mb) first last
-      | None -> addf "%dMB (incomplete)" swap_mb)
-    [ 256; 384; 1024 ];
+  List.iter (addf "%s")
+    (Exp.shard
+       (fun swap_mb ->
+         match
+           sysbench_run ~hbase:Host.Hconfig.default ~host_swap_mb:swap_mb
+             ~iterations:6 ()
+         with
+         | Some ((first, last), _) ->
+             Printf.sprintf "%-26s %12.2f %12.2f"
+               (Printf.sprintf "%dMB" swap_mb) first last
+         | None -> Printf.sprintf "%dMB (incomplete)" swap_mb)
+       [ 256; 384; 1024 ]);
   Buffer.contents buf
 
 let exp : Exp.t =

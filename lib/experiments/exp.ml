@@ -112,6 +112,36 @@ let run_machine ?(get_marks = fun () -> []) machine =
 
 let opt_s r = r.runtime_s
 
+(* Fan a per-configuration loop out over the shared global pool.  [map]
+   on the global pool is re-entrant — the calling domain helps execute
+   queued jobs instead of blocking — so experiments sharded here may
+   themselves be jobs of the outer registry sweep.  Results come back in
+   submission order, and a job's exception is re-raised here, so a
+   failing point fails the whole experiment exactly as the serial loop
+   did (the registry captures it per-experiment). *)
+let shard f xs =
+  Parallel.Pool.map (Parallel.Pool.global ()) f xs
+  |> List.map (function Ok v -> v | Error e -> raise e)
+
+(* [group k xs] splits [xs] into consecutive chunks of [k] — undoes the
+   configs-major flattening the sweeps use to submit every (config,
+   point) pair as one pool job. *)
+let group k xs =
+  let rec take i acc l =
+    if i = 0 then (List.rev acc, l)
+    else
+      match l with
+      | [] -> (List.rev acc, [])
+      | x :: r -> take (i - 1) (x :: acc) r
+  in
+  let rec go = function
+    | [] -> []
+    | l ->
+        let c, rest = take k [] l in
+        c :: go rest
+  in
+  if k <= 0 then invalid_arg "Exp.group" else go xs
+
 let header ~id ~title ~paper_claim body =
   let line = String.make 72 '=' in
   Printf.sprintf "%s\n%s: %s\npaper: %s\n%s\n%s" line (String.uppercase_ascii id)

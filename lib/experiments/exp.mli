@@ -73,5 +73,16 @@ val disk_totals : unit -> disk_totals
 (** [opt_s r] is the runtime as an option-float cell for series tables. *)
 val opt_s : run_out -> float option
 
+(** [shard f xs] fans [f] over [xs] on the shared {!Parallel.Pool.global}
+    pool and returns the results in the order of [xs].  Safe to call from
+    inside an experiment already running as a pool job (the pool's [map]
+    is re-entrant); a job's exception is re-raised, so a failing point
+    fails the experiment exactly as a serial loop would. *)
+val shard : ('a -> 'b) -> 'a list -> 'b list
+
+(** [group k xs] splits [xs] into consecutive chunks of length [k] (the
+    last chunk may be shorter). *)
+val group : int -> 'a list -> 'a list list
+
 (** [header ~id ~title ~paper_claim body] formats an experiment block. *)
 val header : id:string -> title:string -> paper_claim:string -> string -> string

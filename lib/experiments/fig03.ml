@@ -14,8 +14,11 @@ let run ~scale =
   let file_mb = Exp.mb scale 200 in
   let guest_mb = Exp.mb scale 512 in
   let limit_mb = Exp.mb scale 100 in
+  (* Five independent machine runs, one per configuration — sharded over
+     the shared pool (this experiment is itself a job of the registry
+     sweep; nested submission is safe). *)
   let rows =
-    List.map
+    Exp.shard
       (fun (kind, paper_s) ->
         let workload = Workloads.Sysbench.workload ~iterations:1 ~file_mb () in
         let guest =

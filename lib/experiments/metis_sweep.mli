@@ -8,5 +8,9 @@ val configs : Exp.config_kind list
     seconds of the guests that finished, or [None] if none did. *)
 val run_point : scale:float -> Exp.config_kind -> n_guests:int -> float option
 
+(** [sweep ~scale ns] runs every configuration at every guest count.
+    The (config, count) grid fans out over {!Parallel.Pool.global} (one
+    pool job per machine run); results are regrouped in submission
+    order, so the series are identical to a serial nested loop. *)
 val sweep :
   scale:float -> int list -> (Exp.config_kind * float option list) list

@@ -53,11 +53,19 @@ let run_point ~scale kind ~actual_mb =
     pages_scanned = out.Exp.stats.Metrics.Stats.pages_scanned;
   }
 
+(* Fan the whole configs x mems grid out over the shared pool in one
+   submission; see Metis_sweep.sweep for the shape. *)
 let sweep ~scale mems =
-  List.map
-    (fun kind ->
-      (kind, List.map (fun m -> run_point ~scale kind ~actual_mb:m) mems))
+  let points =
+    List.concat_map (fun kind -> List.map (fun m -> (kind, m)) mems) configs
+  in
+  let outs =
+    Exp.shard (fun (kind, m) -> run_point ~scale kind ~actual_mb:m) points
+  in
+  List.map2
+    (fun kind row -> (kind, row))
     configs
+    (Exp.group (List.length mems) outs)
 
 let render ~title ~mems ~panels results =
   let x = List.map (fun m -> string_of_int m ^ "MB") mems in

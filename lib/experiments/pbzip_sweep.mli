@@ -13,7 +13,10 @@ type out = {
     whose actual memory is [actual_mb], under configuration [kind]. *)
 val run_point : scale:float -> Exp.config_kind -> actual_mb:int -> out
 
-(** [sweep ~scale mems] runs every configuration over the memory list. *)
+(** [sweep ~scale mems] runs every configuration over the memory list.
+    The (config, mem) grid fans out over {!Parallel.Pool.global} (one
+    pool job per machine run); results are regrouped in submission
+    order, so the series are identical to a serial nested loop. *)
 val sweep : scale:float -> int list -> (Exp.config_kind * out list) list
 
 (** [render ~title ~mems ~panels results] draws one series table per

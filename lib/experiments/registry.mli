@@ -17,10 +17,14 @@ type outcome = {
 }
 
 (** [run_all ?jobs ~scale exps] runs the experiments, fanning them out
-    over a {!Parallel.Pool} of [jobs] domains ([Pool.default_jobs ()]
-    when omitted — the [VSWAPPER_JOBS] environment variable, else
-    [Domain.recommended_domain_count () - 1]).  Outcomes come back in the
-    order of [exps] regardless of completion order, and every experiment
-    is deterministic given its scale, so the rendered outputs are
+    over the shared {!Parallel.Pool.global} pool ([Pool.default_jobs ()]
+    wide when [jobs] is omitted — the [VSWAPPER_JOBS] environment
+    variable, else [Domain.recommended_domain_count () - 1]; when [jobs]
+    is given the global pool is resized to it first).  The heavy
+    experiments additionally shard their per-configuration machine runs
+    onto the same pool from inside their jobs — the pool's [map] is
+    re-entrant, so the nesting is safe.  Outcomes come back in the order
+    of [exps] regardless of completion order, and every experiment is
+    deterministic given its scale, so the rendered outputs are
     byte-identical for any [jobs]. *)
 val run_all : ?jobs:int -> scale:float -> Exp.t list -> outcome list

@@ -5,6 +5,15 @@ type t = {
   tasks : (unit -> unit) Queue.t;
   mutable closed : bool;
   mutable workers : unit Domain.t list;
+  (* Execution accounting (read cross-domain by [stats]):
+     [worked]  jobs executed by dedicated worker domains,
+     [helped]  jobs executed by a submitter inside [map] (the inline
+               serial path counts here too — the submitter ran them),
+     [peak]    deepest the shared queue has been (updated under
+               [mutex] at enqueue time, so the max is exact). *)
+  worked : int Atomic.t;
+  helped : int Atomic.t;
+  peak : int Atomic.t;
 }
 
 (* The OCaml runtime supports at most 128 simultaneous domains; stay
@@ -13,12 +22,26 @@ let max_jobs = 126
 
 let clamp_jobs j = max 1 (min max_jobs j)
 
+(* Explicitly requested widths (the [?jobs] argument, [VSWAPPER_JOBS],
+   bench [--jobs]) warn the first time one is clamped.  The derived
+   fallback [recommended_domain_count () - 1] clamps silently — it hits
+   the floor on every 1-core box and is not a user request. *)
+let clamp_warned = Atomic.make false
+
+let clamp_jobs_requested j =
+  let clamped = clamp_jobs j in
+  if clamped <> j && not (Atomic.exchange clamp_warned true) then
+    Printf.eprintf
+      "[parallel] warning: requested %d jobs clamped to %d (valid range 1..%d)\n%!"
+      j clamped max_jobs;
+  clamped
+
 let default_jobs () =
   let fallback () = clamp_jobs (Domain.recommended_domain_count () - 1) in
   match Sys.getenv_opt "VSWAPPER_JOBS" with
   | Some s -> (
       match int_of_string_opt (String.trim s) with
-      | Some n when n >= 1 -> clamp_jobs n
+      | Some n when n >= 1 -> clamp_jobs_requested n
       | Some _ | None -> fallback ())
   | None -> fallback ()
 
@@ -34,13 +57,16 @@ let rec worker t =
   else begin
     let task = Queue.pop t.tasks in
     Mutex.unlock t.mutex;
+    Atomic.incr t.worked;
     task ();
     worker t
   end
 
 let create ?jobs () =
   let jobs =
-    match jobs with Some j -> clamp_jobs j | None -> default_jobs ()
+    match jobs with
+    | Some j -> clamp_jobs_requested j
+    | None -> default_jobs ()
   in
   let t =
     {
@@ -50,6 +76,9 @@ let create ?jobs () =
       tasks = Queue.create ();
       closed = false;
       workers = [];
+      worked = Atomic.make 0;
+      helped = Atomic.make 0;
+      peak = Atomic.make 0;
     }
   in
   if jobs > 1 then
@@ -58,16 +87,49 @@ let create ?jobs () =
 
 let jobs t = t.jobs
 
-let map t f xs =
+type stats = {
+  jobs : int;
+  worker_jobs : int;
+  helper_jobs : int;
+  peak_queue_depth : int;
+}
+
+let stats (t : t) =
+  {
+    jobs = t.jobs;
+    worker_jobs = Atomic.get t.worked;
+    helper_jobs = Atomic.get t.helped;
+    peak_queue_depth = Atomic.get t.peak;
+  }
+
+let reset_stats t =
+  Atomic.set t.worked 0;
+  Atomic.set t.helped 0;
+  Atomic.set t.peak 0
+
+(* Re-entrant map.  The caller enqueues its jobs, then *helps*: it pops
+   and executes queued jobs — its own or any other caller's — until its
+   own jobs are all done, and blocks only when the queue is empty while
+   jobs of its own are still in flight on other domains.  Because a
+   submitter keeps popping for as long as any job of its own is
+   un-started, every queued job always has at least one non-blocked
+   domain (its submitter, or a dedicated worker) that will pop it, so
+   nested submissions cannot deadlock the fixed worker set: a worker
+   whose job calls [map] executes the nested jobs itself instead of
+   sleeping on an occupied pool. *)
+let map (t : t) f xs =
   let arr = Array.of_list xs in
   let n = Array.length arr in
   let results = Array.make n None in
-  if t.jobs <= 1 || n <= 1 then
+  if t.jobs <= 1 || n <= 1 then begin
     (* Serial reference path: same code the workers run, same order the
-       results come back in. *)
+       results come back in; the submitter executed them, so they count
+       as helper jobs. *)
     Array.iteri
       (fun i x -> results.(i) <- Some (try Ok (f x) with e -> Error e))
-      arr
+      arr;
+    ignore (Atomic.fetch_and_add t.helped n)
+  end
   else begin
     let done_mutex = Mutex.create () in
     let done_cond = Condition.create () in
@@ -85,25 +147,43 @@ let map t f xs =
             Mutex.unlock done_mutex)
           t.tasks)
       arr;
+    let depth = Queue.length t.tasks in
+    if depth > Atomic.get t.peak then Atomic.set t.peak depth;
     Condition.broadcast t.nonempty;
     Mutex.unlock t.mutex;
-    (* The submitting domain works too, then waits for the stragglers. *)
-    let rec drain () =
-      Mutex.lock t.mutex;
-      if Queue.is_empty t.tasks then Mutex.unlock t.mutex
-      else begin
-        let task = Queue.pop t.tasks in
-        Mutex.unlock t.mutex;
-        task ();
-        drain ()
+    (* Help until this call's own jobs are done.  The queue is shared
+       FIFO, so helping can execute another caller's job — that is what
+       makes nesting safe: our un-started jobs can only sit behind work
+       someone submitted earlier, and that submitter is likewise helping,
+       not sleeping.  We stop as soon as [remaining] hits 0 (any leftover
+       queue is other callers' business — their submitters and the
+       workers drain it), so a caller's latency covers its own jobs plus
+       at most the foreign job it is currently executing, not the whole
+       backlog.  We block only when the queue is empty while stragglers
+       of ours are in flight: whoever holds them is executing, not
+       sleeping, so waiting cannot deadlock. *)
+    let rec help () =
+      Mutex.lock done_mutex;
+      let mine_done = !remaining = 0 in
+      Mutex.unlock done_mutex;
+      if not mine_done then begin
+        Mutex.lock t.mutex;
+        match Queue.take_opt t.tasks with
+        | Some task ->
+            Mutex.unlock t.mutex;
+            Atomic.incr t.helped;
+            task ();
+            help ()
+        | None ->
+            Mutex.unlock t.mutex;
+            Mutex.lock done_mutex;
+            while !remaining > 0 do
+              Condition.wait done_cond done_mutex
+            done;
+            Mutex.unlock done_mutex
       end
     in
-    drain ();
-    Mutex.lock done_mutex;
-    while !remaining > 0 do
-      Condition.wait done_cond done_mutex
-    done;
-    Mutex.unlock done_mutex
+    help ()
   end;
   Array.to_list (Array.map Option.get results)
 
@@ -118,3 +198,33 @@ let shutdown t =
 let run ?jobs f xs =
   let t = create ?jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> map t f xs)
+
+(* ------------------------------------------------------------------ *)
+(* The process-global shared pool                                      *)
+(* ------------------------------------------------------------------ *)
+
+let global_mutex = Mutex.create ()
+let global_pool : t option ref = ref None
+
+let global () =
+  Mutex.lock global_mutex;
+  let t =
+    match !global_pool with
+    | Some t -> t
+    | None ->
+        let t = create () in
+        global_pool := Some t;
+        t
+  in
+  Mutex.unlock global_mutex;
+  t
+
+let set_global_jobs j =
+  let j = clamp_jobs_requested j in
+  Mutex.lock global_mutex;
+  (match !global_pool with
+  | Some t when t.jobs = j -> ()
+  | prev ->
+      (match prev with Some t -> shutdown t | None -> ());
+      global_pool := Some (create ~jobs:j ()));
+  Mutex.unlock global_mutex

@@ -97,6 +97,126 @@ let stats_deterministic_under_domains () =
         reference (Result.get_ok r))
     outs
 
+(* ---- nesting-safe global pool ---- *)
+
+(* Every outer job (one per pool slot, and then some) submits a nested
+   map to the same pool; with a blocking scheduler this deadlocks as
+   soon as all workers hold an outer job.  The work-sharing pool must
+   terminate and keep both levels' ordering. *)
+let global_nested_map_terminates () =
+  Parallel.Pool.set_global_jobs 4;
+  let p = Parallel.Pool.global () in
+  let outer = List.init 8 Fun.id in
+  let out =
+    Parallel.Pool.map p
+      (fun o ->
+        Parallel.Pool.map p (fun i -> (o * 100) + i) (List.init 16 Fun.id)
+        |> List.map Result.get_ok)
+      outer
+  in
+  List.iteri
+    (fun o r ->
+      check
+        Alcotest.(list int)
+        (Printf.sprintf "outer %d inner results ordered" o)
+        (List.init 16 (fun i -> (o * 100) + i))
+        (Result.get_ok r))
+    out
+
+(* Three levels deep, from every worker at once. *)
+let global_deep_nesting () =
+  Parallel.Pool.set_global_jobs 4;
+  let p = Parallel.Pool.global () in
+  let sum l = List.fold_left ( + ) 0 l in
+  let level3 o m =
+    Parallel.Pool.map p (fun i -> o + m + i) [ 1; 2; 3 ]
+    |> List.map Result.get_ok |> sum
+  in
+  let level2 o =
+    Parallel.Pool.map p (level3 o) [ 10; 20 ] |> List.map Result.get_ok |> sum
+  in
+  let out = Parallel.Pool.map p level2 (List.init 6 (fun o -> o * 1000)) in
+  List.iteri
+    (fun i r ->
+      (* level2 o = sum over m in {10,20} of (3o + 3m + 6) = 6o + 102 *)
+      check Alcotest.int
+        (Printf.sprintf "outer %d deep sum" i)
+        ((6 * (i * 1000)) + 102)
+        (Result.get_ok r))
+    out
+
+(* An exception in a nested job is captured for that inner element only:
+   the inner map returns its Error, the outer job goes on and succeeds,
+   and sibling outer jobs are untouched. *)
+let global_inner_exception_isolated () =
+  Parallel.Pool.set_global_jobs 4;
+  let p = Parallel.Pool.global () in
+  let out =
+    Parallel.Pool.map p
+      (fun o ->
+        let inner =
+          Parallel.Pool.map p
+            (fun i -> if o = 2 && i = 3 then failwith "inner boom" else i)
+            (List.init 6 Fun.id)
+        in
+        List.map (function Ok v -> v | Error _ -> -1) inner)
+      (List.init 5 Fun.id)
+  in
+  List.iteri
+    (fun o r ->
+      let expected =
+        List.init 6 (fun i -> if o = 2 && i = 3 then -1 else i)
+      in
+      check
+        Alcotest.(list int)
+        (Printf.sprintf "outer %d survives inner failure" o)
+        expected (Result.get_ok r))
+    out
+
+let clamp_and_stats () =
+  (* Clamping is observable without spawning (a max_jobs-wide pool plus
+     the global pool would exceed the runtime's 128-domain cap). *)
+  let old = Sys.getenv_opt "VSWAPPER_JOBS" in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "VSWAPPER_JOBS" (Option.value old ~default:""))
+    (fun () ->
+      Unix.putenv "VSWAPPER_JOBS" (string_of_int (Parallel.Pool.max_jobs + 100));
+      check Alcotest.int "width clamped to max_jobs" Parallel.Pool.max_jobs
+        (Parallel.Pool.default_jobs ()));
+  Parallel.Pool.set_global_jobs 4;
+  let g = Parallel.Pool.global () in
+  Parallel.Pool.reset_stats g;
+  let n = 32 in
+  ignore
+    (Parallel.Pool.map g
+       (fun _ -> Parallel.Pool.map g Fun.id (List.init 4 Fun.id))
+       (List.init n Fun.id));
+  let s = Parallel.Pool.stats g in
+  check Alcotest.int "every job accounted once" (n + (n * 4))
+    (s.Parallel.Pool.worker_jobs + s.Parallel.Pool.helper_jobs);
+  Alcotest.(check bool) "peak queue depth observed" true
+    (s.Parallel.Pool.peak_queue_depth >= 1);
+  Alcotest.(check bool) "submitters helped" true
+    (s.Parallel.Pool.helper_jobs > 0)
+
+(* The sharded fig4 (four ten-guest machine runs fanned out over the
+   global pool, nested under nothing here) must render byte-identically
+   to the serial inline path, at any scale. *)
+let fig4_sharded_equals_serial =
+  QCheck.Test.make ~name:"parallel: sharded fig4 == serial fig4 (any scale)"
+    ~count:3
+    QCheck.(make Gen.(oneofl [ 0.02; 0.03; 0.04 ]))
+    (fun scale ->
+      let fig4 = Option.get (Experiments.Registry.find "fig4") in
+      let render jobs =
+        Parallel.Pool.set_global_jobs jobs;
+        fig4.Experiments.Exp.run ~scale
+      in
+      let serial = render 1 in
+      let sharded = render 4 in
+      String.equal serial sharded)
+
 let run_all_deterministic () =
   let chosen =
     List.filter_map Experiments.Registry.find [ "fig3"; "tab1" ]
@@ -125,11 +245,23 @@ let tests =
           pool_reusable_and_serial_equal;
         Alcotest.test_case "VSWAPPER_JOBS override" `Quick jobs_env_override;
       ] );
+    ( "parallel:nesting",
+      [
+        Alcotest.test_case "nested map on global pool terminates ordered"
+          `Quick global_nested_map_terminates;
+        Alcotest.test_case "three-level nesting from every worker" `Quick
+          global_deep_nesting;
+        Alcotest.test_case "inner exception isolated per element" `Quick
+          global_inner_exception_isolated;
+        Alcotest.test_case "clamp bound + scheduling stats" `Quick
+          clamp_and_stats;
+      ] );
     ( "parallel:determinism",
       [
         Alcotest.test_case "machine stats identical across domains" `Slow
           stats_deterministic_under_domains;
         Alcotest.test_case "run_all jobs:4 == jobs:1" `Slow
           run_all_deterministic;
+        Test_util.qcheck fig4_sharded_equals_serial;
       ] );
   ]
