@@ -22,6 +22,12 @@
    on the same shared pool — its `map` is re-entrant, so the nesting is
    safe at any width.
 
+   `--fault-seed N` / `--fault-rate R` parameterize the `resilience`
+   experiment's deterministic disk-fault injection: the seed fixes the
+   fault plan, and a non-zero rate replaces the built-in rate grid with
+   [0; R].  The same seed produces byte-identical sweep output at any
+   `--jobs` width.
+
    `--json [FILE]` additionally writes a machine-readable summary
    (per-experiment wall-clock with a history of the last runs, estimated
    speedup vs serial, pool scheduling counters, micro ns/run) to FILE,
@@ -125,7 +131,9 @@ let latest_bench_file ~excluding =
   | f :: _ -> Some f
 
 let write_json ~file ~scale r =
-  (* Snapshot the comparison baseline before open_out truncates it. *)
+  (* Read the comparison baseline from the real file, then write to a
+     temp file and rename over it: a crash mid-write never leaves a
+     truncated summary behind. *)
   let prev =
     if Sys.file_exists file then prev_walls file
     else
@@ -133,7 +141,8 @@ let write_json ~file ~scale r =
       | Some f -> prev_walls f
       | None -> []
   in
-  let oc = open_out file in
+  let tmp = file ^ ".tmp" in
+  let oc = open_out tmp in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
   out "  \"date\": \"%s\",\n" (today ());
@@ -156,6 +165,12 @@ let write_json ~file ~scale r =
        float_of_int d.Experiments.Exp.batch_sectors
        /. float_of_int d.Experiments.Exp.batches
      else 0.0);
+  let f = Experiments.Exp.fault_totals () in
+  out
+    "  \"faults\": {\"injected\": %d, \"retried\": %d, \"degraded\": %d, \
+     \"killed\": %d},\n"
+    f.Experiments.Exp.injected f.Experiments.Exp.retried
+    f.Experiments.Exp.degraded f.Experiments.Exp.killed;
   let ps = Parallel.Pool.stats (Parallel.Pool.global ()) in
   out
     "  \"parallel\": {\"jobs\": %d, \"worker_jobs\": %d, \"helper_jobs\": \
@@ -201,6 +216,7 @@ let write_json ~file ~scale r =
     r.micros;
   out "\n  ]\n}\n";
   close_out oc;
+  Sys.rename tmp file;
   Printf.printf "[bench summary written to %s]\n%!" file
 
 (* ------------------------------------------------------------------ *)
@@ -388,6 +404,29 @@ let () =
             exit 2)
     | [ "--jobs" ] ->
         Printf.eprintf "--jobs expects a positive integer\n";
+        exit 2
+    | "--fault-seed" :: value :: rest -> (
+        match int_of_string_opt value with
+        | Some n ->
+            Experiments.Exp.set_fault_knobs ~seed:n ();
+            parse rest
+        | None ->
+            Printf.eprintf "--fault-seed expects an integer, got %S\n" value;
+            exit 2)
+    | [ "--fault-seed" ] ->
+        Printf.eprintf "--fault-seed expects an integer\n";
+        exit 2
+    | "--fault-rate" :: value :: rest -> (
+        match float_of_string_opt value with
+        | Some r when r >= 0.0 ->
+            Experiments.Exp.set_fault_knobs ~rate:r ();
+            parse rest
+        | Some _ | None ->
+            Printf.eprintf "--fault-rate expects a non-negative float, got %S\n"
+              value;
+            exit 2)
+    | [ "--fault-rate" ] ->
+        Printf.eprintf "--fault-rate expects a non-negative float\n";
         exit 2
     | "--json" :: value :: rest
       when String.length value > 0 && value.[0] <> '-'

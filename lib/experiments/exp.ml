@@ -86,11 +86,59 @@ let disk_totals () =
     batch_sectors = Atomic.get acc_batch_sectors;
   }
 
+(* Fault-injection totals, same atomic discipline as the disk totals. *)
+type fault_totals = {
+  injected : int;
+  retried : int;
+  degraded : int;
+  killed : int;
+}
+
+let acc_injected = Atomic.make 0
+let acc_retried = Atomic.make 0
+let acc_degraded = Atomic.make 0
+let acc_killed = Atomic.make 0
+
+let reset_fault_totals () =
+  Atomic.set acc_injected 0;
+  Atomic.set acc_retried 0;
+  Atomic.set acc_degraded 0;
+  Atomic.set acc_killed 0
+
+let fault_totals () =
+  {
+    injected = Atomic.get acc_injected;
+    retried = Atomic.get acc_retried;
+    degraded = Atomic.get acc_degraded;
+    killed = Atomic.get acc_killed;
+  }
+
+(* Fault knobs (bench --fault-seed / --fault-rate): consumed by the
+   resilience experiment.  Set once before the sweep starts, so worker
+   domains only ever read them. *)
+let fault_seed = Atomic.make 1
+let fault_rate = Atomic.make 0.0
+
+let set_fault_knobs ?seed ?rate () =
+  (match seed with Some s -> Atomic.set fault_seed s | None -> ());
+  match rate with Some r -> Atomic.set fault_rate r | None -> ()
+
+let fault_seed_knob () = Atomic.get fault_seed
+let fault_rate_knob () = Atomic.get fault_rate
+
 let record_disk_stats (s : Metrics.Stats.t) =
   ignore (Atomic.fetch_and_add acc_reads s.Metrics.Stats.disk_batched_reads);
   ignore (Atomic.fetch_and_add acc_batches s.Metrics.Stats.disk_read_batches);
   ignore
-    (Atomic.fetch_and_add acc_batch_sectors s.Metrics.Stats.disk_batch_sectors)
+    (Atomic.fetch_and_add acc_batch_sectors s.Metrics.Stats.disk_batch_sectors);
+  ignore
+    (Atomic.fetch_and_add acc_injected
+       (s.Metrics.Stats.faults_injected_media
+       + s.Metrics.Stats.faults_injected_transient));
+  ignore (Atomic.fetch_and_add acc_retried s.Metrics.Stats.fault_retries);
+  ignore
+    (Atomic.fetch_and_add acc_degraded s.Metrics.Stats.faults_degraded_batches);
+  ignore (Atomic.fetch_and_add acc_killed s.Metrics.Stats.fault_guest_kills)
 
 let run_machine ?(get_marks = fun () -> []) machine =
   let result = Vmm.Machine.run machine in

@@ -70,6 +70,28 @@ type disk_totals = {
 val reset_disk_totals : unit -> unit
 val disk_totals : unit -> disk_totals
 
+(** Fault-injection totals summed over every [run_machine] since the last
+    [reset_fault_totals], with the same atomic (order-independent)
+    accumulation discipline as {!disk_totals}. *)
+type fault_totals = {
+  injected : int;  (** read requests completed with an injected error *)
+  retried : int;  (** transparent retries after transient errors *)
+  degraded : int;  (** media accesses slowed by a degraded-latency fault *)
+  killed : int;  (** guests abandoned after unrecoverable I/O failures *)
+}
+
+val reset_fault_totals : unit -> unit
+val fault_totals : unit -> fault_totals
+
+(** Fault knobs for the resilience experiment, set once by the bench
+    driver (--fault-seed / --fault-rate) before the sweep starts so
+    worker domains only ever read them.  A [rate] of 0 (the default)
+    keeps the experiment's built-in fault-rate grid. *)
+val set_fault_knobs : ?seed:int -> ?rate:float -> unit -> unit
+
+val fault_seed_knob : unit -> int
+val fault_rate_knob : unit -> float
+
 (** [opt_s r] is the runtime as an option-float cell for series tables. *)
 val opt_s : run_out -> float option
 

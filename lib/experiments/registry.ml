@@ -15,6 +15,7 @@ let all =
     Win.exp;
     Mig.exp;
     Ablations.exp;
+    Resilience.exp;
   ]
 
 let find id = List.find_opt (fun e -> e.Exp.id = id) all
@@ -44,4 +45,13 @@ let run_all ?jobs ~scale chosen =
   let results =
     Parallel.Pool.map (Parallel.Pool.global ()) (run_one ~scale) chosen
   in
-  List.map (function Ok o -> o | Error e -> raise e) results
+  (* [run_one] already converts an experiment's exception into an [Error]
+     outcome; a pool-level [Error] here means the job died outside that
+     guard (e.g. the worker domain was torn down).  Isolate it the same
+     way instead of aborting the sweep: the failed experiment reports
+     FAILED and the others still print. *)
+  List.map2
+    (fun e -> function
+      | Ok o -> o
+      | Error exn -> { exp = e; output = Error exn; wall_s = 0.0 })
+    chosen results

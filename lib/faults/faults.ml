@@ -1,0 +1,100 @@
+module Error = struct
+  type t = Media | Transient
+
+  let to_string = function Media -> "media" | Transient -> "transient"
+end
+
+module Config = struct
+  type t = {
+    seed : int;
+    media_rate : float;
+    transient_rate : float;
+    degraded_rate : float;
+    degraded_mult : float;
+  }
+
+  let none =
+    {
+      seed = 0;
+      media_rate = 0.0;
+      transient_rate = 0.0;
+      degraded_rate = 0.0;
+      degraded_mult = 1.0;
+    }
+
+  let is_none c =
+    c.media_rate = 0.0 && c.transient_rate = 0.0 && c.degraded_rate = 0.0
+
+  let make ?(seed = 0) ?(media_rate = 0.0) ?(transient_rate = 0.0)
+      ?(degraded_rate = 0.0) ?(degraded_mult = 4.0) () =
+    { seed; media_rate; transient_rate; degraded_rate; degraded_mult }
+end
+
+module Plan = struct
+  type t = {
+    cfg : Config.t;
+    media_key : int64;
+    transient_key : int64;
+    degraded_key : int64;
+    none : bool;
+  }
+
+  (* SplitMix64 finalizer.  Fault decisions are pure hashes of the
+     request coordinates under a per-stream key, never draws from a
+     shared mutable stream, so the pattern is independent of request
+     interleaving (and hence of the worker-pool schedule). *)
+  let mix64 z =
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let golden = 0x9E3779B97F4A7C15L
+
+  (* Hash (key, a, b) to a float in [0, 1). *)
+  let hash01 key a b =
+    let z = Int64.add key (Int64.mul (Int64.of_int a) golden) in
+    let z = mix64 z in
+    let z = mix64 (Int64.add z (Int64.mul (Int64.of_int b) golden)) in
+    let bits = Int64.to_int (Int64.shift_right_logical z 11) in
+    float_of_int bits /. 9007199254740992.0
+
+  let create cfg =
+    let rng = Sim.Rng.of_int cfg.Config.seed in
+    let media_key = Sim.Rng.next_int64 rng in
+    let transient_key = Sim.Rng.next_int64 rng in
+    let degraded_key = Sim.Rng.next_int64 rng in
+    { cfg; media_key; transient_key; degraded_key; none = Config.is_none cfg }
+
+  let none = create Config.none
+
+  let config t = t.cfg
+
+  let is_none t = t.none
+
+  let read_error t ~sector ~nsectors ~attempt =
+    if t.none then None
+    else begin
+      let cfg = t.cfg in
+      let err = ref None in
+      let s = ref sector in
+      let last = sector + nsectors - 1 in
+      while !err <> Some Error.Media && !s <= last do
+        if cfg.media_rate > 0.0 && hash01 t.media_key !s 0 < cfg.media_rate
+        then err := Some Error.Media
+        else if
+          !err = None && cfg.transient_rate > 0.0
+          && hash01 t.transient_key !s attempt < cfg.transient_rate
+        then err := Some Error.Transient;
+        incr s
+      done;
+      !err
+    end
+
+  let degraded_mult t ~sector =
+    if t.none || t.cfg.degraded_rate = 0.0 then None
+    else if hash01 t.degraded_key sector 1 < t.cfg.degraded_rate then
+      Some t.cfg.degraded_mult
+    else None
+end

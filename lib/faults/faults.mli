@@ -1,0 +1,68 @@
+(** Deterministic disk fault injection.
+
+    A {!Plan.t} is a pure function from (sector, attempt) to a fault
+    decision, derived from a single integer seed.  Because decisions
+    are hashes of the request coordinates rather than draws from a
+    shared mutable stream, the same plan produces the same faults no
+    matter how requests interleave — which is what keeps experiment
+    sweeps byte-identical at any [--jobs] count. *)
+
+module Error : sig
+  (** Typed disk read failure. *)
+  type t =
+    | Media  (** permanent: the sector is bad on every attempt *)
+    | Transient  (** may succeed when retried (distinct attempt number) *)
+
+  val to_string : t -> string
+end
+
+module Config : sig
+  type t = {
+    seed : int;  (** stream seed; same seed => same fault pattern *)
+    media_rate : float;  (** per-sector probability of a permanent error *)
+    transient_rate : float;
+        (** per-sector, per-attempt probability of a transient error *)
+    degraded_rate : float;
+        (** per-batch probability of a degraded (slow) service *)
+    degraded_mult : float;  (** latency multiplier for degraded service *)
+  }
+
+  val none : t
+  (** All rates zero: injects nothing. *)
+
+  val is_none : t -> bool
+
+  val make :
+    ?seed:int ->
+    ?media_rate:float ->
+    ?transient_rate:float ->
+    ?degraded_rate:float ->
+    ?degraded_mult:float ->
+    unit ->
+    t
+end
+
+module Plan : sig
+  type t
+
+  val none : t
+  (** Plan that never injects a fault (fast path, no hashing). *)
+
+  val create : Config.t -> t
+
+  val config : t -> Config.t
+
+  val is_none : t -> bool
+
+  val read_error :
+    t -> sector:int -> nsectors:int -> attempt:int -> Error.t option
+  (** Fault decision for a read covering [sector .. sector+nsectors-1]
+      on its [attempt]-th submission (0-based).  Media errors depend
+      only on the sector, so they persist across retries; transient
+      errors also hash the attempt number, so a retry can succeed.
+      Media takes precedence when both fire. *)
+
+  val degraded_mult : t -> sector:int -> float option
+  (** [Some m] when service starting at [sector] should be slowed by
+      factor [m]; decided per starting sector, independent of time. *)
+end

@@ -51,6 +51,14 @@ let release t f =
   t.free_list <- f :: t.free_list;
   t.nfree <- t.nfree + 1
 
+let put_back t f =
+  (match t.owners.(f) with
+  | Free -> ()
+  | Guest_page _ | Hv_page _ ->
+      invalid_arg (Printf.sprintf "Frames.put_back: frame %d is installed" f));
+  t.free_list <- f :: t.free_list;
+  t.nfree <- t.nfree + 1
+
 let owner t f = t.owners.(f)
 let set_owner t f o = t.owners.(f) <- o
 let content t f = t.contents.(f)

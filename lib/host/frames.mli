@@ -26,6 +26,11 @@ val alloc : t -> int option
     free list.  The frame must not be [Free] already. *)
 val release : t -> int -> unit
 
+(** [put_back t f] returns a frame obtained from [alloc] but never
+    installed (owner still [Free]) straight to the free list; raises if
+    the frame has an owner (use [release] for installed frames). *)
+val put_back : t -> int -> unit
+
 val owner : t -> int -> owner
 val set_owner : t -> int -> owner -> unit
 val content : t -> int -> Storage.Content.t

@@ -19,6 +19,9 @@ type t = {
   writeback_throttle_sectors : int;
   writeback_throttle_us : int;
   reclaim_page_us : float;
+  io_retry_limit : int;
+  io_retry_base_us : int;
+  io_error_budget : int;
 }
 
 let default =
@@ -43,6 +46,9 @@ let default =
     writeback_throttle_sectors = 49_152; (* 24 MiB of pending evictions *)
     writeback_throttle_us = 250;
     reclaim_page_us = 0.15;
+    io_retry_limit = 4;
+    io_retry_base_us = 500;
+    io_error_budget = 256;
   }
 
 let with_memory_mb t mb =

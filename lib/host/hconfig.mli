@@ -39,6 +39,13 @@ type t = {
       (** buffered eviction writes beyond this pace the allocator *)
   writeback_throttle_us : int;  (** per-allocation pacing delay when over *)
   reclaim_page_us : float;  (** CPU cost per page scanned by reclaim *)
+  (* Typed I/O error handling (robustness PR). *)
+  io_retry_limit : int;
+      (** resubmissions of a transiently failed read before giving up *)
+  io_retry_base_us : int;
+      (** backoff before the first retry; doubles per attempt *)
+  io_error_budget : int;
+      (** per-guest cap on retries; exhausted => the guest is killed *)
 }
 
 (** Defaults sized for experiments that cap a guest at a few hundred MB;

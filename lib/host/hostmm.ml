@@ -25,6 +25,8 @@ type guest = {
   mutable timer : Sim.Engine.event option;
   (* gpa -> write generation of the currently buffered (Preventer) write *)
   pending_gen : (int, int) Hashtbl.t;
+  mutable killed : bool;  (* torn down by the host; holds no resources *)
+  mutable error_budget : int;  (* remaining I/O retries before giving up *)
 }
 
 type t = {
@@ -44,6 +46,7 @@ type t = {
   inflight : (int, (unit -> unit) list ref) Hashtbl.t;
   mutable reclaim_toggle : bool;  (* fairness when named_preference is off *)
   mutable global_rr : int;  (* round-robin cursor for global reclaim *)
+  mutable kill_handler : guest_id -> unit;  (* VMM notification on kill *)
 }
 
 let page_sectors = Storage.Geom.sectors_per_page
@@ -78,7 +81,10 @@ let create ~engine ~disk ~stats ~config ~vsconfig ~swap ~hv_base_sector =
     inflight = Hashtbl.create 64;
     reclaim_toggle = false;
     global_rr = 0;
+    kill_handler = ignore;
   }
+
+let set_kill_handler t f = t.kill_handler <- f
 
 let register_guest t ~vdisk ~gpa_pages ~resident_limit =
   let gid = Hashtbl.length t.guests in
@@ -96,6 +102,8 @@ let register_guest t ~vdisk ~gpa_pages ~resident_limit =
       hv_rr = 0;
       timer = None;
       pending_gen = Hashtbl.create 64;
+      killed = false;
+      error_budget = t.config.io_error_budget;
     }
   in
   Hashtbl.replace t.guests gid g;
@@ -149,7 +157,10 @@ let is_silent_write g content =
 (* Evict one frame: named guest pages are dropped (the Mapper remembers
    where to find them), hypervisor pages are dropped (refetchable),
    everything else goes to host swap — unconditionally written, because
-   without EPT dirty bits the host must assume guest pages are dirty. *)
+   without EPT dirty bits the host must assume guest pages are dirty.
+   Returns [false] — leaving the frame in place — when the page would
+   need a swap slot and the swap area is full; callers must then skip
+   this frame rather than abort. *)
 let evict_frame t frame =
   match Frames.owner t.frames frame with
   | Frames.Free -> assert false
@@ -157,48 +168,63 @@ let evict_frame t frame =
       let g = guest t gid in
       g.hv_frames.(idx) <- None;
       Cgroup.remove g.cgroup (Frames.node t.frames frame);
-      Frames.release t.frames frame
+      Frames.release t.frames frame;
+      true
   | Frames.Guest_page { guest = gid; gpa } ->
       let g = guest t gid in
       let content = Frames.content t.frames frame in
-      (if Frames.named t.frames frame then begin
-         match Mapper.lookup g.mapper ~gpa with
-         | Some b ->
-             assert (Storage.Vdisk.version g.vdisk b.block = b.version);
-             g.ept.(gpa) <- E_in_image b.block;
-             t.stats.mapper_discards <- t.stats.mapper_discards + 1
-         | None -> assert false
-       end
-       else
-         match Frames.swap_backing t.frames frame with
-         | Some slot ->
-             (* Swap cache hit: an identical copy already sits in the
-                slot; drop the frame without any I/O. *)
-             assert (
-               Hashtbl.find_opt t.slot_owner slot = Some (owner_key ~gid ~gpa));
-             assert
-               (Content.equal content (Storage.Swap_area.content t.swap slot));
-             g.ept.(gpa) <- E_in_swap slot
-         | None -> (
-             match Storage.Swap_area.alloc t.swap content with
-             | None -> failwith "Hostmm: host swap area full"
-             | Some slot ->
-                 !debug_evict_hook gpa slot;
-                 Hashtbl.replace t.slot_owner slot (owner_key ~gid ~gpa);
-                 g.ept.(gpa) <- E_in_swap slot;
-                 t.stats.host_swapouts <- t.stats.host_swapouts + 1;
-                 t.stats.swap_sectors_written <-
-                   t.stats.swap_sectors_written + page_sectors;
-                 if is_silent_write g content then
-                   t.stats.silent_swap_writes <-
-                     t.stats.silent_swap_writes + 1;
-                 (* Fire-and-forget: nobody awaits the swap-out ack, so
-                    skip the completion event entirely. *)
-                 Storage.Disk.write_buffered t.disk
-                   ~sector:(Storage.Swap_area.sector_of_slot t.swap slot)
-                   ~nsectors:page_sectors));
-      Cgroup.remove g.cgroup (Frames.node t.frames frame);
-      Frames.release t.frames frame
+      let evicted =
+        if Frames.named t.frames frame then begin
+          match Mapper.lookup g.mapper ~gpa with
+          | Some b ->
+              assert (Storage.Vdisk.version g.vdisk b.block = b.version);
+              g.ept.(gpa) <- E_in_image b.block;
+              t.stats.mapper_discards <- t.stats.mapper_discards + 1;
+              true
+          | None -> assert false
+        end
+        else
+          match Frames.swap_backing t.frames frame with
+          | Some slot ->
+              (* Swap cache hit: an identical copy already sits in the
+                 slot; drop the frame without any I/O. *)
+              assert (
+                Hashtbl.find_opt t.slot_owner slot = Some (owner_key ~gid ~gpa));
+              assert
+                (Content.equal content (Storage.Swap_area.content t.swap slot));
+              g.ept.(gpa) <- E_in_swap slot;
+              true
+          | None -> (
+              match Storage.Swap_area.alloc t.swap content with
+              | None ->
+                  (* Swap area full: this page cannot be evicted.  The
+                     caller degrades (skips anon, prefers named discard)
+                     instead of the old fatal failure. *)
+                  t.stats.swap_full_fallbacks <-
+                    t.stats.swap_full_fallbacks + 1;
+                  false
+              | Some slot ->
+                  !debug_evict_hook gpa slot;
+                  Hashtbl.replace t.slot_owner slot (owner_key ~gid ~gpa);
+                  g.ept.(gpa) <- E_in_swap slot;
+                  t.stats.host_swapouts <- t.stats.host_swapouts + 1;
+                  t.stats.swap_sectors_written <-
+                    t.stats.swap_sectors_written + page_sectors;
+                  if is_silent_write g content then
+                    t.stats.silent_swap_writes <-
+                      t.stats.silent_swap_writes + 1;
+                  (* Fire-and-forget: nobody awaits the swap-out ack, so
+                     skip the completion event entirely. *)
+                  Storage.Disk.write_buffered t.disk
+                    ~sector:(Storage.Swap_area.sector_of_slot t.swap slot)
+                    ~nsectors:page_sectors;
+                  true)
+      in
+      if evicted then begin
+        Cgroup.remove g.cgroup (Frames.node t.frames frame);
+        Frames.release t.frames frame
+      end;
+      evicted
 
 (* Move pages from the active tail to the inactive head while the
    inactive list is low, clearing referenced bits (shrink_active_list). *)
@@ -261,19 +287,23 @@ let shrink_cgroup t g ~target =
         incr scanned;
         t.stats.pages_scanned <- t.stats.pages_scanned + 1;
         let forced = !scanned > max_scan in
+        let active_of_list =
+          match list_id with
+          | Cgroup.File_inactive | Cgroup.File_active -> Cgroup.File_active
+          | Cgroup.Anon_inactive | Cgroup.Anon_active -> Cgroup.Anon_active
+        in
         if Frames.referenced t.frames frame && not forced then begin
           (* Second chance: promote to the active list of its type. *)
           Frames.set_referenced t.frames frame false;
-          let active =
-            match list_id with
-            | Cgroup.File_inactive | Cgroup.File_active -> Cgroup.File_active
-            | Cgroup.Anon_inactive | Cgroup.Anon_active -> Cgroup.Anon_active
-          in
-          Cgroup.move g.cgroup active (Frames.node t.frames frame)
+          Cgroup.move g.cgroup active_of_list (Frames.node t.frames frame)
         end
+        else if evict_frame t frame then incr freed
         else begin
-          evict_frame t frame;
-          incr freed
+          (* Unevictable right now (swap area full): park the page on
+             its active list so the scan moves past it; once even
+             forced eviction fails there is nothing left to free. *)
+          Cgroup.move g.cgroup active_of_list (Frames.node t.frames frame);
+          if forced then continue_ := false
         end
   done;
   (!freed, !scanned)
@@ -320,38 +350,6 @@ let ensure_frames t g ~need =
   int_of_float
     (Float.round (float_of_int !scanned_total *. t.config.reclaim_page_us))
 
-(* Allocate a frame for guest page [gpa]; returns (frame, reclaim cost).
-   When the disk's write buffer is saturated by eviction traffic, the
-   allocating context is paced at roughly the media write rate — the
-   balance_dirty_pages effect. *)
-let alloc_frame t g ~gpa ~content ~named ~active ~referenced =
-  let throttle =
-    if
-      Storage.Disk.buffered_write_sectors t.disk
-      > t.config.writeback_throttle_sectors
-    then t.config.writeback_throttle_us
-    else 0
-  in
-  let cost = throttle + ensure_frames t g ~need:1 in
-  match Frames.alloc t.frames with
-  | None -> failwith "Hostmm: out of host memory (reclaim found nothing)"
-  | Some frame ->
-      Frames.set_owner t.frames frame
-        (Frames.Guest_page { guest = g.gid; gpa });
-      Frames.set_content t.frames frame content;
-      Frames.set_named t.frames frame named;
-      Frames.set_referenced t.frames frame referenced;
-      let id =
-        match (named, active) with
-        | true, true -> Cgroup.File_active
-        | true, false -> Cgroup.File_inactive
-        | false, true -> Cgroup.Anon_active
-        | false, false -> Cgroup.Anon_inactive
-      in
-      Cgroup.insert g.cgroup id (Frames.node t.frames frame);
-      g.ept.(gpa) <- E_present frame;
-      (frame, cost)
-
 (* Release the swap-cache slot backing a present frame, if any: called
    whenever the frame's content is about to change, so the stale copy in
    the swap area is never resurrected. *)
@@ -388,6 +386,144 @@ let discard_backing t g ~gpa =
   g.ept.(gpa) <- E_not_backed
 
 (* ------------------------------------------------------------------ *)
+(* Guest teardown and emergency reclaim                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Tear one guest down, releasing everything it holds: frames, swap
+   slots, slot-owner entries, Preventer buffers, hypervisor pages.  The
+   host's last-resort response to a failing disk or exhausted memory —
+   the blast radius is one guest, never the machine. *)
+let kill_guest t gid =
+  let g = guest t gid in
+  if not g.killed then begin
+    g.killed <- true;
+    t.stats.fault_guest_kills <- t.stats.fault_guest_kills + 1;
+    (match g.timer with
+    | Some ev ->
+        Sim.Engine.cancel t.engine ev;
+        g.timer <- None
+    | None -> ());
+    Array.iteri
+      (fun gpa e ->
+        match e with
+        | E_not_backed -> ()
+        | E_ballooned -> g.ept.(gpa) <- E_not_backed
+        | E_present _ | E_in_swap _ | E_in_image _ ->
+            discard_backing t g ~gpa)
+      g.ept;
+    Array.iteri
+      (fun idx f ->
+        match f with
+        | None -> ()
+        | Some frame ->
+            g.hv_frames.(idx) <- None;
+            Cgroup.remove g.cgroup (Frames.node t.frames frame);
+            Frames.release t.frames frame)
+      g.hv_frames;
+    Hashtbl.reset g.pending_gen;
+    t.kill_handler gid
+  end
+
+let guest_killed t gid = (guest t gid).killed
+
+(* Last-ditch memory recovery when ordinary reclaim freed nothing (all
+   lists empty or unevictable with the swap area full).  Pass 1 steals
+   any frame droppable without swap I/O — hypervisor pages, Mapper-named
+   pages, swap-cache-backed anon — from every guest.  Pass 2 OOM-kills
+   whole guests, largest resident first (preferring a guest other than
+   the requester), until [need] frames are free or nobody is left. *)
+let emergency_reclaim t ~requester ~need =
+  let nframes = Frames.nframes t.frames in
+  let frame = ref 0 in
+  while Frames.nfree t.frames < need && !frame < nframes do
+    (match Frames.owner t.frames !frame with
+    | Frames.Free -> ()
+    | Frames.Hv_page _ ->
+        if evict_frame t !frame then
+          t.stats.emergency_steals <- t.stats.emergency_steals + 1
+    | Frames.Guest_page _ ->
+        let droppable =
+          Frames.named t.frames !frame
+          || Frames.swap_backing t.frames !frame <> None
+        in
+        if droppable && evict_frame t !frame then
+          t.stats.emergency_steals <- t.stats.emergency_steals + 1);
+    incr frame
+  done;
+  let rec kill_pass () =
+    if Frames.nfree t.frames < need then begin
+      let best = ref None in
+      for i = 0 to t.nguests - 1 do
+        let gid = t.guest_ids.(i) in
+        let g = guest t gid in
+        if (not g.killed) && Cgroup.resident g.cgroup > 0 then begin
+          let cand = (gid <> requester, Cgroup.resident g.cgroup, -gid) in
+          match !best with
+          | None -> best := Some (cand, gid)
+          | Some (b, _) -> if cand > b then best := Some (cand, gid)
+        end
+      done;
+      match !best with
+      | None -> ()
+      | Some (_, gid) ->
+          kill_guest t gid;
+          kill_pass ()
+    end
+  in
+  kill_pass ()
+
+(* Allocate a frame for guest page [gpa]; returns (frame, reclaim cost).
+   When the disk's write buffer is saturated by eviction traffic, the
+   allocating context is paced at roughly the media write rate — the
+   balance_dirty_pages effect. *)
+let alloc_frame t g ~gpa ~content ~named ~active ~referenced =
+  let throttle =
+    if
+      Storage.Disk.buffered_write_sectors t.disk
+      > t.config.writeback_throttle_sectors
+    then t.config.writeback_throttle_us
+    else 0
+  in
+  let cost = throttle + ensure_frames t g ~need:1 in
+  let frame =
+    match Frames.alloc t.frames with
+    | Some frame -> frame
+    | None -> (
+        emergency_reclaim t ~requester:g.gid ~need:1;
+        match Frames.alloc t.frames with
+        | Some frame -> frame
+        | None ->
+            (* Only reachable with zero usable frames in the whole
+               machine (degenerate configuration, not a fault path). *)
+            failwith "Hostmm: out of host memory (no frames configured)")
+  in
+  if g.killed then begin
+    (* The emergency path above chose the requester itself as the OOM
+       victim; its teardown already ran.  Installing now would resurrect
+       a page inside a dead guest and leak the frame forever, so hand
+       the frame back instead.  -1 is safe to return: every caller's
+       continuation is inert once [killed] is set. *)
+    Frames.put_back t.frames frame;
+    (-1, cost)
+  end
+  else begin
+    Frames.set_owner t.frames frame (Frames.Guest_page { guest = g.gid; gpa });
+    Frames.set_content t.frames frame content;
+    Frames.set_named t.frames frame named;
+    Frames.set_referenced t.frames frame referenced;
+    let id =
+      match (named, active) with
+      | true, true -> Cgroup.File_active
+      | true, false -> Cgroup.File_inactive
+      | false, true -> Cgroup.Anon_active
+      | false, false -> Cgroup.Anon_inactive
+    in
+    Cgroup.insert g.cgroup id (Frames.node t.frames frame);
+    g.ept.(gpa) <- E_present frame;
+    (frame, cost)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Hypervisor (QEMU) named pages — the false-anonymity substrate        *)
 (* ------------------------------------------------------------------ *)
 
@@ -404,8 +540,19 @@ let hv_touch t g n =
         t.stats.host_context_faults <- t.stats.host_context_faults + 1;
         t.stats.hypervisor_code_faults <- t.stats.hypervisor_code_faults + 1;
         cost := !cost + t.config.hv_refault_us + ensure_frames t g ~need:1;
-        match Frames.alloc t.frames with
-        | None -> failwith "Hostmm: out of host memory (hv page)"
+        let frame =
+          match Frames.alloc t.frames with
+          | Some frame -> Some frame
+          | None ->
+              emergency_reclaim t ~requester:g.gid ~need:1;
+              Frames.alloc t.frames
+        in
+        match frame with
+        | None -> failwith "Hostmm: out of host memory (no frames configured)"
+        | Some frame when g.killed ->
+            (* Emergency reclaim OOM-killed this guest mid-touch: its
+               hv_frames were already torn down, so don't repopulate. *)
+            Frames.put_back t.frames frame
         | Some frame ->
             Frames.set_owner t.frames frame
               (Frames.Hv_page { guest = g.gid; idx });
@@ -426,6 +573,29 @@ let count_fault t ~host_context =
   if host_context then
     t.stats.host_context_faults <- t.stats.host_context_faults + 1
   else t.stats.guest_context_faults <- t.stats.guest_context_faults + 1
+
+(* Policy for a failed guest read.  Transient errors are resubmitted
+   with exponential backoff while attempts and the guest's error budget
+   last; media errors and exhausted retries kill the guest (the host
+   cannot fabricate the lost bytes) and then run [give_up] so the
+   in-flight fault unwinds instead of hanging its waiters. *)
+let handle_read_error t g ~err ~attempt ~retry ~give_up =
+  match (err : Storage.Disk.error) with
+  | Transient
+    when attempt < t.config.io_retry_limit
+         && g.error_budget > 0
+         && not g.killed ->
+      g.error_budget <- g.error_budget - 1;
+      t.stats.fault_retries <- t.stats.fault_retries + 1;
+      after t (t.config.io_retry_base_us lsl attempt) (fun () ->
+          if g.killed then give_up () else retry ~attempt:(attempt + 1))
+  | Transient ->
+      t.stats.fault_retry_exhausted <- t.stats.fault_retry_exhausted + 1;
+      kill_guest t g.gid;
+      after t 0 give_up
+  | Media ->
+      kill_guest t g.gid;
+      after t 0 give_up
 
 (* Install an anonymous page read back from swap slot [slot], if the
    world still looks like it did at submission time.  [owner] is a packed
@@ -450,15 +620,20 @@ let install_from_swap t ~slot ~owner ~target =
       alloc_frame t g ~gpa ~content ~named:false ~active:target
         ~referenced:target
     in
-    (* Only the faulting (mapped) page frees its slot under swap
-       pressure; readahead pages sit in the swap cache and always keep
-       theirs, so unused prefetch never relocates anything. *)
-    if target && vm_swap_full then begin
-      Storage.Swap_area.free t.swap slot;
-      Hashtbl.remove t.slot_owner slot
+    (* [alloc_frame]'s emergency path may have OOM-killed this very
+       guest, releasing the slot along with everything else; touching it
+       again would double-free. *)
+    if not g.killed then begin
+      (* Only the faulting (mapped) page frees its slot under swap
+         pressure; readahead pages sit in the swap cache and always keep
+         theirs, so unused prefetch never relocates anything. *)
+      if target && vm_swap_full then begin
+        Storage.Swap_area.free t.swap slot;
+        Hashtbl.remove t.slot_owner slot
+      end
+      else Frames.set_swap_backing t.frames frame (Some slot);
+      t.stats.host_swapins <- t.stats.host_swapins + 1
     end
-    else Frames.set_swap_backing t.frames frame (Some slot);
-    t.stats.host_swapins <- t.stats.host_swapins + 1
   end
 
 (* Install a Mapper-tracked page re-read from the disk image. *)
@@ -482,6 +657,8 @@ let install_from_image t g ~gpa ~block ~target =
    be re-evicted between the disk completion and the continuation), so
    callers typically pass a retry loop. *)
 let rec fault_in t g ~gpa ~host_context k =
+  if g.killed then after t 0 k
+  else
   match g.ept.(gpa) with
   | E_present _ -> after t 0 k
   | E_ballooned -> invalid_arg "Hostmm.fault_in: ballooned page"
@@ -563,18 +740,50 @@ and swapin_cluster t g ~gpa ~slot ~host_context k =
   let nsectors = (smax - smin + 1) * page_sectors in
   t.stats.swap_sectors_read <-
     t.stats.swap_sectors_read + (List.length slots * page_sectors);
+  let finish_neighbours ~install =
+    List.iter
+      (fun (s, owner, ws) ->
+        if install then install_from_swap t ~slot:s ~owner ~target:false;
+        Hashtbl.remove t.inflight owner;
+        let waiters = !ws in
+        ws := [];
+        List.iter (fun w -> w ()) waiters)
+      marked
+  in
+  let install_target () =
+    install_from_swap t ~slot ~owner:(owner_key ~gid:g.gid ~gpa) ~target:true;
+    after t t.config.major_fault_us k
+  in
+  (* Retries cover the faulting page only: the prefetched neighbours are
+     best-effort and were already released on the first failure. *)
+  let rec retry ~attempt =
+    Storage.Disk.submit t.disk
+      ~sector:(Storage.Swap_area.sector_of_slot t.swap slot)
+      ~nsectors:page_sectors ~kind:Storage.Disk.Read ~attempt
+      (fun (reply : Storage.Disk.reply) ->
+        match reply.result with
+        | Ok () -> install_target ()
+        | Error err -> handle_read_error t g ~err ~attempt ~retry ~give_up:k)
+  in
   Storage.Disk.submit t.disk ~sector ~nsectors ~kind:Storage.Disk.Read
-    (fun () ->
-      install_from_swap t ~slot ~owner:(owner_key ~gid:g.gid ~gpa) ~target:true;
-      List.iter
-        (fun (s, owner, ws) ->
-          install_from_swap t ~slot:s ~owner ~target:false;
-          Hashtbl.remove t.inflight owner;
-          let waiters = !ws in
-          ws := [];
-          List.iter (fun w -> w ()) waiters)
-        marked;
-      after t t.config.major_fault_us k)
+    (fun (reply : Storage.Disk.reply) ->
+      match reply.result with
+      | Ok () ->
+          install_from_swap t ~slot
+            ~owner:(owner_key ~gid:g.gid ~gpa)
+            ~target:true;
+          finish_neighbours ~install:true;
+          after t t.config.major_fault_us k
+      | Error err ->
+          finish_neighbours ~install:false;
+          if nsectors = page_sectors then
+            (* The cluster was just the target page; the error is its. *)
+            handle_read_error t g ~err ~attempt:0 ~retry ~give_up:k
+          else
+            (* The failing sector may belong to a prefetched neighbour;
+               narrow to the target page before charging the guest a
+               retry. *)
+            retry ~attempt:0)
 
 (* Fault on a Mapper-discarded page: re-read from the disk image, with
    readahead over the consecutive run of tracked blocks — which stays
@@ -611,21 +820,44 @@ and refetch_image t g ~gpa ~block ~host_context k =
   in
   let nblocks = last_block - block + 1 in
   let sector = Storage.Vdisk.sector_of_block g.vdisk block in
+  let finish_readahead ~install =
+    List.iter
+      (fun (b, p, ws) ->
+        if install then install_from_image t g ~gpa:p ~block:b ~target:false;
+        Hashtbl.remove t.inflight (owner_key ~gid:g.gid ~gpa:p);
+        let waiters = !ws in
+        ws := [];
+        List.iter (fun w -> w ()) waiters)
+      installs
+  in
+  (* Retries re-read the faulting block only; readahead is best-effort
+     and was released on the first failure. *)
+  let rec retry ~attempt =
+    Storage.Disk.submit t.disk ~sector ~nsectors:page_sectors
+      ~kind:Storage.Disk.Read ~attempt
+      (fun (reply : Storage.Disk.reply) ->
+        match reply.result with
+        | Ok () ->
+            install_from_image t g ~gpa ~block ~target:true;
+            after t (t.config.major_fault_us + t.config.mapper_map_page_us) k
+        | Error err -> handle_read_error t g ~err ~attempt ~retry ~give_up:k)
+  in
   Storage.Disk.submit t.disk ~sector ~nsectors:(nblocks * page_sectors)
-    ~kind:Storage.Disk.Read (fun () ->
-      install_from_image t g ~gpa ~block ~target:true;
-      List.iter
-        (fun (b, p, ws) ->
-          install_from_image t g ~gpa:p ~block:b ~target:false;
-          Hashtbl.remove t.inflight (owner_key ~gid:g.gid ~gpa:p);
-          let waiters = !ws in
-          ws := [];
-          List.iter (fun w -> w ()) waiters)
-        installs;
-      let map_cost =
-        (1 + List.length installs) * t.config.mapper_map_page_us
-      in
-      after t (t.config.major_fault_us + map_cost) k)
+    ~kind:Storage.Disk.Read
+    (fun (reply : Storage.Disk.reply) ->
+      match reply.result with
+      | Ok () ->
+          install_from_image t g ~gpa ~block ~target:true;
+          finish_readahead ~install:true;
+          let map_cost =
+            (1 + List.length installs) * t.config.mapper_map_page_us
+          in
+          after t (t.config.major_fault_us + map_cost) k
+      | Error err ->
+          finish_readahead ~install:false;
+          if nblocks = 1 then
+            handle_read_error t g ~err ~attempt:0 ~retry ~give_up:k
+          else retry ~attempt:0)
 
 (* ------------------------------------------------------------------ *)
 (* Guest-context accesses                                              *)
@@ -714,6 +946,8 @@ let rec arm_timer t g =
 let touch_read t ~guest:gid ~gpa k =
   let g = guest t gid in
   let rec attempt () =
+    if g.killed then after t 0 (fun () -> k Content.Zero)
+    else
     match g.ept.(gpa) with
     | E_present frame ->
         Frames.set_referenced t.frames frame true;
@@ -763,6 +997,8 @@ let touch_write t ~guest:gid ~gpa ~offset ~len ~gen ~intent_full_page k =
   let full = offset = 0 && len >= Storage.Geom.page_bytes in
   let false_read_counted = ref false in
   let rec attempt () =
+    if g.killed then after t 0 k
+    else
     match g.ept.(gpa) with
     | E_present _ ->
         let cost = apply_write_present t g ~gpa ~full ~gen in
@@ -812,6 +1048,8 @@ let rep_write t ~guest:gid ~gpa ~content k =
   let g = guest t gid in
   let false_read_counted = ref false in
   let rec attempt () =
+    if g.killed then after t 0 k
+    else
     match g.ept.(gpa) with
     | E_present frame ->
         let cost =
@@ -909,7 +1147,7 @@ let force_dma_install t g ~gpa ~block =
 let vio_read t ?(aligned = true) ~guest:gid ~block0 ~gpas k =
   let g = guest t gid in
   let n = Array.length gpas in
-  if n = 0 then after t 0 k
+  if n = 0 || g.killed then after t 0 k
   else begin
     let base_cost = t.config.vio_overhead_us + hv_touch t g t.config.hv_touch_per_vio in
     let sector = Storage.Vdisk.sector_of_block g.vdisk block0 in
@@ -917,26 +1155,50 @@ let vio_read t ?(aligned = true) ~guest:gid ~block0 ~gpas k =
     if mapper_path then begin
       (* mmap path: destinations are simply remapped; no fault-in. *)
       Array.iter (fun gpa -> discard_backing t g ~gpa) gpas;
-      Storage.Disk.submit t.disk ~sector ~nsectors:(n * page_sectors)
-        ~kind:Storage.Disk.Read (fun () ->
-          let cost = ref base_cost in
-          Array.iteri
-            (fun i gpa ->
-              cost := !cost + install_file_page t g ~gpa ~block:(block0 + i))
-            gpas;
-          after t !cost k)
+      let rec submit ~attempt =
+        Storage.Disk.submit t.disk ~sector ~nsectors:(n * page_sectors)
+          ~kind:Storage.Disk.Read ~attempt
+          (fun (reply : Storage.Disk.reply) ->
+            match reply.result with
+            | Ok () when g.killed -> after t 0 k
+            | Ok () ->
+                let cost = ref base_cost in
+                Array.iteri
+                  (fun i gpa ->
+                    cost :=
+                      !cost + install_file_page t g ~gpa ~block:(block0 + i))
+                  gpas;
+                after t !cost k
+            | Error err ->
+                handle_read_error t g ~err ~attempt
+                  ~retry:(fun ~attempt -> submit ~attempt)
+                  ~give_up:k)
+      in
+      submit ~attempt:0
     end
     else begin
       (* Baseline: the destination buffers must be resident before the
          device can DMA into them — the stale-read pathology. *)
       let cost = ref base_cost in
       let submit () =
-        Storage.Disk.submit t.disk ~sector ~nsectors:(n * page_sectors)
-          ~kind:Storage.Disk.Read (fun () ->
-            Array.iteri
-              (fun i gpa -> force_dma_install t g ~gpa ~block:(block0 + i))
-              gpas;
-            after t !cost k)
+        let rec go ~attempt =
+          Storage.Disk.submit t.disk ~sector ~nsectors:(n * page_sectors)
+            ~kind:Storage.Disk.Read ~attempt
+            (fun (reply : Storage.Disk.reply) ->
+              match reply.result with
+              | Ok () when g.killed -> after t 0 k
+              | Ok () ->
+                  Array.iteri
+                    (fun i gpa ->
+                      force_dma_install t g ~gpa ~block:(block0 + i))
+                    gpas;
+                  after t !cost k
+              | Error err ->
+                  handle_read_error t g ~err ~attempt
+                    ~retry:(fun ~attempt -> go ~attempt)
+                    ~give_up:k)
+        in
+        go ~attempt:0
       in
       let faults = ref [] in
       Array.iter
@@ -1004,7 +1266,7 @@ let rec preserve_victim t g ~gpa k =
 let vio_write t ?(aligned = true) ~guest:gid ~block0 ~gpas k =
   let g = guest t gid in
   let n = Array.length gpas in
-  if n = 0 then after t 0 k
+  if n = 0 || g.killed then after t 0 k
   else begin
     let base_cost = t.config.vio_overhead_us + hv_touch t g t.config.hv_touch_per_vio in
     let disk_id = Storage.Vdisk.id g.vdisk in
@@ -1012,6 +1274,8 @@ let vio_write t ?(aligned = true) ~guest:gid ~block0 ~gpas k =
     let track_path = t.vs.mapper && t.vs.report_4k_sectors && aligned in
     (* Phase 3+4: bump versions, re-map sources, submit the write. *)
     let phase3 () =
+      if g.killed then after t 0 k
+      else begin
       Array.iteri
         (fun i gpa ->
           let block = block0 + i in
@@ -1032,7 +1296,8 @@ let vio_write t ?(aligned = true) ~guest:gid ~block0 ~gpas k =
           end)
         gpas;
       Storage.Disk.submit t.disk ~sector ~nsectors:(n * page_sectors)
-        ~kind:Storage.Disk.Write (fun () -> after t base_cost k)
+        ~kind:Storage.Disk.Write (fun _ -> after t base_cost k)
+      end
     in
     (* Phase 2: consistency protocol for every overwritten block. *)
     let phase2 () =

@@ -50,6 +50,24 @@ val register_guest :
 
 val set_resident_limit : t -> guest_id -> int option -> unit
 
+(** {2 Failure containment} *)
+
+(** [kill_guest t gid] tears the guest down, releasing every resource it
+    holds — frames, swap slots and their slot-owner entries, Mapper
+    trackings, Preventer buffers, hypervisor pages — and leaving every
+    page [Not_backed].  Invoked by the host on unrecoverable I/O errors
+    (media error, retry budget exhausted) and as the OOM last resort;
+    also callable directly.  Idempotent.  [check_invariants] holds
+    afterwards.  The registered kill handler (see {!set_kill_handler})
+    is called exactly once, on the first kill. *)
+val kill_guest : t -> guest_id -> unit
+
+(** [set_kill_handler t f] registers the VMM callback invoked when the
+    host kills a guest, so the scheduler can stop its vCPUs. *)
+val set_kill_handler : t -> (guest_id -> unit) -> unit
+
+val guest_killed : t -> guest_id -> bool
+
 (** {2 Guest-context memory accesses} *)
 
 (** [touch_read t ~guest ~gpa k] performs a CPU load; [k content] runs

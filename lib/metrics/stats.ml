@@ -31,6 +31,14 @@ type t = {
   mutable preventer_rejects : int;
   mutable balloon_inflated_pages : int;
   mutable balloon_deflated_pages : int;
+  mutable faults_injected_media : int;
+  mutable faults_injected_transient : int;
+  mutable faults_degraded_batches : int;
+  mutable fault_retries : int;
+  mutable fault_retry_exhausted : int;
+  mutable fault_guest_kills : int;
+  mutable swap_full_fallbacks : int;
+  mutable emergency_steals : int;
 }
 
 let create () =
@@ -67,6 +75,14 @@ let create () =
     preventer_rejects = 0;
     balloon_inflated_pages = 0;
     balloon_deflated_pages = 0;
+    faults_injected_media = 0;
+    faults_injected_transient = 0;
+    faults_degraded_batches = 0;
+    fault_retries = 0;
+    fault_retry_exhausted = 0;
+    fault_guest_kills = 0;
+    swap_full_fallbacks = 0;
+    emergency_steals = 0;
   }
 
 let copy t = { t with disk_ops = t.disk_ops }
@@ -108,6 +124,16 @@ let diff a b =
       a.balloon_inflated_pages - b.balloon_inflated_pages;
     balloon_deflated_pages =
       a.balloon_deflated_pages - b.balloon_deflated_pages;
+    faults_injected_media = a.faults_injected_media - b.faults_injected_media;
+    faults_injected_transient =
+      a.faults_injected_transient - b.faults_injected_transient;
+    faults_degraded_batches =
+      a.faults_degraded_batches - b.faults_degraded_batches;
+    fault_retries = a.fault_retries - b.fault_retries;
+    fault_retry_exhausted = a.fault_retry_exhausted - b.fault_retry_exhausted;
+    fault_guest_kills = a.fault_guest_kills - b.fault_guest_kills;
+    swap_full_fallbacks = a.swap_full_fallbacks - b.swap_full_fallbacks;
+    emergency_steals = a.emergency_steals - b.emergency_steals;
   }
 
 let fields t =
@@ -144,6 +170,14 @@ let fields t =
     ("preventer_rejects", t.preventer_rejects);
     ("balloon_inflated_pages", t.balloon_inflated_pages);
     ("balloon_deflated_pages", t.balloon_deflated_pages);
+    ("faults_injected_media", t.faults_injected_media);
+    ("faults_injected_transient", t.faults_injected_transient);
+    ("faults_degraded_batches", t.faults_degraded_batches);
+    ("fault_retries", t.fault_retries);
+    ("fault_retry_exhausted", t.fault_retry_exhausted);
+    ("fault_guest_kills", t.fault_guest_kills);
+    ("swap_full_fallbacks", t.swap_full_fallbacks);
+    ("emergency_steals", t.emergency_steals);
   ]
 
 let pp fmt t =

@@ -58,6 +58,22 @@ type t = {
   (* Ballooning. *)
   mutable balloon_inflated_pages : int;
   mutable balloon_deflated_pages : int;
+  (* Fault injection and degradation (robustness PR). *)
+  mutable faults_injected_media : int;
+      (** read requests completed with a permanent media error *)
+  mutable faults_injected_transient : int;
+      (** read requests completed with a transient error *)
+  mutable faults_degraded_batches : int;
+      (** disk accesses served at a degraded (multiplied) latency *)
+  mutable fault_retries : int;  (** transient-error resubmissions *)
+  mutable fault_retry_exhausted : int;
+      (** reads abandoned after the retry limit / error budget *)
+  mutable fault_guest_kills : int;
+      (** guests killed by the host (I/O failure or OOM last resort) *)
+  mutable swap_full_fallbacks : int;
+      (** anon evictions skipped because the swap area was full *)
+  mutable emergency_steals : int;
+      (** frames reclaimed by the emergency (cross-cgroup) scan *)
 }
 
 val create : unit -> t

@@ -86,7 +86,9 @@ let migrate ~machine ~guest link strategy k =
       List.iter
         (fun (sector, nsectors) ->
           Storage.Disk.submit disk ~sector ~nsectors ~kind:Storage.Disk.Read
-            (fun () ->
+            (fun _ ->
+              (* Migration sources re-read on their own schedule; no
+                 faults are configured on migration experiments. *)
               decr remaining;
               if !remaining = 0 then disk_done ()))
         reads

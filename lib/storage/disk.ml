@@ -1,9 +1,14 @@
 type kind = Read | Write
 
+type error = Faults.Error.t = Media | Transient
+
+type reply = { result : (unit, error) Stdlib.result; service : Sim.Time.t }
+
 type config = {
   min_seek_us : int;
   max_seek_us : int;
   full_stroke_sectors : int;
+  capacity_sectors : int;
   half_rotation_us : int;
   us_per_sector : float;
   request_overhead_us : int;
@@ -19,6 +24,7 @@ let default_config =
     min_seek_us = 600;
     max_seek_us = 15_000;
     full_stroke_sectors = 3_906_250_000; (* ~2 TB in 512 B sectors *)
+    capacity_sectors = 3_906_250_000;
     half_rotation_us = 4_170;
     us_per_sector = 3.66;
     request_overhead_us = 40;
@@ -33,13 +39,15 @@ type request = {
   sector : int;
   nsectors : int;
   seq : int;  (* submission order; ties same-sector completions *)
-  completion : unit -> unit;
+  attempt : int;  (* 0-based resubmission count, keys transient faults *)
+  completion : reply -> unit;
 }
 
 type t = {
   engine : Sim.Engine.t;
   stats : Metrics.Stats.t;
   config : config;
+  faults : Faults.Plan.t;
   (* Pending reads, sorted by (sector, seq): the elevator's request set. *)
   mutable reads : request list;
   mutable nreads : int;
@@ -54,11 +62,12 @@ type t = {
     (kind -> head:int -> sector:int -> nsectors:int -> unit) option;
 }
 
-let create ~engine ~stats config =
+let create ~engine ~stats ?(faults = Faults.Plan.none) config =
   {
     engine;
     stats;
     config;
+    faults;
     reads = [];
     nreads = 0;
     next_seq = 0;
@@ -313,11 +322,11 @@ and serve_reads t =
   | None -> start_next t
   | Some (From_buffer req) ->
       t.in_service <- true;
-      (* Served from the write buffer at RAM speed. *)
-      (Sim.Engine.run_after t.engine
-           (Sim.Time.us t.config.write_ack_us)
-           (fun () ->
-             req.completion ();
+      (* Served from the write buffer at RAM speed; the content never
+         touched the media, so no media/transient fault can fire. *)
+      let dt = Sim.Time.us t.config.write_ack_us in
+      (Sim.Engine.run_after t.engine dt (fun () ->
+             req.completion { result = Ok (); service = dt };
              start_next t))
   | Some (Media { span_start; span_end; members }) ->
       t.in_service <- true;
@@ -326,33 +335,71 @@ and serve_reads t =
       let dt =
         service_time t ~sector:span_start ~nsectors:(span_end - span_start)
       in
+      let dt =
+        match Faults.Plan.degraded_mult t.faults ~sector:span_start with
+        | None -> dt
+        | Some m ->
+            t.stats.faults_degraded_batches <-
+              t.stats.faults_degraded_batches + 1;
+            Sim.Time.of_float_us (float_of_int (Sim.Time.to_us dt) *. m)
+      in
       t.head <- span_end;
       (Sim.Engine.run_after t.engine dt (fun () ->
              (* One media event completes the whole batch; completions run
                 in (sector, submission) order. *)
-             List.iter (fun (r : request) -> r.completion ()) members;
+             List.iter
+               (fun (r : request) ->
+                 let result =
+                   match
+                     Faults.Plan.read_error t.faults ~sector:r.sector
+                       ~nsectors:r.nsectors ~attempt:r.attempt
+                   with
+                   | None -> Ok ()
+                   | Some Faults.Error.Media ->
+                       t.stats.faults_injected_media <-
+                         t.stats.faults_injected_media + 1;
+                       Error Faults.Error.Media
+                   | Some Faults.Error.Transient ->
+                       t.stats.faults_injected_transient <-
+                         t.stats.faults_injected_transient + 1;
+                       Error Faults.Error.Transient
+                 in
+                 r.completion { result; service = dt })
+               members;
              start_next t))
 
-let submit t ~sector ~nsectors ~kind completion =
-  if nsectors <= 0 then invalid_arg "Disk.submit: nsectors must be positive";
+let check_bounds t ~who ~sector ~nsectors =
+  if nsectors <= 0 then
+    invalid_arg (Printf.sprintf "Disk.%s: nsectors must be positive" who);
+  if sector < 0 then
+    invalid_arg (Printf.sprintf "Disk.%s: negative sector %d" who sector);
+  if sector + nsectors > t.config.capacity_sectors then
+    invalid_arg
+      (Printf.sprintf "Disk.%s: [%d, %d) past capacity %d" who sector
+         (sector + nsectors) t.config.capacity_sectors)
+
+let submit t ~sector ~nsectors ~kind ?(attempt = 0) completion =
+  check_bounds t ~who:"submit" ~sector ~nsectors;
   match kind with
   | Read ->
       let seq = t.next_seq in
       t.next_seq <- seq + 1;
-      insert_read t { sector; nsectors; seq; completion };
+      insert_read t { sector; nsectors; seq; attempt; completion };
       if not t.in_service then start_next t
   | Write ->
       add_write_run t sector nsectors;
-      (Sim.Engine.run_after t.engine
-           (Sim.Time.us t.config.write_ack_us)
-           completion);
+      let dt = Sim.Time.us t.config.write_ack_us in
+      (* Buffered-write acks always succeed: the cache absorbed the data
+         (media errors on destage are invisible to the submitter, as on
+         a real write-back drive). *)
+      (Sim.Engine.run_after t.engine dt (fun () ->
+             completion { result = Ok (); service = dt }));
       if not t.in_service then start_next t
 
 (* Buffered write without a completion event: for fire-and-forget
    destaging traffic (e.g. swap-out) whose ack nobody awaits. *)
 let write_buffered t ~sector ~nsectors =
-  if nsectors <= 0 then
-    invalid_arg "Disk.write_buffered: nsectors must be positive";
+  check_bounds t ~who:"write_buffered" ~sector ~nsectors;
   add_write_run t sector nsectors;
   if not t.in_service then start_next t
 

@@ -38,10 +38,19 @@
 
 type kind = Read | Write
 
+(** Typed read failure, re-exported from {!Faults.Error}. *)
+type error = Faults.Error.t = Media | Transient
+
+(** What a completion callback receives: the request's outcome and the
+    duration of the disk access that completed it (the degraded-latency
+    multiplier, when injected, is visible here). *)
+type reply = { result : (unit, error) Stdlib.result; service : Sim.Time.t }
+
 type config = {
   min_seek_us : int;  (** track-to-track seek *)
   max_seek_us : int;  (** full-stroke seek *)
   full_stroke_sectors : int;  (** distance over which seek saturates *)
+  capacity_sectors : int;  (** addressable size; requests past it are rejected *)
   half_rotation_us : int;  (** average rotational delay, 7200 RPM -> 4.17 ms *)
   us_per_sector : float;  (** media transfer rate, 140 MB/s -> 3.66 us *)
   request_overhead_us : int;  (** controller + virtualization-exit cost *)
@@ -57,19 +66,39 @@ val default_config : config
 
 type t
 
-val create : engine:Sim.Engine.t -> stats:Metrics.Stats.t -> config -> t
+(** [create ~engine ~stats ?faults config] builds a drive.  [faults]
+    (default {!Faults.Plan.none}) injects deterministic read errors and
+    degraded-latency episodes; write acks are never failed (the
+    write-back cache absorbs them, as on a real drive). *)
+val create :
+  engine:Sim.Engine.t ->
+  stats:Metrics.Stats.t ->
+  ?faults:Faults.Plan.t ->
+  config ->
+  t
 
 (** [submit t ~sector ~nsectors ~kind k] enqueues a request and calls [k]
     at its virtual completion time (for writes: when the buffer accepts
     it, not when the media is updated).  Each submitted request's [k] runs
-    exactly once, even when the request is coalesced into a batch. *)
+    exactly once, even when the request is coalesced into a batch.
+    [attempt] (default 0) is the resubmission count of a retried read; it
+    keys the transient-fault hash, so a retry of a transiently failed
+    sector can succeed while media errors persist.  Raises [Invalid_arg]
+    when [nsectors <= 0], [sector < 0], or the request extends past
+    [capacity_sectors]. *)
 val submit :
-  t -> sector:int -> nsectors:int -> kind:kind -> (unit -> unit) -> unit
+  t ->
+  sector:int ->
+  nsectors:int ->
+  kind:kind ->
+  ?attempt:int ->
+  (reply -> unit) ->
+  unit
 
 (** [write_buffered t ~sector ~nsectors] is [submit ~kind:Write] without a
     completion: the sectors enter the write buffer and no acknowledgment
     event is scheduled.  For fire-and-forget destaging traffic (swap-out)
-    whose ack nobody awaits. *)
+    whose ack nobody awaits.  Bounds-checked like {!submit}. *)
 val write_buffered : t -> sector:int -> nsectors:int -> unit
 
 (** [queue_depth t] counts waiting reads, plus buffered write runs, plus

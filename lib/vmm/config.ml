@@ -20,6 +20,7 @@ type t = {
   guests : guest_spec list;
   time_limit : Sim.Time.t;
   seed : int;
+  faults : Faults.Config.t;
 }
 
 let default_guest ~workload =
@@ -46,6 +47,7 @@ let default ~guests =
     guests;
     time_limit = Sim.Time.sec 36_000;
     seed = 42;
+    faults = Faults.Config.none;
   }
 
 let name_of t =

@@ -33,6 +33,9 @@ type t = {
   guests : guest_spec list;
   time_limit : Sim.Time.t;
   seed : int;
+  faults : Faults.Config.t;
+      (** deterministic disk fault injection; [Faults.Config.none]
+          (the default) injects nothing *)
 }
 
 val default_guest : workload:Workload.t -> guest_spec

@@ -48,7 +48,8 @@ type result = {
 let build (cfg : Config.t) =
   let engine = Sim.Engine.create () in
   let stats = Metrics.Stats.create () in
-  let disk = Storage.Disk.create ~engine ~stats cfg.disk in
+  let faults = Faults.Plan.create cfg.faults in
+  let disk = Storage.Disk.create ~engine ~stats ~faults cfg.disk in
   (* Physical disk layout: [hv region | guest images ... | host swap]. *)
   let hv_base_sector = 0 in
   let cursor = ref (Storage.Geom.sectors_of_pages (Storage.Geom.pages_of_mb 64)) in
@@ -282,6 +283,10 @@ let boot_guest t g () =
 let run t =
   if t.ran then invalid_arg "Machine.run: already ran";
   t.ran <- true;
+  (* When the host OOM-kills a guest or abandons it after unrecoverable
+     I/O errors, stop scheduling its vCPUs too. *)
+  Host.Hostmm.set_kill_handler t.host (fun gid ->
+      Array.iter (fun g -> if g.gid = gid then kill t g) t.gruns);
   Array.iter
     (fun g -> (Sim.Engine.run_at t.engine Sim.Time.zero (boot_guest t g)))
     t.gruns;

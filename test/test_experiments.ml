@@ -11,9 +11,11 @@ let registry_complete () =
       Alcotest.(check bool) (id ^ " registered") true (List.mem id ids))
     [ "fig3"; "fig4"; "fig5"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13";
       "fig14"; "fig15"; "tab1"; "tab2" ];
-  check Alcotest.int "twelve paper artifacts + extensions" 15
+  check Alcotest.int "twelve paper artifacts + extensions" 16
     (List.length ids);
   Alcotest.(check bool) "migration registered" true (List.mem "mig" ids);
+  Alcotest.(check bool) "resilience registered" true
+    (List.mem "resilience" ids);
   Alcotest.(check bool) "ablations registered" true (List.mem "abl" ids);
   Alcotest.(check bool) "windows registered" true (List.mem "win" ids);
   Alcotest.(check bool) "find works" true
@@ -53,6 +55,24 @@ let tab1_reports_loc () =
     (Test_util.contains out "Swap Mapper");
   Alcotest.(check bool) "has paper numbers" true (Test_util.contains out "1974")
 
+let run_all_isolates_failures () =
+  (* A raising experiment must not abort the sweep: it comes back as an
+     [Error] outcome and the experiments after it still run. *)
+  let mk id run =
+    { Experiments.Exp.id; title = id; paper_claim = ""; run }
+  in
+  let boom = mk "boom" (fun ~scale:_ -> failwith "injected failure") in
+  let fine = mk "fine" (fun ~scale:_ -> "ran fine") in
+  match Experiments.Registry.run_all ~scale:1.0 [ boom; fine ] with
+  | [ a; b ] ->
+      Alcotest.(check string) "order kept" "boom" a.Experiments.Registry.exp.id;
+      Alcotest.(check bool) "failure captured" true
+        (Result.is_error a.Experiments.Registry.output);
+      Alcotest.(check bool) "later experiment still ran" true
+        (b.Experiments.Registry.output = Ok "ran fine")
+  | outs ->
+      Alcotest.failf "expected 2 outcomes, got %d" (List.length outs)
+
 let mark_collector_works () =
   let mref = ref None in
   let on_mark, get = Experiments.Exp.mark_collector mref in
@@ -68,6 +88,7 @@ let tests =
         Alcotest.test_case "scaling" `Quick scaling_helpers;
         Alcotest.test_case "config kinds" `Quick config_kinds;
         Alcotest.test_case "mark collector" `Quick mark_collector_works;
+        Alcotest.test_case "failure isolation" `Quick run_all_isolates_failures;
         Alcotest.test_case "tab1 loc" `Quick tab1_reports_loc;
       ] );
     ( "experiments:shape",

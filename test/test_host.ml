@@ -20,12 +20,16 @@ type rig = {
 (* A small machine: 256-frame host, one guest with 512 pages of gpa
    space and an optional tight resident limit. *)
 let mk_rig ?(vs = Vswapper.Vsconfig.baseline) ?(limit = Some 96)
-    ?(frames = 256) () =
+    ?(frames = 256) ?(swap_slots = 2048) ?(faults = Faults.Plan.none) () =
   let engine = Sim.Engine.create () in
   let stats = Metrics.Stats.create () in
-  let disk = Storage.Disk.create ~engine ~stats Storage.Disk.default_config in
+  let disk =
+    Storage.Disk.create ~engine ~stats ~faults Storage.Disk.default_config
+  in
   let vdisk = Storage.Vdisk.create ~id:0 ~base_sector:10_000 ~nblocks:1024 in
-  let swap = Storage.Swap_area.create ~base_sector:1_000_000 ~nslots:2048 in
+  let swap =
+    Storage.Swap_area.create ~base_sector:1_000_000 ~nslots:swap_slots
+  in
   let config =
     {
       Host.Hconfig.default with
@@ -598,6 +602,119 @@ let shadow_property vs name =
        (QCheck.Gen.list_size (QCheck.Gen.int_range 10 60) op_gen))
     (fun ops -> run_shadow_test vs ops)
 
+(* ------------------------------------------------------------------ *)
+(* Failure containment and graceful degradation                        *)
+(* ------------------------------------------------------------------ *)
+
+let fault_plan ?(media = 0.0) ?(transient = 0.0) seed =
+  Faults.Plan.create
+    (Faults.Config.make ~seed ~media_rate:media ~transient_rate:transient ())
+
+(* Swap fills up under a tight cgroup cap: eviction must fall back to
+   leaving pages resident (counted) instead of crashing, and the guest
+   must keep running with all its data intact. *)
+let swap_full_falls_back_gracefully () =
+  let rig = mk_rig ~swap_slots:64 ~limit:(Some 96) () in
+  let c = C.fresh_anon () in
+  sync_rep_write rig ~gpa:0 ~content:c;
+  fill_anon rig ~first:1 ~n:200;
+  Alcotest.(check bool) "fallbacks counted" true
+    (rig.stats.Metrics.Stats.swap_full_fallbacks > 0);
+  Alcotest.(check bool) "resident overshoots the cap rather than failing"
+    true
+    (H.resident rig.host rig.gid > 96);
+  Alcotest.(check bool) "guest alive" true (not (H.guest_killed rig.host rig.gid));
+  (* Every page still reads back correctly, swapped or parked. *)
+  Alcotest.(check bool) "data intact" true
+    (C.equal (sync_read rig ~gpa:0) c);
+  H.check_invariants rig.host
+
+(* Host memory and swap both exhausted: the allocator's emergency path
+   reclaims by killing a guest instead of dying with [failwith]. *)
+let host_oom_kills_guest_not_host () =
+  let rig = mk_rig ~frames:64 ~swap_slots:16 ~limit:None () in
+  let killed = ref [] in
+  H.set_kill_handler rig.host (fun gid -> killed := gid :: !killed);
+  fill_anon rig ~first:0 ~n:120;
+  check Alcotest.int "one guest killed"
+    1 rig.stats.Metrics.Stats.fault_guest_kills;
+  Alcotest.(check bool) "marked killed" true (H.guest_killed rig.host rig.gid);
+  check (Alcotest.list Alcotest.int) "handler told the VMM" [ rig.gid ]
+    !killed;
+  check Alcotest.int "frames all released" 0 (H.resident rig.host rig.gid);
+  (* Post-kill operations are inert, not fatal. *)
+  Alcotest.(check bool) "reads are inert after kill" true
+    (C.equal (sync_read rig ~gpa:0) C.Zero);
+  H.check_invariants rig.host
+
+(* Transient faults at a low rate: swap-ins retry transparently and the
+   guest survives with correct data. *)
+let transient_faults_are_retried () =
+  let rig = mk_rig ~faults:(fault_plan ~transient:0.02 11) () in
+  let c = C.fresh_anon () in
+  sync_rep_write rig ~gpa:0 ~content:c;
+  fill_anon rig ~first:1 ~n:300;
+  (* Read everything back: swap-in traffic runs through the fault plan. *)
+  for gpa = 1 to 299 do
+    ignore (sync_read rig ~gpa)
+  done;
+  Alcotest.(check bool) "injected" true
+    (rig.stats.Metrics.Stats.faults_injected_transient > 0);
+  Alcotest.(check bool) "retried" true
+    (rig.stats.Metrics.Stats.fault_retries > 0);
+  Alcotest.(check bool) "guest survives" true
+    (not (H.guest_killed rig.host rig.gid));
+  Alcotest.(check bool) "content correct despite retries" true
+    (C.equal (sync_read rig ~gpa:0) c);
+  H.check_invariants rig.host
+
+(* Every attempt fails: retries exhaust their bound and the guest is
+   abandoned -- previously this path could spin or crash the host. *)
+let retry_exhaustion_kills_guest () =
+  let rig = mk_rig ~faults:(fault_plan ~transient:1.0 11) () in
+  fill_anon rig ~first:0 ~n:300;
+  (* Let the eviction traffic destage: reads served from the disk's
+     write-back buffer never fault (by design), only media reads do. *)
+  Test_util.drain rig.engine;
+  (* fill stays under the 96-frame cap only by swapping; reading an
+     evicted page back must fail every attempt. *)
+  ignore (sync_read rig ~gpa:0);
+  Alcotest.(check bool) "exhaustion counted" true
+    (rig.stats.Metrics.Stats.fault_retry_exhausted > 0);
+  Alcotest.(check bool) "guest abandoned" true
+    (H.guest_killed rig.host rig.gid);
+  check Alcotest.int "resources released" 0 (H.resident rig.host rig.gid);
+  H.check_invariants rig.host
+
+(* A hard media error is not retried: immediate abandonment. *)
+let media_error_kills_immediately () =
+  let rig = mk_rig ~faults:(fault_plan ~media:1.0 11) () in
+  fill_anon rig ~first:0 ~n:300;
+  Test_util.drain rig.engine;
+  ignore (sync_read rig ~gpa:0);
+  Alcotest.(check bool) "guest abandoned" true
+    (H.guest_killed rig.host rig.gid);
+  check Alcotest.int "no retries for media errors" 0
+    rig.stats.Metrics.Stats.fault_retries;
+  H.check_invariants rig.host
+
+let kill_guest_is_idempotent_and_complete () =
+  let rig = mk_rig () in
+  let handler_calls = ref 0 in
+  H.set_kill_handler rig.host (fun _ -> incr handler_calls);
+  fill_anon rig ~first:0 ~n:300;
+  Alcotest.(check bool) "some pages swapped" true
+    (rig.stats.Metrics.Stats.host_swapouts > 0);
+  H.kill_guest rig.host rig.gid;
+  H.kill_guest rig.host rig.gid;
+  check Alcotest.int "counted once" 1
+    rig.stats.Metrics.Stats.fault_guest_kills;
+  check Alcotest.int "handler called once" 1 !handler_calls;
+  check Alcotest.int "nothing resident" 0 (H.resident rig.host rig.gid);
+  Alcotest.(check bool) "reads inert" true
+    (C.equal (sync_read rig ~gpa:3) C.Zero);
+  H.check_invariants rig.host
+
 let tests =
   [
     ( "host:basics",
@@ -646,6 +763,21 @@ let tests =
         Alcotest.test_case "false anonymity" `Quick false_anonymity_hits_hypervisor_pages;
         Alcotest.test_case "guest isolation" `Quick two_guests_are_isolated;
         Alcotest.test_case "multi-page vio" `Quick multi_page_vio_roundtrip;
+      ] );
+    ( "host:resilience",
+      [
+        Alcotest.test_case "swap-full fallback" `Quick
+          swap_full_falls_back_gracefully;
+        Alcotest.test_case "host OOM kills guest" `Quick
+          host_oom_kills_guest_not_host;
+        Alcotest.test_case "transient retried" `Quick
+          transient_faults_are_retried;
+        Alcotest.test_case "retry exhaustion" `Quick
+          retry_exhaustion_kills_guest;
+        Alcotest.test_case "media error kills" `Quick
+          media_error_kills_immediately;
+        Alcotest.test_case "kill idempotent" `Quick
+          kill_guest_is_idempotent_and_complete;
       ] );
     ( "host:shadow-model",
       [

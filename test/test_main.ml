@@ -1,7 +1,8 @@
 (* Aggregated test runner: every library contributes a suite list. *)
 let () =
   Alcotest.run "vswapper-repro"
-    (Test_sim.tests @ Test_metrics.tests @ Test_storage.tests
+    (Test_sim.tests @ Test_metrics.tests @ Test_faults.tests
+   @ Test_storage.tests
    @ Test_mem.tests @ Test_core.tests @ Test_host.tests @ Test_guest.tests
    @ Test_vmm.tests @ Test_workloads.tests @ Test_balloon.tests
    @ Test_migration.tests @ Test_experiments.tests @ Test_parallel.tests)

@@ -367,6 +367,38 @@ let engine_monotone_time =
       List.length seq = List.length times
       && seq = List.sort compare seq)
 
+exception Boom
+
+(* A callback raising out of [step]/[run_until] must leave the engine
+   consistent: the fired event's record is recycled before the callback
+   runs, so nothing leaks, the clock stays where the raising event fired,
+   and the remaining events still run afterwards. *)
+let engine_exception_safety () =
+  let e = Sim.Engine.create () in
+  let fired = ref [] in
+  ignore
+    (Sim.Engine.schedule_at e (Sim.Time.us 10) (fun () -> fired := 1 :: !fired));
+  ignore (Sim.Engine.schedule_at e (Sim.Time.us 20) (fun () -> raise Boom));
+  ignore
+    (Sim.Engine.schedule_at e (Sim.Time.us 30) (fun () -> fired := 3 :: !fired));
+  Alcotest.check_raises "raises through run_until" Boom (fun () ->
+      ignore (Sim.Engine.run_until e (Sim.Time.us 100)));
+  Alcotest.(check int) "clock at the raising event" 20
+    (Sim.Time.to_us (Sim.Engine.now e));
+  Alcotest.(check int) "raising record reclaimed, survivor pending" 1
+    (Sim.Engine.pending e);
+  (* The engine keeps working: the survivor and fresh events (reusing
+     the recycled slots) all fire. *)
+  for i = 4 to 40 do
+    ignore
+      (Sim.Engine.schedule_at e
+         (Sim.Time.us (10 * i))
+         (fun () -> fired := i :: !fired))
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check int) "all survivors fired" 39 (List.length !fired);
+  Alcotest.(check int) "none left" 0 (Sim.Engine.pending e)
+
 let engine_same_time_fifo () =
   let e = Sim.Engine.create () in
   let log = ref [] in
@@ -420,6 +452,7 @@ let tests =
           Alcotest.test_case "step reclaims cancelled records" `Quick
             engine_cancelled_reclaimed_by_step;
           Alcotest.test_case "same-time FIFO" `Quick engine_same_time_fifo;
+          Alcotest.test_case "exception safety" `Quick engine_exception_safety;
           qcheck engine_monotone_time;
         ] );
     ]

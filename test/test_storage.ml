@@ -90,7 +90,7 @@ let disk_backward_expensive () =
   let engine, _, disk = mk_disk () in
   (* Park the head at sector 1008 by serving one read. *)
   Storage.Disk.submit disk ~sector:1000 ~nsectors:8 ~kind:Storage.Disk.Read
-    (fun () -> ());
+    (fun _ -> ());
   Test_util.drain engine;
   let back = Storage.Disk.service_time disk ~sector:900 ~nsectors:8 in
   let fwd = Storage.Disk.service_time disk ~sector:1100 ~nsectors:8 in
@@ -102,9 +102,9 @@ let disk_read_completion_ordering () =
   let engine, stats, disk = mk_disk () in
   let log = ref [] in
   Storage.Disk.submit disk ~sector:0 ~nsectors:8 ~kind:Storage.Disk.Read
-    (fun () -> log := "a" :: !log);
+    (fun _ -> log := "a" :: !log);
   Storage.Disk.submit disk ~sector:8 ~nsectors:8 ~kind:Storage.Disk.Read
-    (fun () -> log := "b" :: !log);
+    (fun _ -> log := "b" :: !log);
   Test_util.drain engine;
   Alcotest.(check (list string)) "FIFO reads" [ "a"; "b" ] (List.rev !log);
   check Alcotest.int "two media reads" 2 stats.Metrics.Stats.disk_ops;
@@ -115,7 +115,7 @@ let disk_write_acks_fast () =
   let engine, _, disk = mk_disk () in
   let acked_at = ref (-1) in
   Storage.Disk.submit disk ~sector:1_000_000 ~nsectors:8 ~kind:Storage.Disk.Write
-    (fun () -> acked_at := Sim.Engine.now engine);
+    (fun _ -> acked_at := Sim.Engine.now engine);
   Test_util.drain engine;
   (* Buffered ack is orders of magnitude below a random-seek time. *)
   Alcotest.(check bool) "fast ack" true (!acked_at >= 0 && !acked_at < 1_000)
@@ -123,10 +123,10 @@ let disk_write_acks_fast () =
 let disk_read_served_from_write_buffer () =
   let engine, stats, disk = mk_disk () in
   Storage.Disk.submit disk ~sector:500_000 ~nsectors:8 ~kind:Storage.Disk.Write
-    (fun () -> ());
+    (fun _ -> ());
   let done_at = ref (-1) in
   Storage.Disk.submit disk ~sector:500_000 ~nsectors:8 ~kind:Storage.Disk.Read
-    (fun () -> done_at := Sim.Engine.now engine);
+    (fun _ -> done_at := Sim.Engine.now engine);
   Test_util.drain_until engine (fun () -> !done_at >= 0);
   Alcotest.(check bool) "RAM-speed read" true (!done_at < 1_000);
   check Alcotest.int "no media read" 0 stats.Metrics.Stats.disk_sectors_read
@@ -134,9 +134,9 @@ let disk_read_served_from_write_buffer () =
 let disk_flushes_when_idle () =
   let engine, stats, disk = mk_disk () in
   Storage.Disk.submit disk ~sector:100 ~nsectors:16 ~kind:Storage.Disk.Write
-    (fun () -> ());
+    (fun _ -> ());
   Storage.Disk.submit disk ~sector:116 ~nsectors:16 ~kind:Storage.Disk.Write
-    (fun () -> ());
+    (fun _ -> ());
   check Alcotest.int "buffered" 32 (Storage.Disk.buffered_write_sectors disk);
   Test_util.drain engine;
   check Alcotest.int "flushed" 0 (Storage.Disk.buffered_write_sectors disk);
@@ -152,7 +152,7 @@ let disk_coalesces_queued_reads () =
   let log = ref [] in
   let r name sector =
     Storage.Disk.submit disk ~sector ~nsectors:8 ~kind:Storage.Disk.Read
-      (fun () -> log := name :: !log)
+      (fun _ -> log := name :: !log)
   in
   (* The first submit dispatches immediately (batch of one)... *)
   r "busy" 1_000_000;
@@ -182,11 +182,11 @@ let disk_batch_cap () =
   let cfg = { Storage.Disk.default_config with max_batch_sectors = 16 } in
   let disk = Storage.Disk.create ~engine ~stats cfg in
   Storage.Disk.submit disk ~sector:5_000_000 ~nsectors:8
-    ~kind:Storage.Disk.Read (fun () -> ());
+    ~kind:Storage.Disk.Read (fun _ -> ());
   List.iter
     (fun s ->
       Storage.Disk.submit disk ~sector:s ~nsectors:8 ~kind:Storage.Disk.Read
-        (fun () -> ()))
+        (fun _ -> ()))
     [ 6_000_000; 6_000_008; 6_000_016 ];
   Test_util.drain engine;
   (* 24 adjacent sectors under a 16-sector cap: the pair batches, the
@@ -199,12 +199,12 @@ let disk_batch_cap () =
 let disk_read_after_write_partial_overlap () =
   let engine, stats, disk = mk_disk () in
   Storage.Disk.submit disk ~sector:1_000 ~nsectors:16 ~kind:Storage.Disk.Write
-    (fun () -> ());
+    (fun _ -> ());
   let inside = ref false and partial = ref false in
   Storage.Disk.submit disk ~sector:1_004 ~nsectors:8 ~kind:Storage.Disk.Read
-    (fun () -> inside := true);
+    (fun _ -> inside := true);
   Storage.Disk.submit disk ~sector:1_008 ~nsectors:16 ~kind:Storage.Disk.Read
-    (fun () -> partial := true);
+    (fun _ -> partial := true);
   Test_util.drain_until engine (fun () -> !inside && !partial);
   (* Only the straddling read touched the media. *)
   check Alcotest.int "one media read" 16 stats.Metrics.Stats.disk_sectors_read
@@ -215,12 +215,12 @@ let disk_queue_depth_consistency () =
   let engine, _, disk = mk_disk () in
   check Alcotest.int "idle" 0 (Storage.Disk.queue_depth disk);
   Storage.Disk.submit disk ~sector:3_000_000 ~nsectors:8
-    ~kind:Storage.Disk.Read (fun () -> ());
+    ~kind:Storage.Disk.Read (fun _ -> ());
   check Alcotest.int "one in service" 1 (Storage.Disk.queue_depth disk);
   List.iter
     (fun s ->
       Storage.Disk.submit disk ~sector:s ~nsectors:8 ~kind:Storage.Disk.Read
-        (fun () -> ()))
+        (fun _ -> ()))
     [ 4_000_000; 4_000_008; 4_000_016 ];
   Storage.Disk.write_buffered disk ~sector:9_000_000 ~nsectors:8;
   check Alcotest.int "3 reads + 1 run + 1 in service" 5
@@ -245,7 +245,7 @@ let disk_every_read_completes_once =
         (fun i p ->
           let sector = p * 10_000 in
           Storage.Disk.submit disk ~sector ~nsectors:8
-            ~kind:Storage.Disk.Read (fun () ->
+            ~kind:Storage.Disk.Read (fun _ ->
               completed := (sector, i) :: !completed))
         picks;
       Test_util.drain engine;
@@ -270,7 +270,84 @@ let disk_rejects_empty () =
   Alcotest.check_raises "zero sectors"
     (Invalid_argument "Disk.submit: nsectors must be positive") (fun () ->
       Storage.Disk.submit disk ~sector:0 ~nsectors:0 ~kind:Storage.Disk.Read
-        (fun () -> ()))
+        (fun _ -> ()))
+
+(* Regression: submit/write_buffered accepted negative sectors and
+   requests past the end of the media; they now validate bounds. *)
+let disk_rejects_out_of_bounds () =
+  let _, _, disk = mk_disk () in
+  Alcotest.check_raises "negative sector"
+    (Invalid_argument "Disk.submit: negative sector -8") (fun () ->
+      Storage.Disk.submit disk ~sector:(-8) ~nsectors:8
+        ~kind:Storage.Disk.Read (fun _ -> ()));
+  let cap = Storage.Disk.default_config.Storage.Disk.capacity_sectors in
+  Alcotest.check_raises "past capacity"
+    (Invalid_argument
+       (Printf.sprintf "Disk.submit: [%d, %d) past capacity %d" (cap - 4)
+          (cap + 4) cap)) (fun () ->
+      Storage.Disk.submit disk ~sector:(cap - 4) ~nsectors:8
+        ~kind:Storage.Disk.Write (fun _ -> ()));
+  Alcotest.check_raises "write_buffered checked too"
+    (Invalid_argument "Disk.write_buffered: negative sector -1") (fun () ->
+      Storage.Disk.write_buffered disk ~sector:(-1) ~nsectors:1);
+  (* The very last sectors are still valid. *)
+  Storage.Disk.submit disk ~sector:(cap - 8) ~nsectors:8
+    ~kind:Storage.Disk.Write (fun _ -> ())
+
+let disk_injects_typed_errors () =
+  let engine = Sim.Engine.create () in
+  let stats = Metrics.Stats.create () in
+  let faults =
+    Faults.Plan.create (Faults.Config.make ~seed:5 ~media_rate:1.0 ())
+  in
+  let disk =
+    Storage.Disk.create ~engine ~stats ~faults Storage.Disk.default_config
+  in
+  let got = ref None in
+  Storage.Disk.submit disk ~sector:0 ~nsectors:8 ~kind:Storage.Disk.Read
+    (fun reply ->
+      got := Some reply.Storage.Disk.result;
+      Alcotest.(check bool) "service time positive" true
+        (Sim.Time.to_us reply.Storage.Disk.service > 0));
+  Test_util.drain engine;
+  (match !got with
+  | Some (Error Storage.Disk.Media) -> ()
+  | Some (Error Storage.Disk.Transient) -> Alcotest.fail "expected media"
+  | Some (Ok ()) -> Alcotest.fail "expected an injected error"
+  | None -> Alcotest.fail "read never completed");
+  check Alcotest.int "counted" 1 stats.Metrics.Stats.faults_injected_media;
+  (* Writes are absorbed by the write-back cache: always Ok. *)
+  let wrote = ref false in
+  Storage.Disk.submit disk ~sector:64 ~nsectors:8 ~kind:Storage.Disk.Write
+    (fun reply ->
+      wrote := reply.Storage.Disk.result = Ok ());
+  Test_util.drain engine;
+  Alcotest.(check bool) "write ok under faults" true !wrote
+
+let disk_degraded_latency () =
+  let engine = Sim.Engine.create () in
+  let stats = Metrics.Stats.create () in
+  let mk faults =
+    Storage.Disk.create ~engine ~stats ~faults Storage.Disk.default_config
+  in
+  let slow =
+    mk
+      (Faults.Plan.create
+         (Faults.Config.make ~seed:5 ~degraded_rate:1.0 ~degraded_mult:4.0 ()))
+  in
+  let fast = mk Faults.Plan.none in
+  let time disk =
+    let t = ref Sim.Time.zero in
+    Storage.Disk.submit disk ~sector:10_000 ~nsectors:8 ~kind:Storage.Disk.Read
+      (fun reply -> t := reply.Storage.Disk.service);
+    Test_util.drain engine;
+    Sim.Time.to_us !t
+  in
+  let fast_us = time fast and slow_us = time slow in
+  Alcotest.(check bool) "~4x slower" true
+    (slow_us > 3 * fast_us && slow_us < 6 * fast_us);
+  check Alcotest.int "degraded batches counted" 1
+    stats.Metrics.Stats.faults_degraded_batches
 
 (* ------------------------------------------------------------------ *)
 (* Swap area                                                           *)
@@ -455,6 +532,11 @@ let tests =
         Alcotest.test_case "queue depth consistency" `Quick
           disk_queue_depth_consistency;
         Alcotest.test_case "rejects empty" `Quick disk_rejects_empty;
+        Alcotest.test_case "rejects out of bounds" `Quick
+          disk_rejects_out_of_bounds;
+        Alcotest.test_case "typed error injection" `Quick
+          disk_injects_typed_errors;
+        Alcotest.test_case "degraded latency" `Quick disk_degraded_latency;
         qcheck disk_service_monotone;
         qcheck disk_every_read_completes_once;
       ] );
