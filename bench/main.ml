@@ -130,6 +130,32 @@ let latest_bench_file ~excluding =
   | [] -> None
   | f :: _ -> Some f
 
+(* Timed schedule/cancel churn on one engine backend: a rolling window
+   of cancellable timers (each slot's previous timer is cancelled when
+   the slot is refilled, as the disk idle-flush and VCPU timeslices do),
+   with periodic steps so the queue drains concurrently.  Deterministic
+   op sequence; only the wall-clock varies.  Returns events per second
+   (schedules + cancels + fires over elapsed time). *)
+let churn_events_per_sec backend =
+  let e = Sim.Engine.create ~backend () in
+  let n = 200_000 in
+  let handles = Array.make 64 Sim.Engine.null in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to n - 1 do
+    let slot = i land 63 in
+    Sim.Engine.cancel e handles.(slot);
+    handles.(slot) <-
+      Sim.Engine.schedule_after e
+        (Sim.Time.us (1 + ((i * 7) land 1023)))
+        (fun () -> ());
+    if i land 15 = 0 then ignore (Sim.Engine.step e)
+  done;
+  Sim.Engine.run e;
+  let dt = Unix.gettimeofday () -. t0 in
+  let tel = Sim.Engine.telemetry e in
+  let ops = n + tel.Sim.Engine.cancels_reclaimed + tel.Sim.Engine.events_fired in
+  if dt > 0.0 then float_of_int ops /. dt else 0.0
+
 let write_json ~file ~scale r =
   (* Read the comparison baseline from the real file, then write to a
      temp file and rename over it: a crash mid-write never leaves a
@@ -171,6 +197,41 @@ let write_json ~file ~scale r =
      \"killed\": %d},\n"
     f.Experiments.Exp.injected f.Experiments.Exp.retried
     f.Experiments.Exp.degraded f.Experiments.Exp.killed;
+  (* Engine section: lifetime totals of the event engine's hot path, a
+     schedule+cancel churn microbench on both backends (so every summary
+     records the wheel-vs-heap throughput on this machine), and fired
+     events per experiment normalized by its wall-clock. *)
+  let et = Experiments.Exp.engine_totals () in
+  let wheel_cps = churn_events_per_sec Sim.Engine.Wheel in
+  let heap_cps = churn_events_per_sec Sim.Engine.Heap in
+  out
+    "  \"engine\": {\"backend\": \"%s\", \"events_fired\": %d, \
+     \"cancels_reclaimed\": %d, \"cascades\": %d,\n"
+    (Sim.Engine.backend_name (Sim.Engine.default_backend ()))
+    et.Experiments.Exp.fired et.Experiments.Exp.cancels_reclaimed
+    et.Experiments.Exp.cascades;
+  out
+    "    \"churn\": {\"wheel_events_per_sec\": %.0f, \
+     \"heap_events_per_sec\": %.0f, \"wheel_speedup\": %.2f},\n"
+    wheel_cps heap_cps
+    (if heap_cps > 0.0 then wheel_cps /. heap_cps else 0.0);
+  let per_exp = Experiments.Exp.exp_engine_events () in
+  out "    \"per_experiment\": [";
+  List.iteri
+    (fun i (id, events) ->
+      let wall =
+        match
+          List.find_opt (fun (id', _, _) -> id' = id) r.experiments
+        with
+        | Some (_, w, _) -> w
+        | None -> 0.0
+      in
+      out "%s\n      {\"id\": \"%s\", \"events\": %d, \"events_per_sec\": %.0f}"
+        (if i = 0 then "" else ",")
+        (json_escape id) events
+        (if wall > 0.0 then float_of_int events /. wall else 0.0))
+    per_exp;
+  out "\n    ]},\n";
   let ps = Parallel.Pool.stats (Parallel.Pool.global ()) in
   out
     "  \"parallel\": {\"jobs\": %d, \"worker_jobs\": %d, \"helper_jobs\": \
@@ -301,6 +362,28 @@ let heap_bench =
            ()
          done))
 
+(* Schedule+cancel churn per backend — the pattern the disk idle-flush,
+   Preventer expiries, and VCPU timeslices hammer: most timers are
+   cancelled and rearmed before they fire. *)
+let engine_churn_bench backend =
+  Test.make
+    ~name:
+      (Printf.sprintf "sim: engine(%s) schedule+cancel churn 1000"
+         (Sim.Engine.backend_name backend))
+    (Staged.stage (fun () ->
+         let e = Sim.Engine.create ~backend () in
+         let handles = Array.make 32 Sim.Engine.null in
+         for i = 0 to 999 do
+           let slot = i land 31 in
+           Sim.Engine.cancel e handles.(slot);
+           handles.(slot) <-
+             Sim.Engine.schedule_after e
+               (Sim.Time.us (1 + ((i * 7) land 255)))
+               (fun () -> ());
+           if i land 7 = 0 then ignore (Sim.Engine.step e)
+         done;
+         Sim.Engine.run e))
+
 let mapper_bench =
   Test.make ~name:"core: mapper track/untrack 1000"
     (Staged.stage (fun () ->
@@ -346,7 +429,10 @@ let experiment_bench (e : Experiments.Exp.t) =
 let run_micro ~record () =
   let tests =
     [
-      engine_bench; heap_bench; mapper_bench; preventer_bench;
+      engine_bench; heap_bench;
+      engine_churn_bench Sim.Engine.Wheel;
+      engine_churn_bench Sim.Engine.Heap;
+      mapper_bench; preventer_bench;
       swap_alloc_bench;
     ]
     @ List.map experiment_bench

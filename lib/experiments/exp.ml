@@ -113,6 +113,65 @@ let fault_totals () =
     killed = Atomic.get acc_killed;
   }
 
+(* Engine telemetry totals, same atomic discipline.  Per-experiment
+   attribution rides on a domain-local tag: the registry tags the job
+   running an experiment, and [shard] re-establishes the submitting
+   experiment's tag around every sub-job — the pool's help-execution
+   means a domain waiting in one experiment may execute another
+   experiment's shard, so the tag must travel with the job, not the
+   domain. *)
+type engine_totals = { fired : int; cancels_reclaimed : int; cascades : int }
+
+let acc_engine_fired = Atomic.make 0
+let acc_engine_cancels = Atomic.make 0
+let acc_engine_cascades = Atomic.make 0
+
+let reset_engine_totals () =
+  Atomic.set acc_engine_fired 0;
+  Atomic.set acc_engine_cancels 0;
+  Atomic.set acc_engine_cascades 0
+
+let engine_totals () =
+  {
+    fired = Atomic.get acc_engine_fired;
+    cancels_reclaimed = Atomic.get acc_engine_cancels;
+    cascades = Atomic.get acc_engine_cascades;
+  }
+
+let exp_tag : string option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let with_exp_tag tag f =
+  let saved = Domain.DLS.get exp_tag in
+  Domain.DLS.set exp_tag tag;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set exp_tag saved) f
+
+(* Per-experiment fired-event counts.  The table is guarded by a mutex
+   (cells are created lazily from worker domains); the counts themselves
+   are atomics, so sums stay order-independent and deterministic at any
+   job count. *)
+let exp_engine_tbl : (string, int Atomic.t) Hashtbl.t = Hashtbl.create 31
+let exp_engine_mu = Mutex.create ()
+
+let bump_exp_engine_events id n =
+  let cell =
+    Mutex.protect exp_engine_mu (fun () ->
+        match Hashtbl.find_opt exp_engine_tbl id with
+        | Some c -> c
+        | None ->
+            let c = Atomic.make 0 in
+            Hashtbl.add exp_engine_tbl id c;
+            c)
+  in
+  ignore (Atomic.fetch_and_add cell n)
+
+let exp_engine_events () =
+  Mutex.protect exp_engine_mu (fun () ->
+      Hashtbl.fold
+        (fun id c acc -> (id, Atomic.get c) :: acc)
+        exp_engine_tbl []
+      |> List.sort compare)
+
 (* Fault knobs (bench --fault-seed / --fault-rate): consumed by the
    resilience experiment.  Set once before the sweep starts, so worker
    domains only ever read them. *)
@@ -138,7 +197,17 @@ let record_disk_stats (s : Metrics.Stats.t) =
   ignore (Atomic.fetch_and_add acc_retried s.Metrics.Stats.fault_retries);
   ignore
     (Atomic.fetch_and_add acc_degraded s.Metrics.Stats.faults_degraded_batches);
-  ignore (Atomic.fetch_and_add acc_killed s.Metrics.Stats.fault_guest_kills)
+  ignore (Atomic.fetch_and_add acc_killed s.Metrics.Stats.fault_guest_kills);
+  ignore
+    (Atomic.fetch_and_add acc_engine_fired s.Metrics.Stats.engine_events_fired);
+  ignore
+    (Atomic.fetch_and_add acc_engine_cancels
+       s.Metrics.Stats.engine_cancels_reclaimed);
+  ignore
+    (Atomic.fetch_and_add acc_engine_cascades s.Metrics.Stats.engine_cascades);
+  match Domain.DLS.get exp_tag with
+  | Some id -> bump_exp_engine_events id s.Metrics.Stats.engine_events_fired
+  | None -> ()
 
 let run_machine ?(get_marks = fun () -> []) machine =
   let result = Vmm.Machine.run machine in
@@ -168,6 +237,11 @@ let opt_s r = r.runtime_s
    failing point fails the whole experiment exactly as the serial loop
    did (the registry captures it per-experiment). *)
 let shard f xs =
+  (* Sub-jobs inherit the submitting experiment's telemetry tag: they may
+     execute on any pool domain (including one that is itself running a
+     different experiment and merely helping). *)
+  let tag = Domain.DLS.get exp_tag in
+  let f x = with_exp_tag tag (fun () -> f x) in
   Parallel.Pool.map (Parallel.Pool.global ()) f xs
   |> List.map (function Ok v -> v | Error e -> raise e)
 

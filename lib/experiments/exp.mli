@@ -83,6 +83,29 @@ type fault_totals = {
 val reset_fault_totals : unit -> unit
 val fault_totals : unit -> fault_totals
 
+(** Event-engine telemetry totals summed over every [run_machine] since
+    the last [reset_engine_totals], with the same atomic accumulation
+    discipline as {!disk_totals}. *)
+type engine_totals = {
+  fired : int;  (** event callbacks invoked *)
+  cancels_reclaimed : int;  (** cancelled event records recycled *)
+  cascades : int;  (** timing-wheel slot redistributions *)
+}
+
+val reset_engine_totals : unit -> unit
+val engine_totals : unit -> engine_totals
+
+(** [with_exp_tag tag f] runs [f] with the engine-telemetry attribution
+    tag set (and restores the previous tag after).  The registry tags
+    each experiment's job with its id; {!shard} re-establishes the
+    submitting experiment's tag around every sub-job, so help-executed
+    shards attribute to the right experiment at any job count. *)
+val with_exp_tag : string option -> (unit -> 'a) -> 'a
+
+(** [exp_engine_events ()] is the per-experiment fired-event totals seen
+    so far, sorted by experiment id. *)
+val exp_engine_events : unit -> (string * int) list
+
 (** Fault knobs for the resilience experiment, set once by the bench
     driver (--fault-seed / --fault-rate) before the sweep starts so
     worker domains only ever read them.  A [rate] of 0 (the default)

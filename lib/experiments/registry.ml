@@ -29,7 +29,12 @@ type outcome = {
 
 let run_one ~scale (e : Exp.t) =
   let t0 = Unix.gettimeofday () in
-  let output = try Ok (e.Exp.run ~scale) with exn -> Error exn in
+  (* The tag scopes engine-telemetry attribution to this experiment; the
+     sharded inner loops propagate it to their pool sub-jobs. *)
+  let output =
+    try Ok (Exp.with_exp_tag (Some e.Exp.id) (fun () -> e.Exp.run ~scale))
+    with exn -> Error exn
+  in
   { exp = e; output; wall_s = Unix.gettimeofday () -. t0 }
 
 let run_all ?jobs ~scale chosen =

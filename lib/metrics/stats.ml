@@ -39,6 +39,9 @@ type t = {
   mutable fault_guest_kills : int;
   mutable swap_full_fallbacks : int;
   mutable emergency_steals : int;
+  mutable engine_events_fired : int;
+  mutable engine_cancels_reclaimed : int;
+  mutable engine_cascades : int;
 }
 
 let create () =
@@ -83,6 +86,9 @@ let create () =
     fault_guest_kills = 0;
     swap_full_fallbacks = 0;
     emergency_steals = 0;
+    engine_events_fired = 0;
+    engine_cancels_reclaimed = 0;
+    engine_cascades = 0;
   }
 
 let copy t = { t with disk_ops = t.disk_ops }
@@ -134,6 +140,10 @@ let diff a b =
     fault_guest_kills = a.fault_guest_kills - b.fault_guest_kills;
     swap_full_fallbacks = a.swap_full_fallbacks - b.swap_full_fallbacks;
     emergency_steals = a.emergency_steals - b.emergency_steals;
+    engine_events_fired = a.engine_events_fired - b.engine_events_fired;
+    engine_cancels_reclaimed =
+      a.engine_cancels_reclaimed - b.engine_cancels_reclaimed;
+    engine_cascades = a.engine_cascades - b.engine_cascades;
   }
 
 let fields t =
@@ -178,6 +188,9 @@ let fields t =
     ("fault_guest_kills", t.fault_guest_kills);
     ("swap_full_fallbacks", t.swap_full_fallbacks);
     ("emergency_steals", t.emergency_steals);
+    ("engine_events_fired", t.engine_events_fired);
+    ("engine_cancels_reclaimed", t.engine_cancels_reclaimed);
+    ("engine_cascades", t.engine_cascades);
   ]
 
 let pp fmt t =

@@ -74,6 +74,13 @@ type t = {
       (** anon evictions skipped because the swap area was full *)
   mutable emergency_steals : int;
       (** frames reclaimed by the emergency (cross-cgroup) scan *)
+  (* Event-engine telemetry, copied from [Sim.Engine.telemetry] when the
+     machine run finishes. *)
+  mutable engine_events_fired : int;  (** callbacks the engine invoked *)
+  mutable engine_cancels_reclaimed : int;
+      (** cancelled event records whose storage was recycled *)
+  mutable engine_cascades : int;
+      (** timing-wheel slot redistributions (0 under the heap backend) *)
 }
 
 val create : unit -> t

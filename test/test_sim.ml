@@ -194,8 +194,12 @@ let heap_interleaved_stable =
 (* Engine                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let engine_ordering () =
-  let e = Sim.Engine.create () in
+(* Every engine test runs against both event-queue backends: the default
+   timing wheel and the `VSWAPPER_ENGINE=heap` binary heap.  Observable
+   semantics must be identical. *)
+
+let engine_ordering backend () =
+  let e = Sim.Engine.create ~backend () in
   let log = ref [] in
   ignore (Sim.Engine.schedule_at e (Sim.Time.us 30) (fun () -> log := 30 :: !log));
   ignore (Sim.Engine.schedule_at e (Sim.Time.us 10) (fun () -> log := 10 :: !log));
@@ -204,8 +208,8 @@ let engine_ordering () =
   Alcotest.(check (list int)) "fires in order" [ 10; 20; 30 ] (List.rev !log);
   check Alcotest.int "clock at last event" 30 (Sim.Engine.now e)
 
-let engine_cascade () =
-  let e = Sim.Engine.create () in
+let engine_cascade backend () =
+  let e = Sim.Engine.create ~backend () in
   let count = ref 0 in
   let rec tick n () =
     if n > 0 then begin
@@ -218,8 +222,8 @@ let engine_cascade () =
   check Alcotest.int "all ticks" 10 !count;
   check Alcotest.int "clock" 55 (Sim.Engine.now e)
 
-let engine_cancel () =
-  let e = Sim.Engine.create () in
+let engine_cancel backend () =
+  let e = Sim.Engine.create ~backend () in
   let fired = ref false in
   let ev = Sim.Engine.schedule_at e (Sim.Time.us 10) (fun () -> fired := true) in
   Sim.Engine.cancel e ev;
@@ -229,15 +233,15 @@ let engine_cancel () =
   (* double-cancel is a no-op *)
   Sim.Engine.cancel e ev
 
-let engine_past_rejected () =
-  let e = Sim.Engine.create () in
+let engine_past_rejected backend () =
+  let e = Sim.Engine.create ~backend () in
   ignore (Sim.Engine.schedule_at e (Sim.Time.us 50) (fun () -> ()));
   Sim.Engine.run e;
   Alcotest.check_raises "past" (Invalid_argument "Engine.schedule_at: 10 is in the past (now=50)")
     (fun () -> ignore (Sim.Engine.schedule_at e (Sim.Time.us 10) (fun () -> ())))
 
-let engine_run_until () =
-  let e = Sim.Engine.create () in
+let engine_run_until backend () =
+  let e = Sim.Engine.create ~backend () in
   let log = ref [] in
   List.iter
     (fun t -> ignore (Sim.Engine.schedule_at e (Sim.Time.us t) (fun () -> log := t :: !log)))
@@ -252,8 +256,8 @@ let engine_run_until () =
 (* Regression: an event scheduled exactly at the limit must fire during
    [run_until limit] (the cutoff is events *after* the limit), and the
    comparison must go through [Time.compare], not raw ints. *)
-let engine_run_until_at_limit () =
-  let e = Sim.Engine.create () in
+let engine_run_until_at_limit backend () =
+  let e = Sim.Engine.create ~backend () in
   let fired = ref [] in
   List.iter
     (fun t ->
@@ -274,8 +278,8 @@ let engine_run_until_at_limit () =
 (* run_at/run_after events recycle through a freelist; interleave them
    with cancellable schedule_at handles to check neither corrupts the
    other. *)
-let engine_recycled_events () =
-  let e = Sim.Engine.create () in
+let engine_recycled_events backend () =
+  let e = Sim.Engine.create ~backend () in
   let log = ref [] in
   for round = 0 to 2 do
     let base = Sim.Engine.now e in
@@ -305,8 +309,8 @@ let engine_recycled_events () =
 (* Handles are generation-counted: cancelling after the event fired is
    a no-op (it used to corrupt the pending count), and a stale handle
    never cancels the unrelated event that recycled its slot. *)
-let engine_cancel_after_fire () =
-  let e = Sim.Engine.create () in
+let engine_cancel_after_fire backend () =
+  let e = Sim.Engine.create ~backend () in
   let fired = ref [] in
   let h1 = Sim.Engine.schedule_at e (Sim.Time.us 10) (fun () -> fired := 1 :: !fired) in
   ignore (Sim.Engine.schedule_at e (Sim.Time.us 20) (fun () -> fired := 2 :: !fired));
@@ -318,8 +322,8 @@ let engine_cancel_after_fire () =
   Sim.Engine.run e;
   Alcotest.(check (list int)) "both fired" [ 1; 2 ] (List.rev !fired)
 
-let engine_stale_handle_spares_slot_reuser () =
-  let e = Sim.Engine.create () in
+let engine_stale_handle_spares_slot_reuser backend () =
+  let e = Sim.Engine.create ~backend () in
   let fired = ref [] in
   let h1 = Sim.Engine.schedule_at e (Sim.Time.us 10) (fun () -> fired := 1 :: !fired) in
   Sim.Engine.run e;
@@ -333,8 +337,8 @@ let engine_stale_handle_spares_slot_reuser () =
 (* Cancelled records are reclaimed on both drain paths (run/run_until
    pops them off the top; step drops them on the way to the next live
    event) and their slots recycle cleanly. *)
-let engine_cancelled_reclaimed_by_step () =
-  let e = Sim.Engine.create () in
+let engine_cancelled_reclaimed_by_step backend () =
+  let e = Sim.Engine.create ~backend () in
   let leaked = ref false in
   for _round = 1 to 3 do
     let h =
@@ -349,12 +353,15 @@ let engine_cancelled_reclaimed_by_step () =
   Alcotest.(check bool) "cancelled never fired" false !leaked;
   check Alcotest.int "queue empty" 0 (Sim.Engine.pending e)
 
-let engine_monotone_time =
-  QCheck.Test.make ~name:"engine: callbacks fire in non-decreasing time"
+let engine_monotone_time backend =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "engine(%s): callbacks fire in non-decreasing time"
+         (Sim.Engine.backend_name backend))
     ~count:200
     QCheck.(list (int_range 0 10_000))
     (fun times ->
-      let e = Sim.Engine.create () in
+      let e = Sim.Engine.create ~backend () in
       let fired = ref [] in
       List.iter
         (fun t ->
@@ -373,8 +380,8 @@ exception Boom
    consistent: the fired event's record is recycled before the callback
    runs, so nothing leaks, the clock stays where the raising event fired,
    and the remaining events still run afterwards. *)
-let engine_exception_safety () =
-  let e = Sim.Engine.create () in
+let engine_exception_safety backend () =
+  let e = Sim.Engine.create ~backend () in
   let fired = ref [] in
   ignore
     (Sim.Engine.schedule_at e (Sim.Time.us 10) (fun () -> fired := 1 :: !fired));
@@ -399,14 +406,262 @@ let engine_exception_safety () =
   Alcotest.(check int) "all survivors fired" 39 (List.length !fired);
   Alcotest.(check int) "none left" 0 (Sim.Engine.pending e)
 
-let engine_same_time_fifo () =
-  let e = Sim.Engine.create () in
+let engine_same_time_fifo backend () =
+  let e = Sim.Engine.create ~backend () in
   let log = ref [] in
   List.iter
     (fun v -> ignore (Sim.Engine.schedule_at e (Sim.Time.us 10) (fun () -> log := v :: !log)))
     [ 1; 2; 3 ];
   Sim.Engine.run e;
   Alcotest.(check (list int)) "FIFO at same instant" [ 1; 2; 3 ] (List.rev !log)
+
+(* An event scheduled for the current instant from inside a callback
+   joins the tail of that instant: it fires after the events already
+   queued at the same time and before any later time — identically on
+   both backends (the heap by seq order; the wheel by draining the
+   refilled current slot as a later batch at the same tick). *)
+let engine_same_tick_reentry backend () =
+  let e = Sim.Engine.create ~backend () in
+  let log = ref [] in
+  ignore
+    (Sim.Engine.schedule_at e (Sim.Time.us 50) (fun () ->
+         log := 0 :: !log;
+         ignore
+           (Sim.Engine.schedule_at e (Sim.Time.us 50) (fun () ->
+                log := 9 :: !log))));
+  ignore (Sim.Engine.schedule_at e (Sim.Time.us 50) (fun () -> log := 1 :: !log));
+  ignore (Sim.Engine.schedule_at e (Sim.Time.us 51) (fun () -> log := 2 :: !log));
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "reentry after the batch, before the next tick"
+    [ 0; 1; 9; 2 ] (List.rev !log)
+
+(* [cancelled_pending] separates lazy cancellation (heap) from true
+   removal (wheel): the wheel must report 0 after every cancel — no dead
+   record is ever left queued — while the heap accumulates tombstones
+   that the next drain reclaims. *)
+let engine_cancelled_pending backend () =
+  let e = Sim.Engine.create ~backend () in
+  let hs =
+    List.init 8 (fun i ->
+        Sim.Engine.schedule_at e (Sim.Time.us (10 * (i + 1))) (fun () -> ()))
+  in
+  ignore (Sim.Engine.schedule_at e (Sim.Time.us 500) (fun () -> ()));
+  List.iteri
+    (fun i h ->
+      Sim.Engine.cancel e h;
+      match backend with
+      | Sim.Engine.Wheel ->
+          check Alcotest.int "wheel: zero dead records queued" 0
+            (Sim.Engine.cancelled_pending e)
+      | Sim.Engine.Heap ->
+          check Alcotest.int "heap: tombstones accumulate" (i + 1)
+            (Sim.Engine.cancelled_pending e))
+    hs;
+  check Alcotest.int "pending counts live events only" 1 (Sim.Engine.pending e);
+  Sim.Engine.run e;
+  check Alcotest.int "drain reclaims every tombstone" 0
+    (Sim.Engine.cancelled_pending e);
+  check Alcotest.int "queue empty" 0 (Sim.Engine.pending e)
+
+let engine_telemetry backend () =
+  let e = Sim.Engine.create ~backend () in
+  for i = 1 to 10 do
+    ignore (Sim.Engine.schedule_at e (Sim.Time.us (i * 10)) (fun () -> ()))
+  done;
+  let h = Sim.Engine.schedule_at e (Sim.Time.us 500) (fun () -> ()) in
+  Sim.Engine.cancel e h;
+  Sim.Engine.run e;
+  let tel = Sim.Engine.telemetry e in
+  Alcotest.(check string) "backend recorded"
+    (Sim.Engine.backend_name backend)
+    (Sim.Engine.backend_name tel.Sim.Engine.tel_backend);
+  Alcotest.(check int) "fired = callbacks invoked" 10 tel.Sim.Engine.events_fired;
+  Alcotest.(check int) "cancelled record reclaimed exactly once" 1
+    tel.Sim.Engine.cancels_reclaimed
+
+(* ------------------------------------------------------------------ *)
+(* Wheel-specific edge cases                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* 64 = the first time resolved by wheel level 1, 4096 by level 2,
+   262144 by level 3.  Aligned-window placement and cascading must fire
+   boundary±1 times in exact order with exact clocks. *)
+let wheel_level_boundary () =
+  let e = Sim.Engine.create ~backend:Sim.Engine.Wheel () in
+  let times = [ 65; 4096; 63; 262145; 4095; 64; 262143; 4097; 262144; 1; 0 ] in
+  let log = ref [] in
+  List.iter
+    (fun t ->
+      ignore
+        (Sim.Engine.schedule_at e (Sim.Time.us t) (fun () ->
+             log := Sim.Time.to_us (Sim.Engine.now e) :: !log)))
+    times;
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "boundary times fire in order"
+    (List.sort compare times) (List.rev !log)
+
+(* One event per wheel level plus two same-time events beyond the 2^24 us
+   horizon (overflow list), scheduled out of order: everything must fire
+   in time order with FIFO ties, and the far events must have cascaded
+   down through the levels on the way. *)
+let wheel_deep_cascade () =
+  let e = Sim.Engine.create ~backend:Sim.Engine.Wheel () in
+  let log = ref [] in
+  let add t v =
+    ignore (Sim.Engine.schedule_at e (Sim.Time.us t) (fun () -> log := v :: !log))
+  in
+  add 20_000_000 4;
+  add 20_000_000 5;
+  add 300_000 3;
+  add 10 0;
+  add 5_000 2;
+  add 100 1;
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "levels + overflow in order, FIFO at ties"
+    [ 0; 1; 2; 3; 4; 5 ] (List.rev !log);
+  Alcotest.(check int) "clock at the overflow events" 20_000_000
+    (Sim.Time.to_us (Sim.Engine.now e));
+  let tel = Sim.Engine.telemetry e in
+  Alcotest.(check bool) "far events cascaded down the levels" true
+    (tel.Sim.Engine.cascades > 0)
+
+(* Cancelling from inside a callback while a cascaded batch is draining:
+   a later same-tick event (already relocated into the current level-0
+   slot), a cascaded-but-not-yet-due event one tick over, and an event
+   still parked at level 1 must all unlink cleanly, leaving no dead
+   record queued. *)
+let wheel_cancel_during_cascade () =
+  let e = Sim.Engine.create ~backend:Sim.Engine.Wheel () in
+  let log = ref [] in
+  (* Tick 100 lives on level 1 from wheel time 0, so reaching it forces a
+     cascade; the handles below are all in flight mid-drain when event 0
+     cancels them. *)
+  let hc = ref Sim.Engine.null
+  and hd = ref Sim.Engine.null
+  and hf = ref Sim.Engine.null in
+  ignore
+    (Sim.Engine.schedule_at e (Sim.Time.us 100) (fun () ->
+         log := 0 :: !log;
+         Sim.Engine.cancel e !hc;
+         Sim.Engine.cancel e !hd;
+         Sim.Engine.cancel e !hf));
+  ignore (Sim.Engine.schedule_at e (Sim.Time.us 100) (fun () -> log := 1 :: !log));
+  (* same tick, behind the canceller in the batch *)
+  hc := Sim.Engine.schedule_at e (Sim.Time.us 100) (fun () -> log := 2 :: !log);
+  (* same level-1 window, so cascaded to level 0 but one tick later *)
+  hd := Sim.Engine.schedule_at e (Sim.Time.us 101) (fun () -> log := 3 :: !log);
+  (* different level-1 slot: still parked above when cancelled *)
+  hf := Sim.Engine.schedule_at e (Sim.Time.us 160) (fun () -> log := 4 :: !log);
+  ignore (Sim.Engine.schedule_at e (Sim.Time.us 170) (fun () -> log := 5 :: !log));
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "cancelled events skipped mid-batch" [ 0; 1; 5 ]
+    (List.rev !log);
+  Alcotest.(check int) "no dead records queued" 0
+    (Sim.Engine.cancelled_pending e);
+  Alcotest.(check int) "queue empty" 0 (Sim.Engine.pending e)
+
+(* Peeking must not advance the wheel: after [run_until] returns with a
+   far-future event still queued, a fresh event far earlier than it (but
+   after the engine clock) must be accepted and fire first. *)
+let wheel_peek_does_not_advance () =
+  let e = Sim.Engine.create ~backend:Sim.Engine.Wheel () in
+  let log = ref [] in
+  ignore
+    (Sim.Engine.schedule_at e (Sim.Time.us 1_000_000) (fun () ->
+         log := 2 :: !log));
+  let remaining = Sim.Engine.run_until e (Sim.Time.us 10) in
+  Alcotest.(check bool) "far event still queued" true remaining;
+  ignore (Sim.Engine.schedule_at e (Sim.Time.us 20) (fun () -> log := 1 :: !log));
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "late earlier insert fires first" [ 1; 2 ]
+    (List.rev !log)
+
+(* The differential harness: random schedule / cancel / run_until traces
+   replayed against both backends must produce the same observable
+   outcome — firing order as (id, time) pairs, final clock, and final
+   pending count.  Far schedules (x10000) push events past the wheel
+   horizon so the overflow list is exercised too. *)
+type trace_op = Sched of int | Sched_far of int | Cancel_nth of int | Run_for of int
+
+let engine_differential =
+  let op_gen =
+    QCheck.Gen.(
+      frequency
+        [
+          (6, map (fun d -> Sched d) (int_range 0 2_000));
+          (1, map (fun d -> Sched_far d) (int_range 0 4_000));
+          (2, map (fun k -> Cancel_nth k) (int_range 0 30));
+          (2, map (fun d -> Run_for d) (int_range 0 3_000));
+        ])
+  in
+  let print_op = function
+    | Sched d -> Printf.sprintf "Sched %d" d
+    | Sched_far d -> Printf.sprintf "Sched_far %d" d
+    | Cancel_nth k -> Printf.sprintf "Cancel_nth %d" k
+    | Run_for d -> Printf.sprintf "Run_for %d" d
+  in
+  let arb =
+    QCheck.make
+      ~print:(QCheck.Print.list print_op)
+      QCheck.Gen.(list_size (int_range 0 60) op_gen)
+  in
+  QCheck.Test.make ~name:"engine: wheel = heap on random traces" ~count:300 arb
+    (fun ops ->
+      let replay backend =
+        let e = Sim.Engine.create ~backend () in
+        let fired = ref [] in
+        let handles = ref [] in
+        let next_id = ref 0 in
+        let sched d =
+          let id = !next_id in
+          incr next_id;
+          let h =
+            Sim.Engine.schedule_after e (Sim.Time.us d) (fun () ->
+                fired := (id, Sim.Time.to_us (Sim.Engine.now e)) :: !fired)
+          in
+          handles := h :: !handles
+        in
+        List.iter
+          (function
+            | Sched d -> sched d
+            | Sched_far d -> sched (d * 10_000)
+            | Cancel_nth k -> (
+                match List.nth_opt !handles k with
+                | Some h -> Sim.Engine.cancel e h
+                | None -> ())
+            | Run_for d ->
+                ignore
+                  (Sim.Engine.run_until e
+                     (Sim.Time.add (Sim.Engine.now e) (Sim.Time.us d))))
+          ops;
+        Sim.Engine.run e;
+        ( List.rev !fired,
+          Sim.Time.to_us (Sim.Engine.now e),
+          Sim.Engine.pending e )
+      in
+      replay Sim.Engine.Wheel = replay Sim.Engine.Heap)
+
+let engine_cases backend =
+  let tc name f = Alcotest.test_case name `Quick (f backend) in
+  ( Printf.sprintf "sim:engine(%s)" (Sim.Engine.backend_name backend),
+    [
+      tc "ordering" engine_ordering;
+      tc "cascading events" engine_cascade;
+      tc "cancellation" engine_cancel;
+      tc "past rejected" engine_past_rejected;
+      tc "run_until" engine_run_until;
+      tc "run_until: event exactly at limit" engine_run_until_at_limit;
+      tc "freelist event recycling" engine_recycled_events;
+      tc "cancel after fire is a no-op" engine_cancel_after_fire;
+      tc "stale handle spares slot reuser" engine_stale_handle_spares_slot_reuser;
+      tc "step reclaims cancelled records" engine_cancelled_reclaimed_by_step;
+      tc "same-time FIFO" engine_same_time_fifo;
+      tc "same-tick reentry ordering" engine_same_tick_reentry;
+      tc "exception safety" engine_exception_safety;
+      tc "cancelled_pending accounting" engine_cancelled_pending;
+      tc "telemetry counters" engine_telemetry;
+      qcheck (engine_monotone_time backend);
+    ] )
 
 let tests =
     [
@@ -434,25 +689,17 @@ let tests =
           qcheck heap_sorts;
           qcheck heap_interleaved_stable;
         ] );
-      ( "sim:engine",
+      engine_cases Sim.Engine.Wheel;
+      engine_cases Sim.Engine.Heap;
+      ( "sim:wheel",
         [
-          Alcotest.test_case "ordering" `Quick engine_ordering;
-          Alcotest.test_case "cascading events" `Quick engine_cascade;
-          Alcotest.test_case "cancellation" `Quick engine_cancel;
-          Alcotest.test_case "past rejected" `Quick engine_past_rejected;
-          Alcotest.test_case "run_until" `Quick engine_run_until;
-          Alcotest.test_case "run_until: event exactly at limit" `Quick
-            engine_run_until_at_limit;
-          Alcotest.test_case "freelist event recycling" `Quick
-            engine_recycled_events;
-          Alcotest.test_case "cancel after fire is a no-op" `Quick
-            engine_cancel_after_fire;
-          Alcotest.test_case "stale handle spares slot reuser" `Quick
-            engine_stale_handle_spares_slot_reuser;
-          Alcotest.test_case "step reclaims cancelled records" `Quick
-            engine_cancelled_reclaimed_by_step;
-          Alcotest.test_case "same-time FIFO" `Quick engine_same_time_fifo;
-          Alcotest.test_case "exception safety" `Quick engine_exception_safety;
-          qcheck engine_monotone_time;
+          Alcotest.test_case "level-boundary scheduling" `Quick
+            wheel_level_boundary;
+          Alcotest.test_case "deep cascade + overflow" `Quick wheel_deep_cascade;
+          Alcotest.test_case "cancel during cascade" `Quick
+            wheel_cancel_during_cascade;
+          Alcotest.test_case "peek does not advance the wheel" `Quick
+            wheel_peek_does_not_advance;
+          qcheck engine_differential;
         ] );
     ]
