@@ -197,6 +197,15 @@ let write_json ~file ~scale r =
      \"killed\": %d},\n"
     f.Experiments.Exp.injected f.Experiments.Exp.retried
     f.Experiments.Exp.degraded f.Experiments.Exp.killed;
+  let a = Experiments.Exp.async_totals () in
+  out
+    "  \"async\": {\"waiter_merges\": %d, \"faults_deferred\": %d, \
+     \"inflight_highwater\": %d},\n"
+    a.Experiments.Exp.waiter_merges a.Experiments.Exp.deferred
+    a.Experiments.Exp.inflight_highwater;
+  out
+    "  \"queues\": {\"mq_batches\": %d, \"depth_highwater\": %d},\n"
+    a.Experiments.Exp.mq_batches a.Experiments.Exp.queue_depth_highwater;
   (* Engine section: lifetime totals of the event engine's hot path, a
      schedule+cancel churn microbench on both backends (so every summary
      records the wheel-vs-heap throughput on this machine), and fired
@@ -251,7 +260,9 @@ let write_json ~file ~scale r =
               | x :: r when n > 0 -> x :: cap (n - 1) r
               | _ -> []
             in
-            ( Printf.sprintf ", \"delta_s\": %+.3f" (wall_s -. w),
+            (* %.3f, not %+.3f: a leading '+' on a positive delta is not
+               valid JSON and strict parsers reject the whole file. *)
+            ( Printf.sprintf ", \"delta_s\": %.3f" (wall_s -. w),
               cap history_depth (w :: past) )
         | None -> ("", [])
       in

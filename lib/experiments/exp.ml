@@ -138,6 +138,43 @@ let engine_totals () =
     cascades = Atomic.get acc_engine_cascades;
   }
 
+(* Async fault-path and multi-queue totals, same atomic discipline.
+   Sums are order-independent; the two highwaters combine via a CAS max,
+   which is equally order-independent. *)
+type async_totals = {
+  waiter_merges : int;
+  deferred : int;
+  inflight_highwater : int;
+  mq_batches : int;
+  queue_depth_highwater : int;
+}
+
+let acc_waiter_merges = Atomic.make 0
+let acc_deferred = Atomic.make 0
+let acc_inflight_hw = Atomic.make 0
+let acc_mq_batches = Atomic.make 0
+let acc_qdepth_hw = Atomic.make 0
+
+let rec atomic_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
+
+let reset_async_totals () =
+  Atomic.set acc_waiter_merges 0;
+  Atomic.set acc_deferred 0;
+  Atomic.set acc_inflight_hw 0;
+  Atomic.set acc_mq_batches 0;
+  Atomic.set acc_qdepth_hw 0
+
+let async_totals () =
+  {
+    waiter_merges = Atomic.get acc_waiter_merges;
+    deferred = Atomic.get acc_deferred;
+    inflight_highwater = Atomic.get acc_inflight_hw;
+    mq_batches = Atomic.get acc_mq_batches;
+    queue_depth_highwater = Atomic.get acc_qdepth_hw;
+  }
+
 let exp_tag : string option Domain.DLS.key =
   Domain.DLS.new_key (fun () -> None)
 
@@ -205,6 +242,14 @@ let record_disk_stats (s : Metrics.Stats.t) =
        s.Metrics.Stats.engine_cancels_reclaimed);
   ignore
     (Atomic.fetch_and_add acc_engine_cascades s.Metrics.Stats.engine_cascades);
+  ignore
+    (Atomic.fetch_and_add acc_waiter_merges
+       s.Metrics.Stats.async_waiter_merges);
+  ignore
+    (Atomic.fetch_and_add acc_deferred s.Metrics.Stats.async_faults_deferred);
+  atomic_max acc_inflight_hw s.Metrics.Stats.async_inflight_highwater;
+  ignore (Atomic.fetch_and_add acc_mq_batches s.Metrics.Stats.disk_mq_batches);
+  atomic_max acc_qdepth_hw s.Metrics.Stats.disk_queue_depth_highwater;
   match Domain.DLS.get exp_tag with
   | Some id -> bump_exp_engine_events id s.Metrics.Stats.engine_events_fired
   | None -> ()

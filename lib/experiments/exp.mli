@@ -95,6 +95,21 @@ type engine_totals = {
 val reset_engine_totals : unit -> unit
 val engine_totals : unit -> engine_totals
 
+(** Async fault-path and multi-queue disk totals over every
+    [run_machine] since the last [reset_async_totals].  Counts are
+    atomic sums; the two highwaters combine via an order-independent
+    max, so all five stay deterministic at any job count. *)
+type async_totals = {
+  waiter_merges : int;  (** faults that piggybacked on an in-flight key *)
+  deferred : int;  (** fault starts parked by the per-guest bound *)
+  inflight_highwater : int;  (** max concurrent target faults, any run *)
+  mq_batches : int;  (** media batches served on queues other than 0 *)
+  queue_depth_highwater : int;  (** max concurrent in-service batches *)
+}
+
+val reset_async_totals : unit -> unit
+val async_totals : unit -> async_totals
+
 (** [with_exp_tag tag f] runs [f] with the engine-telemetry attribution
     tag set (and restores the previous tag after).  The registry tags
     each experiment's job with its id; {!shard} re-establishes the

@@ -39,7 +39,11 @@ let migrate_now machine link strategy =
   while !result = None && Sim.Engine.step engine && !steps < 10_000_000 do
     incr steps
   done;
-  Option.get !result
+  (* Migration experiments run on clean disks; an abort here means the
+     harness itself regressed. *)
+  match Option.get !result with
+  | Migration.Migrate.Completed r -> r
+  | Migration.Migrate.Aborted _ -> failwith "mig: unexpected disk abort"
 
 let run ~scale =
   let rows = ref [] in

@@ -16,6 +16,7 @@ let all =
     Mig.exp;
     Ablations.exp;
     Resilience.exp;
+    Scalability.exp;
   ]
 
 let find id = List.find_opt (fun e -> e.Exp.id = id) all

@@ -22,6 +22,7 @@ type t = {
   io_retry_limit : int;
   io_retry_base_us : int;
   io_error_budget : int;
+  max_inflight_faults : int;
 }
 
 let default =
@@ -49,6 +50,7 @@ let default =
     io_retry_limit = 4;
     io_retry_base_us = 500;
     io_error_budget = 256;
+    max_inflight_faults = 0;
   }
 
 let with_memory_mb t mb =

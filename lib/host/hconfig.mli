@@ -46,6 +46,10 @@ type t = {
       (** backoff before the first retry; doubles per attempt *)
   io_error_budget : int;
       (** per-guest cap on retries; exhausted => the guest is killed *)
+  max_inflight_faults : int;
+      (** per-guest bound on concurrently in-flight target faults; starts
+          beyond it are queued and released as completions drain.  0 means
+          unbounded (the default).  Prefetch markers never count. *)
 }
 
 (** Defaults sized for experiments that cap a guest at a few hundred MB;

@@ -27,6 +27,10 @@ type guest = {
   pending_gen : (int, int) Hashtbl.t;
   mutable killed : bool;  (* torn down by the host; holds no resources *)
   mutable error_budget : int;  (* remaining I/O retries before giving up *)
+  mutable inflight_faults : int;  (* target faults currently on the disk *)
+  pending_faults : (unit -> unit) Queue.t;
+      (* fault starters deferred by [max_inflight_faults]; drained FIFO as
+         in-flight faults complete *)
 }
 
 type t = {
@@ -44,6 +48,7 @@ type t = {
   slot_owner : (int, int) Hashtbl.t;  (* swap slot -> packed (guest, gpa) *)
   (* packed (guest, gpa) -> continuations waiting for an in-flight fault *)
   inflight : (int, (unit -> unit) list ref) Hashtbl.t;
+  mutable inflight_targets : int;  (* machine-wide gauge, for the highwater *)
   mutable reclaim_toggle : bool;  (* fairness when named_preference is off *)
   mutable global_rr : int;  (* round-robin cursor for global reclaim *)
   mutable kill_handler : guest_id -> unit;  (* VMM notification on kill *)
@@ -79,6 +84,7 @@ let create ~engine ~disk ~stats ~config ~vsconfig ~swap ~hv_base_sector =
     nguests = 0;
     slot_owner = Hashtbl.create 4096;
     inflight = Hashtbl.create 64;
+    inflight_targets = 0;
     reclaim_toggle = false;
     global_rr = 0;
     kill_handler = ignore;
@@ -104,6 +110,8 @@ let register_guest t ~vdisk ~gpa_pages ~resident_limit =
       pending_gen = Hashtbl.create 64;
       killed = false;
       error_budget = t.config.io_error_budget;
+      inflight_faults = 0;
+      pending_faults = Queue.create ();
     }
   in
   Hashtbl.replace t.guests gid g;
@@ -421,6 +429,12 @@ let kill_guest t gid =
             Frames.release t.frames frame)
       g.hv_frames;
     Hashtbl.reset g.pending_gen;
+    (* Parked fault starters must not strand their continuations: each
+       re-enters the fault path, sees [killed], and resolves inertly.
+       Transfer first so a starter cannot mutate the queue mid-drain. *)
+    let parked = Queue.create () in
+    Queue.transfer g.pending_faults parked;
+    Queue.iter (fun start -> start ()) parked;
     t.kill_handler gid
   end
 
@@ -655,7 +669,15 @@ let install_from_image t g ~gpa ~block ~target =
 (* [fault_in t g ~gpa ~host_context k]: make [gpa] present, charging all
    latencies, then run [k].  [k] itself re-checks presence (the page can
    be re-evicted between the disk completion and the continuation), so
-   callers typically pass a retry loop. *)
+   callers typically pass a retry loop.
+
+   The major-fault path is a completion-callback structure: the disk read
+   is enqueued and the machine loop continues; [k] and every piggybacked
+   waiter resume from the completion event.  [max_inflight_faults] (when
+   nonzero) bounds how many target faults a guest may have on the disk at
+   once — starts beyond it are parked in [g.pending_faults] and released
+   FIFO as completions drain, modelling a bounded async-page-fault queue
+   rather than an infinitely wide one. *)
 let rec fault_in t g ~gpa ~host_context k =
   if g.killed then after t 0 k
   else
@@ -674,29 +696,67 @@ let rec fault_in t g ~gpa ~host_context k =
       | Some waiters ->
           (* Piggyback: when the in-flight read lands, try again (the
              retry will hit the fast path if the install succeeded). *)
+          t.stats.async_waiter_merges <- t.stats.async_waiter_merges + 1;
           waiters := (fun () -> fault_in t g ~gpa ~host_context k) :: !waiters
       | None ->
-          let waiters = ref [] in
-          Hashtbl.replace t.inflight key waiters;
-          (* Handling a major fault runs hypervisor code. *)
-          let hv_cost = hv_touch t g t.config.hv_touch_per_fault in
-          let finish0 () =
-            Hashtbl.remove t.inflight key;
-            let ws = !waiters in
-            waiters := [];
-            (match g.ept.(gpa) with
-            | E_present _ -> k ()
-            | _ -> fault_in t g ~gpa ~host_context k);
-            List.iter (fun w -> w ()) ws
-          in
-          let finish () =
-            if hv_cost = 0 then finish0 () else after t hv_cost finish0
-          in
-          (match g.ept.(gpa) with
-          | E_in_swap slot -> swapin_cluster t g ~gpa ~slot ~host_context finish
-          | E_in_image block ->
-              refetch_image t g ~gpa ~block ~host_context finish
-          | E_present _ | E_not_backed | E_ballooned -> assert false))
+          let bound = t.config.max_inflight_faults in
+          if bound > 0 && g.inflight_faults >= bound then begin
+            (* At the in-flight bound: park the start.  The starter
+               re-enters [fault_in] from scratch, so any state change
+               while parked (page installed by a prefetch, guest killed,
+               another fault in flight on the same key) is handled by the
+               normal dispatch above. *)
+            t.stats.async_faults_deferred <- t.stats.async_faults_deferred + 1;
+            Queue.add
+              (fun () -> fault_in t g ~gpa ~host_context k)
+              g.pending_faults
+          end
+          else start_fault t g ~gpa ~host_context k)
+
+(* Issue the disk read for a target fault that holds an in-flight slot. *)
+and start_fault t g ~gpa ~host_context k =
+  let key = owner_key ~gid:g.gid ~gpa in
+  let waiters = ref [] in
+  Hashtbl.replace t.inflight key waiters;
+  g.inflight_faults <- g.inflight_faults + 1;
+  t.inflight_targets <- t.inflight_targets + 1;
+  if t.inflight_targets > t.stats.async_inflight_highwater then
+    t.stats.async_inflight_highwater <- t.inflight_targets;
+  (* Handling a major fault runs hypervisor code. *)
+  let hv_cost = hv_touch t g t.config.hv_touch_per_fault in
+  let finish0 () =
+    Hashtbl.remove t.inflight key;
+    g.inflight_faults <- g.inflight_faults - 1;
+    t.inflight_targets <- t.inflight_targets - 1;
+    let ws = !waiters in
+    waiters := [];
+    (match g.ept.(gpa) with
+    | E_present _ -> k ()
+    | _ -> fault_in t g ~gpa ~host_context k);
+    List.iter (fun w -> w ()) ws;
+    (* The freed slot may admit parked starts (of this guest). *)
+    drain_pending t g
+  in
+  let finish () =
+    if hv_cost = 0 then finish0 () else after t hv_cost finish0
+  in
+  (match g.ept.(gpa) with
+  | E_in_swap slot -> swapin_cluster t g ~gpa ~slot ~host_context finish
+  | E_in_image block ->
+      refetch_image t g ~gpa ~block ~host_context finish
+  | E_present _ | E_not_backed | E_ballooned -> assert false)
+
+(* Release parked fault starts while in-flight capacity lasts.  A popped
+   starter that resolves without occupying a slot (page became present,
+   piggyback on another key, guest killed) does not stop the drain. *)
+and drain_pending t g =
+  let bound = t.config.max_inflight_faults in
+  while
+    (bound = 0 || g.inflight_faults < bound)
+    && not (Queue.is_empty g.pending_faults)
+  do
+    (Queue.pop g.pending_faults) ()
+  done
 
 (* Swap-in with cluster readahead: one request covers the naturally
    aligned cluster around [slot]; every slot in it that still backs a
@@ -759,13 +819,14 @@ and swapin_cluster t g ~gpa ~slot ~host_context k =
   let rec retry ~attempt =
     Storage.Disk.submit t.disk
       ~sector:(Storage.Swap_area.sector_of_slot t.swap slot)
-      ~nsectors:page_sectors ~kind:Storage.Disk.Read ~attempt
+      ~nsectors:page_sectors ~kind:Storage.Disk.Read ~queue:g.gid ~attempt
       (fun (reply : Storage.Disk.reply) ->
         match reply.result with
         | Ok () -> install_target ()
         | Error err -> handle_read_error t g ~err ~attempt ~retry ~give_up:k)
   in
   Storage.Disk.submit t.disk ~sector ~nsectors ~kind:Storage.Disk.Read
+    ~queue:g.gid
     (fun (reply : Storage.Disk.reply) ->
       match reply.result with
       | Ok () ->
@@ -834,7 +895,7 @@ and refetch_image t g ~gpa ~block ~host_context k =
      and was released on the first failure. *)
   let rec retry ~attempt =
     Storage.Disk.submit t.disk ~sector ~nsectors:page_sectors
-      ~kind:Storage.Disk.Read ~attempt
+      ~kind:Storage.Disk.Read ~queue:g.gid ~attempt
       (fun (reply : Storage.Disk.reply) ->
         match reply.result with
         | Ok () ->
@@ -843,7 +904,7 @@ and refetch_image t g ~gpa ~block ~host_context k =
         | Error err -> handle_read_error t g ~err ~attempt ~retry ~give_up:k)
   in
   Storage.Disk.submit t.disk ~sector ~nsectors:(nblocks * page_sectors)
-    ~kind:Storage.Disk.Read
+    ~kind:Storage.Disk.Read ~queue:g.gid
     (fun (reply : Storage.Disk.reply) ->
       match reply.result with
       | Ok () ->
@@ -1157,7 +1218,7 @@ let vio_read t ?(aligned = true) ~guest:gid ~block0 ~gpas k =
       Array.iter (fun gpa -> discard_backing t g ~gpa) gpas;
       let rec submit ~attempt =
         Storage.Disk.submit t.disk ~sector ~nsectors:(n * page_sectors)
-          ~kind:Storage.Disk.Read ~attempt
+          ~kind:Storage.Disk.Read ~queue:g.gid ~attempt
           (fun (reply : Storage.Disk.reply) ->
             match reply.result with
             | Ok () when g.killed -> after t 0 k
@@ -1183,7 +1244,7 @@ let vio_read t ?(aligned = true) ~guest:gid ~block0 ~gpas k =
       let submit () =
         let rec go ~attempt =
           Storage.Disk.submit t.disk ~sector ~nsectors:(n * page_sectors)
-            ~kind:Storage.Disk.Read ~attempt
+            ~kind:Storage.Disk.Read ~queue:g.gid ~attempt
             (fun (reply : Storage.Disk.reply) ->
               match reply.result with
               | Ok () when g.killed -> after t 0 k

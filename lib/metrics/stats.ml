@@ -6,6 +6,8 @@ type t = {
   mutable disk_read_batches : int;
   mutable disk_batched_reads : int;
   mutable disk_batch_sectors : int;
+  mutable disk_mq_batches : int;
+  mutable disk_queue_depth_highwater : int;
   mutable swap_sectors_read : int;
   mutable swap_sectors_written : int;
   mutable host_swapins : int;
@@ -39,6 +41,9 @@ type t = {
   mutable fault_guest_kills : int;
   mutable swap_full_fallbacks : int;
   mutable emergency_steals : int;
+  mutable async_waiter_merges : int;
+  mutable async_faults_deferred : int;
+  mutable async_inflight_highwater : int;
   mutable engine_events_fired : int;
   mutable engine_cancels_reclaimed : int;
   mutable engine_cascades : int;
@@ -53,6 +58,8 @@ let create () =
     disk_read_batches = 0;
     disk_batched_reads = 0;
     disk_batch_sectors = 0;
+    disk_mq_batches = 0;
+    disk_queue_depth_highwater = 0;
     swap_sectors_read = 0;
     swap_sectors_written = 0;
     host_swapins = 0;
@@ -86,6 +93,9 @@ let create () =
     fault_guest_kills = 0;
     swap_full_fallbacks = 0;
     emergency_steals = 0;
+    async_waiter_merges = 0;
+    async_faults_deferred = 0;
+    async_inflight_highwater = 0;
     engine_events_fired = 0;
     engine_cancels_reclaimed = 0;
     engine_cascades = 0;
@@ -102,6 +112,9 @@ let diff a b =
     disk_read_batches = a.disk_read_batches - b.disk_read_batches;
     disk_batched_reads = a.disk_batched_reads - b.disk_batched_reads;
     disk_batch_sectors = a.disk_batch_sectors - b.disk_batch_sectors;
+    disk_mq_batches = a.disk_mq_batches - b.disk_mq_batches;
+    disk_queue_depth_highwater =
+      a.disk_queue_depth_highwater - b.disk_queue_depth_highwater;
     swap_sectors_read = a.swap_sectors_read - b.swap_sectors_read;
     swap_sectors_written = a.swap_sectors_written - b.swap_sectors_written;
     host_swapins = a.host_swapins - b.host_swapins;
@@ -140,6 +153,10 @@ let diff a b =
     fault_guest_kills = a.fault_guest_kills - b.fault_guest_kills;
     swap_full_fallbacks = a.swap_full_fallbacks - b.swap_full_fallbacks;
     emergency_steals = a.emergency_steals - b.emergency_steals;
+    async_waiter_merges = a.async_waiter_merges - b.async_waiter_merges;
+    async_faults_deferred = a.async_faults_deferred - b.async_faults_deferred;
+    async_inflight_highwater =
+      a.async_inflight_highwater - b.async_inflight_highwater;
     engine_events_fired = a.engine_events_fired - b.engine_events_fired;
     engine_cancels_reclaimed =
       a.engine_cancels_reclaimed - b.engine_cancels_reclaimed;
@@ -155,6 +172,8 @@ let fields t =
     ("disk_read_batches", t.disk_read_batches);
     ("disk_batched_reads", t.disk_batched_reads);
     ("disk_batch_sectors", t.disk_batch_sectors);
+    ("disk_mq_batches", t.disk_mq_batches);
+    ("disk_queue_depth_highwater", t.disk_queue_depth_highwater);
     ("swap_sectors_read", t.swap_sectors_read);
     ("swap_sectors_written", t.swap_sectors_written);
     ("host_swapins", t.host_swapins);
@@ -188,6 +207,9 @@ let fields t =
     ("fault_guest_kills", t.fault_guest_kills);
     ("swap_full_fallbacks", t.swap_full_fallbacks);
     ("emergency_steals", t.emergency_steals);
+    ("async_waiter_merges", t.async_waiter_merges);
+    ("async_faults_deferred", t.async_faults_deferred);
+    ("async_inflight_highwater", t.async_inflight_highwater);
     ("engine_events_fired", t.engine_events_fired);
     ("engine_cancels_reclaimed", t.engine_cancels_reclaimed);
     ("engine_cascades", t.engine_cascades);

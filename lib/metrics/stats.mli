@@ -19,6 +19,10 @@ type t = {
       (** read requests completed via media batches (>= batches) *)
   mutable disk_batch_sectors : int;
       (** media sectors transferred by read batches (mean = /batches) *)
+  mutable disk_mq_batches : int;
+      (** media batches served on submission queues other than queue 0 *)
+  mutable disk_queue_depth_highwater : int;
+      (** gauge: max concurrent in-service batches across all queues *)
   (* Host swap traffic (subset of disk traffic). *)
   mutable swap_sectors_read : int;
   mutable swap_sectors_written : int;
@@ -74,6 +78,13 @@ type t = {
       (** anon evictions skipped because the swap area was full *)
   mutable emergency_steals : int;
       (** frames reclaimed by the emergency (cross-cgroup) scan *)
+  (* Async page-fault path (completion-callback fault dedup). *)
+  mutable async_waiter_merges : int;
+      (** faults that piggybacked on an already in-flight (guest, gpa) *)
+  mutable async_faults_deferred : int;
+      (** fault starts delayed by the per-guest in-flight bound *)
+  mutable async_inflight_highwater : int;
+      (** gauge: max concurrent in-flight target faults, machine-wide *)
   (* Event-engine telemetry, copied from [Sim.Engine.telemetry] when the
      machine run finishes. *)
   mutable engine_events_fired : int;  (** callbacks the engine invoked *)

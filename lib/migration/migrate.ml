@@ -14,7 +14,16 @@ type report = {
   mappings_sent : int;
   pages_skipped : int;
   source_disk_reads : int;
+  retries : int;
 }
+
+type abort = {
+  error : Storage.Disk.error;
+  failed_sector : int;
+  retries_before_abort : int;
+}
+
+type outcome = Completed of report | Aborted of abort
 
 let mapping_record_bytes = 32
 
@@ -55,7 +64,8 @@ let classify ~host ~gid ~vdisk strategy plan ~gpa =
             :: plan.reads;
           plan.copy_pages <- plan.copy_pages + 1)
 
-let migrate ~machine ~guest link strategy k =
+let migrate ?(retry_limit = 4) ?(retry_base_us = 500) ~machine ~guest link
+    strategy k =
   let engine = Vmm.Machine.engine machine in
   let host = Vmm.Machine.host machine in
   let disk = Vmm.Machine.disk machine in
@@ -79,40 +89,75 @@ let migrate ~machine ~guest link strategy k =
      migration daemon would, and issue them through the shared disk. *)
   let reads = List.sort compare plan.reads in
   let n_reads = List.length reads in
+  (* Typed-error discipline for the source's read-back traffic: a
+     transient error is resubmitted with exponential backoff (the
+     attempt number keys the fault hash, so a retry can succeed); a
+     media error — or an exhausted retry budget — abandons the whole
+     migration, since the source cannot fabricate the lost page.  The
+     first fatal failure wins; reads already on the disk are drained
+     before the abort is reported, so the outcome and its ordering stay
+     deterministic. *)
+  let retries_total = ref 0 in
+  let aborted = ref None in
   let finish_disk disk_done =
     if n_reads = 0 then disk_done ()
     else begin
       let remaining = ref n_reads in
-      List.iter
-        (fun (sector, nsectors) ->
-          Storage.Disk.submit disk ~sector ~nsectors ~kind:Storage.Disk.Read
-            (fun _ ->
-              (* Migration sources re-read on their own schedule; no
-                 faults are configured on migration experiments. *)
-              decr remaining;
-              if !remaining = 0 then disk_done ()))
+      let one_done () =
+        decr remaining;
+        if !remaining = 0 then disk_done ()
+      in
+      let rec issue ~attempt sector nsectors =
+        Storage.Disk.submit disk ~sector ~nsectors ~kind:Storage.Disk.Read
+          ~attempt
+          (fun (reply : Storage.Disk.reply) ->
+            match reply.result with
+            | Ok () -> one_done ()
+            | Error Storage.Disk.Transient
+              when attempt < retry_limit && !aborted = None ->
+                incr retries_total;
+                Sim.Engine.run_after engine
+                  (Sim.Time.us (retry_base_us lsl attempt))
+                  (fun () -> issue ~attempt:(attempt + 1) sector nsectors)
+            | Error error ->
+                if !aborted = None then
+                  aborted :=
+                    Some
+                      {
+                        error;
+                        failed_sector = sector;
+                        retries_before_abort = !retries_total;
+                      };
+                one_done ())
+      in
+      List.iter (fun (sector, nsectors) -> issue ~attempt:0 sector nsectors)
         reads
     end
   in
   finish_disk (fun () ->
-      (* The wire transfer overlaps the reads; whatever is longer, plus
-         the link latency, bounds the migration. *)
-      let disk_elapsed = Sim.Time.sub (Sim.Engine.now engine) started in
-      let total = Sim.Time.add (Sim.Time.max disk_elapsed wire_us) link.rtt in
-      let finish_at = Sim.Time.add started total in
-      let fire =
-        Sim.Time.max finish_at (Sim.Engine.now engine)
-      in
-      (Sim.Engine.run_at engine fire (fun () ->
-             k
-               {
-                 duration = Sim.Time.sub (Sim.Engine.now engine) started;
-                 bytes_sent = bytes;
-                 pages_copied = plan.copy_pages;
-                 mappings_sent = plan.mappings;
-                 pages_skipped = plan.skipped;
-                 source_disk_reads = n_reads;
-               })))
+      match !aborted with
+      | Some a -> k (Aborted a)
+      | None ->
+          (* The wire transfer overlaps the reads; whatever is longer,
+             plus the link latency, bounds the migration. *)
+          let disk_elapsed = Sim.Time.sub (Sim.Engine.now engine) started in
+          let total =
+            Sim.Time.add (Sim.Time.max disk_elapsed wire_us) link.rtt
+          in
+          let finish_at = Sim.Time.add started total in
+          let fire = Sim.Time.max finish_at (Sim.Engine.now engine) in
+          Sim.Engine.run_at engine fire (fun () ->
+              k
+                (Completed
+                   {
+                     duration = Sim.Time.sub (Sim.Engine.now engine) started;
+                     bytes_sent = bytes;
+                     pages_copied = plan.copy_pages;
+                     mappings_sent = plan.mappings;
+                     pages_skipped = plan.skipped;
+                     source_disk_reads = n_reads;
+                     retries = !retries_total;
+                   })))
 
 let pp_report fmt r =
   Format.fprintf fmt

@@ -36,19 +36,41 @@ type report = {
   mappings_sent : int;  (** 32-byte mapping records instead of pages *)
   pages_skipped : int;  (** zero/unbacked pages never transferred *)
   source_disk_reads : int;  (** swapped/discarded pages read back first *)
+  retries : int;  (** transient read errors retried during the transfer *)
 }
+
+(** Why a migration was abandoned: the typed disk error that could not
+    be recovered, the sector it struck, and how many transient retries
+    had succeeded before it. *)
+type abort = {
+  error : Storage.Disk.error;
+  failed_sector : int;
+  retries_before_abort : int;
+}
+
+type outcome = Completed of report | Aborted of abort
 
 (** [migrate ~machine ~guest link strategy k] computes the transfer on
     the machine's engine (the source's disk reads contend with whatever
-    else the machine is doing) and passes the report to [k].  The guest
+    else the machine is doing) and passes the outcome to [k].  The guest
     is treated as paused for the duration; its memory state is not
-    modified. *)
+    modified.
+
+    Source read-back I/O follows the typed-error discipline from
+    {!Faults}: a [Transient] failure is retried up to [retry_limit]
+    times with exponential backoff starting at [retry_base_us]
+    microseconds; a [Media] failure (or an exhausted retry budget)
+    aborts the migration — the source cannot fabricate a page its disk
+    has lost — after all outstanding reads drain, reporting [Aborted]
+    with the first fatal error. *)
 val migrate :
+  ?retry_limit:int ->
+  ?retry_base_us:int ->
   machine:Vmm.Machine.t ->
   guest:int ->
   link ->
   strategy ->
-  (report -> unit) ->
+  (outcome -> unit) ->
   unit
 
 val pp_report : Format.formatter -> report -> unit

@@ -17,6 +17,8 @@ type config = {
   max_flush_sectors : int;
   max_batch_sectors : int;
   idle_flush_delay_us : int;
+  num_queues : int;
+  per_queue_depth : int;
 }
 
 let default_config =
@@ -33,6 +35,8 @@ let default_config =
     max_flush_sectors = 8_192; (* 4 MiB destaging chunks *)
     max_batch_sectors = 8_192; (* 4 MiB read batches *)
     idle_flush_delay_us = 3_000;
+    num_queues = 1;
+    per_queue_depth = 1;
   }
 
 type request = {
@@ -43,38 +47,62 @@ type request = {
   completion : reply -> unit;
 }
 
+(* One NVMe-style submission queue with its own service channel: a
+   private sorted pending set, C-LOOK cursor (head), and up to
+   [per_queue_depth] batches on the media at once.  Queue 0 doubles as
+   the destage channel for the shared write buffer, so a single-queue
+   device degenerates to the classic one-spindle elevator. *)
+type queue = {
+  qid : int;
+  mutable reads : request list;  (* sorted by (sector, seq) *)
+  mutable nreads : int;
+  mutable head : int;  (* sector just past this channel's last transfer *)
+  mutable in_service : int;  (* batches currently on the media *)
+  mutable batches : int;  (* lifetime media batches served here *)
+  mutable depth_highwater : int;
+}
+
+type queue_stat = { q_pending : int; q_in_service : int; q_batches : int; q_depth_highwater : int }
+
 type t = {
   engine : Sim.Engine.t;
   stats : Metrics.Stats.t;
   config : config;
-  faults : Faults.Plan.t;
-  (* Pending reads, sorted by (sector, seq): the elevator's request set. *)
-  mutable reads : request list;
-  mutable nreads : int;
+  mutable faults : Faults.Plan.t;
+  queues : queue array;
   mutable next_seq : int;
   (* Sorted, disjoint (start, len) runs of dirty sectors. *)
   mutable write_runs : (int * int) list;
   mutable write_buf_sectors : int;
-  mutable head : int;  (* sector just past the last transfer *)
-  mutable in_service : bool;
+  mutable flushing : bool;  (* a destage chunk occupies queue 0's channel *)
   mutable idle_timer : Sim.Engine.event;
   mutable trace :
     (kind -> head:int -> sector:int -> nsectors:int -> unit) option;
 }
 
 let create ~engine ~stats ?(faults = Faults.Plan.none) config =
+  let nq = max 1 config.num_queues in
   {
     engine;
     stats;
-    config;
+    config = { config with num_queues = nq;
+               per_queue_depth = max 1 config.per_queue_depth };
     faults;
-    reads = [];
-    nreads = 0;
+    queues =
+      Array.init nq (fun qid ->
+          {
+            qid;
+            reads = [];
+            nreads = 0;
+            head = 0;
+            in_service = 0;
+            batches = 0;
+            depth_highwater = 0;
+          });
     next_seq = 0;
     write_runs = [];
     write_buf_sectors = 0;
-    head = 0;
-    in_service = false;
+    flushing = false;
     idle_timer = Sim.Engine.null;
     trace = None;
   }
@@ -109,7 +137,7 @@ let service_time_from t ~head ~sector ~nsectors =
   Sim.Time.us (c.request_overhead_us + positioning + transfer)
 
 let service_time t ~sector ~nsectors =
-  service_time_from t ~head:t.head ~sector ~nsectors
+  service_time_from t ~head:t.queues.(0).head ~sector ~nsectors
 
 (* Insert a dirty run, merging with overlapping/adjacent runs; the buffer
    occupancy is maintained incrementally (placed minus merged-away). *)
@@ -143,11 +171,11 @@ let covered_by_buffer t sector nsectors =
     t.write_runs
 
 (* Take up to [max_flush_sectors] from the buffered run closest to the
-   head (a one-step elevator with bounded chunks).  When the head sits
-   inside the chosen run the chunk starts at the head — continuing the
-   current sweep — rather than paying a backward seek to the run start;
-   the sectors behind the head stay buffered for a later pass. *)
-let pop_flush_chunk t =
+   destage head (a one-step elevator with bounded chunks).  When the head
+   sits inside the chosen run the chunk starts at the head — continuing
+   the current sweep — rather than paying a backward seek to the run
+   start; the sectors behind the head stay buffered for a later pass. *)
+let pop_flush_chunk t ~head =
   match t.write_runs with
   | [] -> None
   | runs ->
@@ -156,8 +184,8 @@ let pop_flush_chunk t =
           (fun acc ((rs, rl) as run) ->
             let re = rs + rl in
             let dist =
-              if t.head >= rs && t.head <= re then 0
-              else min (abs (rs - t.head)) (abs (re - t.head))
+              if head >= rs && head <= re then 0
+              else min (abs (rs - head)) (abs (re - head))
             in
             match acc with
             | None -> Some (dist, run)
@@ -168,7 +196,7 @@ let pop_flush_chunk t =
       | None -> None
       | Some (_, ((rs, rl) as run)) ->
           let re = rs + rl in
-          let start = if t.head > rs && t.head < re then t.head else rs in
+          let start = if head > rs && head < re then head else rs in
           let chunk = min (re - start) t.config.max_flush_sectors in
           let left = start - rs in
           let right = re - (start + chunk) in
@@ -194,7 +222,7 @@ type batch =
   | From_buffer of request
   | Media of { span_start : int; span_end : int; members : request list }
 
-let insert_read t (r : request) =
+let insert_read q (r : request) =
   let rec go = function
     | [] -> [ r ]
     | (x : request) :: rest as l ->
@@ -202,28 +230,28 @@ let insert_read t (r : request) =
           x :: go rest
         else r :: l
   in
-  t.reads <- go t.reads;
-  t.nreads <- t.nreads + 1
+  q.reads <- go q.reads;
+  q.nreads <- q.nreads + 1
 
-(* C-LOOK pick: serve the lowest-sector request at or past the head,
-   wrapping to the lowest-sector request overall when none is ahead.
-   Starting from the pick, coalesce every later request within
-   [forward_skip_sectors] of the running span end (overlaps included)
-   into one media transfer, bounded by [max_batch_sectors].  Requests
-   covered by the write buffer never join a media batch: they are served
-   from RAM when their turn as pick comes. *)
-let take_batch t =
-  match t.reads with
+(* C-LOOK pick on one queue: serve the lowest-sector request at or past
+   the queue's head, wrapping to the lowest-sector request overall when
+   none is ahead.  Starting from the pick, coalesce every later request
+   within [forward_skip_sectors] of the running span end (overlaps
+   included) into one media transfer, bounded by [max_batch_sectors].
+   Requests covered by the write buffer never join a media batch: they
+   are served from RAM when their turn as pick comes. *)
+let take_batch t q =
+  match q.reads with
   | [] -> None
   | reads ->
       let pick =
-        match List.find_opt (fun (r : request) -> r.sector >= t.head) reads with
+        match List.find_opt (fun (r : request) -> r.sector >= q.head) reads with
         | Some r -> r
         | None -> List.hd reads
       in
       if covered_by_buffer t pick.sector pick.nsectors then begin
-        t.reads <- List.filter (fun r -> r != pick) t.reads;
-        t.nreads <- t.nreads - 1;
+        q.reads <- List.filter (fun r -> r != pick) q.reads;
+        q.nreads <- q.nreads - 1;
         Some (From_buffer pick)
       end
       else begin
@@ -251,8 +279,8 @@ let take_batch t =
               end
               else r :: sweep rest
         in
-        t.reads <- sweep reads;
-        t.nreads <- t.nreads - !nmembers;
+        q.reads <- sweep reads;
+        q.nreads <- q.nreads - !nmembers;
         Some
           (Media
              {
@@ -262,46 +290,94 @@ let take_batch t =
              })
       end
 
-let account_batch t ~span_start ~span_end ~nrequests =
+let total_in_service t =
+  Array.fold_left (fun acc q -> acc + q.in_service) 0 t.queues
+  + if t.flushing then 1 else 0
+
+let total_reads t = Array.fold_left (fun acc q -> acc + q.nreads) 0 t.queues
+
+let account_batch t q ~span_start ~span_end ~nrequests =
   let nsectors = span_end - span_start in
   (match t.trace with
-  | Some f -> f Read ~head:t.head ~sector:span_start ~nsectors
+  | Some f -> f Read ~head:q.head ~sector:span_start ~nsectors
   | None -> ());
   t.stats.disk_ops <- t.stats.disk_ops + 1;
   t.stats.disk_sectors_read <- t.stats.disk_sectors_read + nsectors;
-  if span_start >= t.head && span_start - t.head <= forward_skip_sectors then
+  if span_start >= q.head && span_start - q.head <= forward_skip_sectors then
     t.stats.disk_seq_reads <- t.stats.disk_seq_reads + 1;
   t.stats.disk_read_batches <- t.stats.disk_read_batches + 1;
   t.stats.disk_batched_reads <- t.stats.disk_batched_reads + nrequests;
-  t.stats.disk_batch_sectors <- t.stats.disk_batch_sectors + nsectors
+  t.stats.disk_batch_sectors <- t.stats.disk_batch_sectors + nsectors;
+  q.batches <- q.batches + 1;
+  if q.qid > 0 then t.stats.disk_mq_batches <- t.stats.disk_mq_batches + 1
 
-let account_flush t ~sector nsectors =
+let account_flush t ~head ~sector nsectors =
   (match t.trace with
-  | Some f -> f Write ~head:t.head ~sector ~nsectors
+  | Some f -> f Write ~head ~sector ~nsectors
   | None -> ());
   t.stats.disk_ops <- t.stats.disk_ops + 1;
   t.stats.disk_sectors_written <- t.stats.disk_sectors_written + nsectors
 
-let rec start_next t =
-  let over_cap = t.write_buf_sectors > t.config.write_buffer_sectors in
-  if over_cap || t.reads = [] then
-    if over_cap then flush_chunk t
-    else if t.write_runs <> [] then arm_idle_timer t
-    else t.in_service <- false
-  else serve_reads t
+(* Mark one more batch in service on [q], maintaining the per-queue and
+   device-wide depth highwaters. *)
+let enter_service t q =
+  q.in_service <- q.in_service + 1;
+  if q.in_service > q.depth_highwater then q.depth_highwater <- q.in_service;
+  let total = total_in_service t in
+  if total > t.stats.disk_queue_depth_highwater then
+    t.stats.disk_queue_depth_highwater <- total
 
-and flush_chunk t =
-  match pop_flush_chunk t with
-  | None -> start_next t
+(* ------------------------------------------------------------------ *)
+(* Service loops                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Each queue runs its own service pump.  Queue 0 additionally owns the
+   write buffer: it destages eagerly when the buffer is over capacity
+   (writes push back that channel's reads, exactly like the single-queue
+   drive), and arms the background idle-flush timer when it goes quiet.
+   Completion ordering is deterministic: every batch completion is an
+   engine event, same-tick events fire in schedule order, and nothing
+   here iterates a hashtable — so output is byte-identical at any
+   [--jobs] width. *)
+let rec pump t q = if q.qid = 0 then pump0 t q else pump_reads t q
+
+and pump_reads t q =
+  if q.in_service < t.config.per_queue_depth && q.reads <> [] then
+    match take_batch t q with
+    | None -> ()
+    | Some b ->
+        start_batch t q b;
+        pump_reads t q
+
+and pump0 t q =
+  let over_cap = t.write_buf_sectors > t.config.write_buffer_sectors in
+  if over_cap then begin
+    if (not t.flushing) && q.in_service = 0 then flush_chunk t q
+  end
+  else if q.reads = [] then begin
+    if t.write_runs <> [] && (not t.flushing) && q.in_service = 0 then
+      arm_idle_timer t
+  end
+  else if (not t.flushing) && q.in_service < t.config.per_queue_depth then
+    match take_batch t q with
+    | None -> ()
+    | Some b ->
+        start_batch t q b;
+        pump0 t q
+
+and flush_chunk t q =
+  match pop_flush_chunk t ~head:q.head with
+  | None -> pump0 t q
   | Some (sector, nsectors) ->
-      t.in_service <- true;
-      account_flush t ~sector nsectors;
-      let dt = service_time t ~sector ~nsectors in
-      t.head <- sector + nsectors;
-      (Sim.Engine.run_after t.engine dt (fun () -> start_next t))
+      t.flushing <- true;
+      account_flush t ~head:q.head ~sector nsectors;
+      let dt = service_time_from t ~head:q.head ~sector ~nsectors in
+      q.head <- sector + nsectors;
+      (Sim.Engine.run_after t.engine dt (fun () ->
+             t.flushing <- false;
+             pump0 t q))
 
 and arm_idle_timer t =
-  t.in_service <- false;
   (* Fire-and-check, deliberately not disarmed when service resumes:
      the timer samples the queue 3 ms after the disk last went idle and
      destages if that instant happens to be quiet.  Cancelling it on
@@ -314,26 +390,30 @@ and arm_idle_timer t =
            (fun () ->
              t.idle_timer <- Sim.Engine.null;
              (* Destage in the background only if idle right now. *)
-             if (not t.in_service) && t.reads = [] then
-               if t.write_runs <> [] then flush_chunk t))
+             if total_in_service t = 0 && total_reads t = 0 then
+               if t.write_runs <> [] then flush_chunk t t.queues.(0)))
 
-and serve_reads t =
-  match take_batch t with
-  | None -> start_next t
-  | Some (From_buffer req) ->
-      t.in_service <- true;
+and start_batch t q = function
+  | From_buffer req ->
+      enter_service t q;
       (* Served from the write buffer at RAM speed; the content never
          touched the media, so no media/transient fault can fire. *)
       let dt = Sim.Time.us t.config.write_ack_us in
       (Sim.Engine.run_after t.engine dt (fun () ->
+             (* The slot is released only after the completion callback:
+                reads it submits are gathered by the trailing pump (one
+                batching decision per completion event), never serviced
+                mid-callback. *)
              req.completion { result = Ok (); service = dt };
-             start_next t))
-  | Some (Media { span_start; span_end; members }) ->
-      t.in_service <- true;
-      account_batch t ~span_start ~span_end
+             q.in_service <- q.in_service - 1;
+             pump t q))
+  | Media { span_start; span_end; members } ->
+      enter_service t q;
+      account_batch t q ~span_start ~span_end
         ~nrequests:(List.length members);
       let dt =
-        service_time t ~sector:span_start ~nsectors:(span_end - span_start)
+        service_time_from t ~head:q.head ~sector:span_start
+          ~nsectors:(span_end - span_start)
       in
       let dt =
         match Faults.Plan.degraded_mult t.faults ~sector:span_start with
@@ -343,10 +423,12 @@ and serve_reads t =
               t.stats.faults_degraded_batches + 1;
             Sim.Time.of_float_us (float_of_int (Sim.Time.to_us dt) *. m)
       in
-      t.head <- span_end;
+      q.head <- span_end;
       (Sim.Engine.run_after t.engine dt (fun () ->
              (* One media event completes the whole batch; completions run
-                in (sector, submission) order. *)
+                in (sector, submission) order.  The service slot is held
+                until every member's callback has run, so resubmissions
+                from inside a callback wait for the trailing pump. *)
              List.iter
                (fun (r : request) ->
                  let result =
@@ -366,7 +448,8 @@ and serve_reads t =
                  in
                  r.completion { result; service = dt })
                members;
-             start_next t))
+             q.in_service <- q.in_service - 1;
+             pump t q))
 
 let check_bounds t ~who ~sector ~nsectors =
   if nsectors <= 0 then
@@ -378,14 +461,18 @@ let check_bounds t ~who ~sector ~nsectors =
       (Printf.sprintf "Disk.%s: [%d, %d) past capacity %d" who sector
          (sector + nsectors) t.config.capacity_sectors)
 
-let submit t ~sector ~nsectors ~kind ?(attempt = 0) completion =
+let submit t ~sector ~nsectors ~kind ?(queue = 0) ?(attempt = 0) completion =
   check_bounds t ~who:"submit" ~sector ~nsectors;
   match kind with
   | Read ->
+      let q =
+        t.queues.(((queue mod t.config.num_queues) + t.config.num_queues)
+                  mod t.config.num_queues)
+      in
       let seq = t.next_seq in
       t.next_seq <- seq + 1;
-      insert_read t { sector; nsectors; seq; attempt; completion };
-      if not t.in_service then start_next t
+      insert_read q { sector; nsectors; seq; attempt; completion };
+      pump t q
   | Write ->
       add_write_run t sector nsectors;
       let dt = Sim.Time.us t.config.write_ack_us in
@@ -394,17 +481,31 @@ let submit t ~sector ~nsectors ~kind ?(attempt = 0) completion =
          a real write-back drive). *)
       (Sim.Engine.run_after t.engine dt (fun () ->
              completion { result = Ok (); service = dt }));
-      if not t.in_service then start_next t
+      pump0 t t.queues.(0)
 
 (* Buffered write without a completion event: for fire-and-forget
    destaging traffic (e.g. swap-out) whose ack nobody awaits. *)
 let write_buffered t ~sector ~nsectors =
   check_bounds t ~who:"write_buffered" ~sector ~nsectors;
   add_write_run t sector nsectors;
-  if not t.in_service then start_next t
+  pump0 t t.queues.(0)
 
 let queue_depth t =
-  t.nreads + List.length t.write_runs + if t.in_service then 1 else 0
+  total_reads t + List.length t.write_runs + total_in_service t
+
+let num_queues t = t.config.num_queues
+
+let queue_stats t =
+  Array.map
+    (fun q ->
+      {
+        q_pending = q.nreads;
+        q_in_service = q.in_service;
+        q_batches = q.batches;
+        q_depth_highwater = q.depth_highwater;
+      })
+    t.queues
 
 let buffered_write_sectors t = t.write_buf_sectors
 let set_trace t f = t.trace <- f
+let set_faults t plan = t.faults <- plan

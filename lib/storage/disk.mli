@@ -1,5 +1,5 @@
-(** Mechanical hard-drive model with a write-back cache and a batching
-    request queue.
+(** Mechanical hard-drive model with a write-back cache and batching
+    request queues, optionally NVMe-style multi-queue.
 
     A single-spindle 7200 RPM drive (the paper's testbed has one Seagate
     Constellation 2 TB).  The service time of a media access is
@@ -34,7 +34,23 @@
 
     The asymmetry between sequential and random access — about 200x at
     page granularity — is what makes every phenomenon in the paper
-    matter, so it is the one thing this model must (and does) get right. *)
+    matter, so it is the one thing this model must (and does) get right.
+
+    {2 Multi-queue mode}
+
+    With [num_queues > 1] the device exposes NVMe-style submission
+    queues: each read is steered to a queue (the [?queue] argument to
+    {!submit}, reduced mod [num_queues]), every queue runs its own
+    C-LOOK elevator with a private head cursor, and queues service
+    batches in parallel — up to [per_queue_depth] concurrent batches
+    per queue — like independent flash channels.  Queue 0 doubles as
+    the destage channel for the shared write buffer.  Completion
+    ordering stays deterministic: every batch completion is one engine
+    event, same-tick events fire in schedule order, and no code path
+    depends on hashtable iteration, so a sweep's output is
+    byte-identical at any [--jobs] width.  With [num_queues = 1] and
+    [per_queue_depth = 1] (the defaults) the device is exactly the
+    single-spindle elevator described above. *)
 
 type kind = Read | Write
 
@@ -59,6 +75,8 @@ type config = {
   max_flush_sectors : int;  (** destaging chunk; bounds read-behind-flush waits *)
   max_batch_sectors : int;  (** cap on a coalesced read batch's media span *)
   idle_flush_delay_us : int;  (** idle time before background destaging starts *)
+  num_queues : int;  (** NVMe-style submission queues; 1 = classic elevator *)
+  per_queue_depth : int;  (** concurrent in-service batches per queue *)
 }
 
 (** A 7200 RPM enterprise drive, roughly the paper's Constellation. *)
@@ -81,6 +99,8 @@ val create :
     at its virtual completion time (for writes: when the buffer accepts
     it, not when the media is updated).  Each submitted request's [k] runs
     exactly once, even when the request is coalesced into a batch.
+    [queue] (default 0) steers a read to a submission queue (reduced mod
+    [num_queues]); writes land in the shared buffer regardless.
     [attempt] (default 0) is the resubmission count of a retried read; it
     keys the transient-fault hash, so a retry of a transiently failed
     sector can succeed while media errors persist.  Raises [Invalid_arg]
@@ -91,6 +111,7 @@ val submit :
   sector:int ->
   nsectors:int ->
   kind:kind ->
+  ?queue:int ->
   ?attempt:int ->
   (reply -> unit) ->
   unit
@@ -101,9 +122,24 @@ val submit :
     whose ack nobody awaits.  Bounds-checked like {!submit}. *)
 val write_buffered : t -> sector:int -> nsectors:int -> unit
 
-(** [queue_depth t] counts waiting reads, plus buffered write runs, plus
-    one for the batch or flush currently occupying the media. *)
+(** [queue_depth t] counts waiting reads (all queues), plus buffered
+    write runs, plus every batch or flush currently occupying the
+    media. *)
 val queue_depth : t -> int
+
+(** [num_queues t] is the (clamped, >= 1) submission-queue count. *)
+val num_queues : t -> int
+
+(** Snapshot of one submission queue, for tests and the scalability
+    experiment's per-queue reporting. *)
+type queue_stat = {
+  q_pending : int;  (** reads waiting in this queue *)
+  q_in_service : int;  (** batches currently on the media *)
+  q_batches : int;  (** lifetime media batches served here *)
+  q_depth_highwater : int;  (** max concurrent in-service batches seen *)
+}
+
+val queue_stats : t -> queue_stat array
 
 (** [buffered_write_sectors t] is the current write-buffer occupancy. *)
 val buffered_write_sectors : t -> int
@@ -119,3 +155,9 @@ val service_time : t -> sector:int -> nsectors:int -> Sim.Time.t
     For tests and debugging. *)
 val set_trace :
   t -> (kind -> head:int -> sector:int -> nsectors:int -> unit) option -> unit
+
+(** [set_faults t plan] replaces the drive's fault plan.  Requests
+    submitted after the swap consult the new plan; a drive can thus age
+    mid-run (e.g. develop media errors after a workload has populated
+    it).  For tests and fault-injection harnesses. *)
+val set_faults : t -> Faults.Plan.t -> unit

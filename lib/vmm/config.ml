@@ -21,6 +21,7 @@ type t = {
   time_limit : Sim.Time.t;
   seed : int;
   faults : Faults.Config.t;
+  async_faults : bool;
 }
 
 let default_guest ~workload =
@@ -36,18 +37,54 @@ let default_guest ~workload =
     misaligned_io_percent = 0;
   }
 
+(* Environment overrides, so smoke tests and sweeps can flip a stock
+   experiment into the async multi-queue regime without editing it.
+   Unset (or unparsable) variables leave the defaults untouched. *)
+let env_int name fallback =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v when v > 0 -> v
+      | Some _ | None -> fallback)
+  | None -> fallback
+
+let env_flag name fallback =
+  match Sys.getenv_opt name with
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | Some ("0" | "false" | "no" | "off") -> false
+  | Some _ | None -> fallback
+
 let default ~guests =
+  let disk =
+    {
+      Storage.Disk.default_config with
+      num_queues =
+        env_int "VSWAPPER_QUEUES" Storage.Disk.default_config.num_queues;
+      per_queue_depth =
+        env_int "VSWAPPER_QDEPTH" Storage.Disk.default_config.per_queue_depth;
+    }
+  in
+  let hbase =
+    match Sys.getenv_opt "VSWAPPER_MAX_INFLIGHT" with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some v when v >= 0 ->
+            { Host.Hconfig.default with max_inflight_faults = v }
+        | Some _ | None -> Host.Hconfig.default)
+    | None -> Host.Hconfig.default
+  in
   {
     host_mem_mb = 2048;
     vs = Vswapper.Vsconfig.baseline;
-    hbase = Host.Hconfig.default;
-    disk = Storage.Disk.default_config;
+    hbase;
+    disk;
     manager = None;
     host_swap_mb = 8192;
     guests;
     time_limit = Sim.Time.sec 36_000;
     seed = 42;
     faults = Faults.Config.none;
+    async_faults = env_flag "VSWAPPER_ASYNC" false;
   }
 
 let name_of t =

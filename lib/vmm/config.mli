@@ -36,9 +36,20 @@ type t = {
   faults : Faults.Config.t;
       (** deterministic disk fault injection; [Faults.Config.none]
           (the default) injects nothing *)
+  async_faults : bool;
+      (** release a faulting VCPU at I/O issue instead of completion, so
+          runnable sibling threads overlap the wait (async page faults).
+          Off by default: the sync path reproduces historical output. *)
 }
 
 val default_guest : workload:Workload.t -> guest_spec
+
+(** [default ~guests] reads optional environment overrides so smoke
+    tests can flip a stock experiment into the async multi-queue regime:
+    [VSWAPPER_ASYNC] (bool) sets [async_faults], [VSWAPPER_QUEUES] /
+    [VSWAPPER_QDEPTH] (positive ints) set the disk's [num_queues] /
+    [per_queue_depth], [VSWAPPER_MAX_INFLIGHT] (int >= 0) sets
+    [Host.Hconfig.max_inflight_faults]. *)
 val default : guests:guest_spec list -> t
 
 (** [name_of_vs cfg] is the paper's name for a configuration:

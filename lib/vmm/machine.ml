@@ -169,9 +169,24 @@ and run_thread t g th =
           (Sim.Engine.schedule_after t.engine (Sim.Time.us us) (fun () ->
                th.timeslice <- Sim.Engine.null;
                run_thread t g th))
+    | Some op when t.cfg.async_faults ->
+        (* Async page faults: the VCPU is released at issue, not at
+           completion, so runnable sibling threads (or a later-started
+           thread of the same guest) overlap the wait.  The operation's
+           latency is charged only to the issuing thread, which re-enters
+           the ready queue from the completion callback. *)
+        let k () =
+          if not g.killed then begin
+            Queue.push th g.ready;
+            dispatch t g
+          end
+        in
+        exec_io t g op k;
+        g.idle_vcpus <- g.idle_vcpus + 1;
+        dispatch t g
     | Some op ->
-        (* I/O-ish operations release the VCPU while waiting, giving the
-           guest's other threads a chance to run (async page faults). *)
+        (* Sync: the VCPU is held for the whole operation and handed back
+           at completion, together with the thread. *)
         let k () =
           g.idle_vcpus <- g.idle_vcpus + 1;
           if not g.killed then Queue.push th g.ready;

@@ -41,6 +41,8 @@ let concat a b =
   in
   next
 
+let striped n make = List.init (max 1 n) make
+
 let repeat n make =
   if n <= 0 then fun () -> None
   else begin

@@ -48,3 +48,9 @@ val concat : thread -> thread -> thread
 (** [repeat n make] runs [make ()]'s thread [n] times in sequence,
     reconstructing it for each round. *)
 val repeat : int -> (unit -> thread) -> thread
+
+(** [striped n make] builds [max 1 n] independent threads, thread [i]
+    being [make i].  With more threads than VCPUs the guest always has
+    runnable work to overlap an in-flight fault with — the payload of
+    the async page-fault path. *)
+val striped : int -> (int -> thread) -> thread list

@@ -1,0 +1,33 @@
+module W = Vmm.Workload
+
+let workload ?(threads = 4) ?(rounds = 2) ?(compute_us = 2) ~mb () =
+  let pages = Storage.Geom.pages_of_mb mb in
+  let setup os _rng =
+    let region = Guest.Guestos.alloc_region os ~pages in
+    let stripe = (pages + threads - 1) / threads in
+    let make i =
+      let lo = i * stripe in
+      let hi = min pages (lo + stripe) in
+      let len = hi - lo in
+      if len <= 0 then W.of_list []
+      else
+        (* Pass 0 writes the stripe to populate it; passes 1..rounds
+           re-read it, faulting back whatever the resident limit pushed
+           out in between.  Each page costs one touch plus a tiny
+           compute, so a thread stalled on a swap-in always leaves its
+           siblings runnable work. *)
+        let total = (rounds + 1) * len * 2 in
+        W.of_fun (fun n ->
+            if n >= total then None
+            else
+              let step = n / 2 in
+              let pass = step / len and off = step mod len in
+              if n land 1 = 1 then Some (W.Compute compute_us)
+              else Some (W.Touch (region, lo + off, pass = 0)))
+    in
+    {
+      W.threads = W.striped threads make;
+      cleanup = (fun () -> Guest.Guestos.free_region os region);
+    }
+  in
+  { W.name = Printf.sprintf "swapstorm-%dMBx%dt" mb threads; setup }

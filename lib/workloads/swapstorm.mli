@@ -1,0 +1,15 @@
+(** Striped swap-storm generator for the [scalability] experiment: a
+    region larger than the guest's resident limit, written once and then
+    re-read in passes by [threads] independent threads, each owning a
+    disjoint stripe.  Every re-read pass is a train of major faults; the
+    striping guarantees runnable sibling threads whenever one thread
+    stalls, which is exactly the concurrency the async page-fault path
+    converts into overlapped disk reads. *)
+
+val workload :
+  ?threads:int ->
+  ?rounds:int ->
+  ?compute_us:int ->
+  mb:int ->
+  unit ->
+  Vmm.Workload.t

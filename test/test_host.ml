@@ -20,7 +20,8 @@ type rig = {
 (* A small machine: 256-frame host, one guest with 512 pages of gpa
    space and an optional tight resident limit. *)
 let mk_rig ?(vs = Vswapper.Vsconfig.baseline) ?(limit = Some 96)
-    ?(frames = 256) ?(swap_slots = 2048) ?(faults = Faults.Plan.none) () =
+    ?(frames = 256) ?(swap_slots = 2048) ?(faults = Faults.Plan.none)
+    ?(max_inflight = 0) () =
   let engine = Sim.Engine.create () in
   let stats = Metrics.Stats.create () in
   let disk =
@@ -37,6 +38,7 @@ let mk_rig ?(vs = Vswapper.Vsconfig.baseline) ?(limit = Some 96)
       low_watermark_frames = 8;
       high_watermark_frames = 16;
       hv_pages_per_guest = 4;
+      max_inflight_faults = max_inflight;
     }
   in
   let host =
@@ -715,6 +717,125 @@ let kill_guest_is_idempotent_and_complete () =
     (C.equal (sync_read rig ~gpa:3) C.Zero);
   H.check_invariants rig.host
 
+(* ------------------------------------------------------------------ *)
+(* Async fault path: dedup, in-flight bound, teardown                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Park a known page in swap and return the media sector its slot
+   occupies, so a trace hook can count how often the disk actually
+   touches it. *)
+let swap_out_gpa0 rig =
+  let c = C.fresh_anon () in
+  sync_rep_write rig ~gpa:0 ~content:c;
+  fill_anon rig ~first:1 ~n:300;
+  (* Let the idle flush destage the eviction traffic: a swap-in must hit
+     the media, not the write buffer, for these tests to time anything. *)
+  Test_util.drain rig.engine;
+  let slot_sector =
+    match H.page_view rig.host ~guest:rig.gid ~gpa:0 with
+    | H.V_in_swap { slot } -> H.swap_slot_sector rig.host slot
+    | _ -> Alcotest.fail "expected gpa 0 in swap"
+  in
+  (c, slot_sector)
+
+let async_concurrent_faults_coalesce () =
+  let rig = mk_rig () in
+  let c, slot_sector = swap_out_gpa0 rig in
+  let merges0 = rig.stats.Metrics.Stats.async_waiter_merges in
+  let hits = ref 0 in
+  Storage.Disk.set_trace rig.disk
+    (Some
+       (fun kind ~head:_ ~sector ~nsectors ->
+         if
+           kind = Storage.Disk.Read
+           && sector <= slot_sector
+           && slot_sector < sector + nsectors
+         then incr hits));
+  (* Three same-(guest,gpa) faults in the same tick: one starts the disk
+     read, the other two must piggyback on the in-flight entry. *)
+  let got = ref [] in
+  for _ = 1 to 3 do
+    H.touch_read rig.host ~guest:rig.gid ~gpa:0 (fun c -> got := c :: !got)
+  done;
+  Test_util.drain_until rig.engine (fun () -> List.length !got = 3);
+  Storage.Disk.set_trace rig.disk None;
+  check Alcotest.int "one media access covered the slot" 1 !hits;
+  check Alcotest.int "two waiters merged" (merges0 + 2)
+    rig.stats.Metrics.Stats.async_waiter_merges;
+  List.iter
+    (fun g -> Alcotest.(check bool) "waiter saw the content" true (C.equal g c))
+    !got;
+  H.check_invariants rig.host
+
+let async_inflight_bound_defers_and_drains () =
+  let rig = mk_rig ~max_inflight:1 () in
+  (* Two pages in swap with slots far enough apart that neither sits in
+     the other's prefetch cluster (adjacent slots would piggyback rather
+     than exercise the bound): with the bound at 1, the second fault
+     must park until the first completes, then start and finish. *)
+  let c0 = C.fresh_anon () and c1 = C.fresh_anon () in
+  sync_rep_write rig ~gpa:0 ~content:c0;
+  fill_anon rig ~first:2 ~n:150;
+  sync_rep_write rig ~gpa:1 ~content:c1;
+  fill_anon rig ~first:152 ~n:150;
+  Test_util.drain rig.engine;
+  (match H.page_state rig.host ~guest:rig.gid ~gpa:1 with
+  | H.In_swap -> ()
+  | _ -> Alcotest.fail "expected gpa 1 in swap");
+  let deferred0 = rig.stats.Metrics.Stats.async_faults_deferred in
+  let got = ref [] in
+  H.touch_read rig.host ~guest:rig.gid ~gpa:0 (fun c -> got := c :: !got);
+  H.touch_read rig.host ~guest:rig.gid ~gpa:1 (fun c -> got := c :: !got);
+  Test_util.drain_until rig.engine (fun () -> List.length !got = 2);
+  Alcotest.(check bool) "second start was parked" true
+    (rig.stats.Metrics.Stats.async_faults_deferred > deferred0);
+  (match List.rev !got with
+  | [ g0; g1 ] ->
+      Alcotest.(check bool) "first content" true (C.equal g0 c0);
+      Alcotest.(check bool) "second content" true (C.equal g1 c1)
+  | _ -> assert false);
+  H.check_invariants rig.host
+
+let async_kill_mid_fault_releases_waiters () =
+  let rig = mk_rig () in
+  let _, _ = swap_out_gpa0 rig in
+  let resumed = ref 0 in
+  H.touch_read rig.host ~guest:rig.gid ~gpa:0 (fun _ -> incr resumed);
+  H.touch_read rig.host ~guest:rig.gid ~gpa:0 (fun _ -> incr resumed);
+  (* The read is on the disk and one waiter is piggybacked; tear the
+     guest down before the completion lands. *)
+  H.kill_guest rig.host rig.gid;
+  Test_util.drain rig.engine;
+  check Alcotest.int "both waiters released" 2 !resumed;
+  Alcotest.(check bool) "guest killed" true (H.guest_killed rig.host rig.gid);
+  (* No leaked frames: everything the guest held came back.  A control
+     rig that ran the same ops but was killed while idle must end with
+     the identical free-frame count. *)
+  let control = mk_rig () in
+  let _ = swap_out_gpa0 control in
+  H.kill_guest control.host control.gid;
+  Test_util.drain control.engine;
+  check Alcotest.int "frames all returned" (H.free_frames control.host)
+    (H.free_frames rig.host);
+  H.check_invariants rig.host
+
+let async_parked_starts_survive_kill () =
+  let rig = mk_rig ~max_inflight:1 () in
+  let c0 = C.fresh_anon () and c1 = C.fresh_anon () in
+  sync_rep_write rig ~gpa:0 ~content:c0;
+  sync_rep_write rig ~gpa:1 ~content:c1;
+  fill_anon rig ~first:2 ~n:300;
+  Test_util.drain rig.engine;
+  let resumed = ref 0 in
+  H.touch_read rig.host ~guest:rig.gid ~gpa:0 (fun _ -> incr resumed);
+  (* Parked behind the bound, not yet on the disk. *)
+  H.touch_read rig.host ~guest:rig.gid ~gpa:1 (fun _ -> incr resumed);
+  H.kill_guest rig.host rig.gid;
+  Test_util.drain rig.engine;
+  check Alcotest.int "in-flight waiter and parked starter both resolve" 2
+    !resumed;
+  H.check_invariants rig.host
+
 let tests =
   [
     ( "host:basics",
@@ -778,6 +899,17 @@ let tests =
           media_error_kills_immediately;
         Alcotest.test_case "kill idempotent" `Quick
           kill_guest_is_idempotent_and_complete;
+      ] );
+    ( "host:async-faults",
+      [
+        Alcotest.test_case "concurrent faults coalesce" `Quick
+          async_concurrent_faults_coalesce;
+        Alcotest.test_case "in-flight bound defers and drains" `Quick
+          async_inflight_bound_defers_and_drains;
+        Alcotest.test_case "kill mid-fault releases waiters" `Quick
+          async_kill_mid_fault_releases_waiters;
+        Alcotest.test_case "parked starts survive kill" `Quick
+          async_parked_starts_survive_kill;
       ] );
     ( "host:shadow-model",
       [

@@ -75,6 +75,58 @@ let series_sampling () =
   Alcotest.(check (list (float 1e-9))) "values" [ 0.0; 5.0; 5.0 ] values;
   Alcotest.(check (list string)) "names" [ "probe" ] (Metrics.Series.names series)
 
+(* A faithful miniature of the bench writer's record format, including a
+   delta line: this exact shape must parse. *)
+let json_bench_roundtrip () =
+  let doc =
+    "{\n  \"date\": \"2026-08-08\",\n  \"scale\": 0.05,\n  \"jobs\": 4,\n\
+    \  \"async\": {\"waiter_merges\": 12, \"faults_deferred\": 0, \
+     \"inflight_highwater\": 3},\n\
+    \  \"queues\": {\"mq_batches\": 812, \"depth_highwater\": 6},\n\
+    \  \"experiments\": [\n\
+    \    {\"id\": \"fig3\", \"wall_s\": 0.112, \"delta_s\": 0.004, \
+     \"history\": [0.108, 0.110], \"ok\": true},\n\
+    \    {\"id\": \"fig9\", \"wall_s\": 0.093, \"delta_s\": -0.002, \
+     \"ok\": true}\n  ]\n}\n"
+  in
+  (match Metrics.Json.parse doc with
+  | Error e -> Alcotest.failf "writer format rejected: %s" e
+  | Ok v -> (
+      match Metrics.Json.member "queues" v with
+      | Some (Metrics.Json.Obj fields) ->
+          Alcotest.(check bool)
+            "mq_batches present" true
+            (List.mem_assoc "mq_batches" fields)
+      | _ -> Alcotest.fail "queues section missing"));
+  (* The historical bug: %+.3f put a '+' on positive deltas.  Strict
+     JSON must reject it, or the linter is not doing its job. *)
+  let buggy = "{\"id\": \"fig3\", \"wall_s\": 0.112, \"delta_s\": +2.943}" in
+  Alcotest.(check bool)
+    "leading + rejected" true
+    (Result.is_error (Metrics.Json.validate buggy))
+
+let json_strictness () =
+  let ok s = Alcotest.(check bool) s true (Result.is_ok (Metrics.Json.validate s))
+  and bad s =
+    Alcotest.(check bool) s false (Result.is_ok (Metrics.Json.validate s))
+  in
+  ok "{}";
+  ok "[]";
+  ok "-0.5";
+  ok "[1, 2.5, -3e2, 0.125e+2]";
+  ok "{\"a\": [true, false, null], \"b\": \"x\\n\\u00e9\"}";
+  bad "+1";
+  bad "01";
+  bad ".5";
+  bad "1.";
+  bad "1.e3";
+  bad "[1,]";
+  bad "{\"a\": 1,}";
+  bad "{'a': 1}";
+  bad "{\"a\": 1} {\"b\": 2}";
+  bad "\"unterminated";
+  bad "nul"
+
 let tests =
     [
       ( "metrics:stats",
@@ -91,4 +143,10 @@ let tests =
           Alcotest.test_case "spark" `Quick spark_cases;
         ] );
       ( "metrics:series", [ Alcotest.test_case "sampling" `Quick series_sampling ]);
+      ( "metrics:json",
+        [
+          Alcotest.test_case "bench format round-trips" `Quick
+            json_bench_roundtrip;
+          Alcotest.test_case "strictness" `Quick json_strictness;
+        ] );
     ]

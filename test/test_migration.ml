@@ -4,7 +4,11 @@
 let check = Alcotest.check
 module M = Migration.Migrate
 
-let tiny_machine ~vs =
+let tiny_machine ?(faults = Faults.Config.none) ~vs () =
+  (* The workload runs on a clean disk; [faults] is installed only
+     afterwards, so the drive "ages" between the run and the migration.
+     Seeding faults at build time would let the workload's own swap-ins
+     hit media errors, and hostmm kills guests on those. *)
   let workload =
     Workloads.Sysbench.workload ~iterations:1 ~file_mb:24 ()
   in
@@ -27,11 +31,14 @@ let tiny_machine ~vs =
   in
   let machine = Vmm.Machine.build cfg in
   ignore (Vmm.Machine.run machine);
+  Storage.Disk.set_faults (Vmm.Machine.disk machine)
+    (Faults.Plan.create faults);
   machine
 
-let migrate machine link strategy =
+let migrate_outcome ?retry_limit ?retry_base_us machine link strategy =
   let result = ref None in
-  M.migrate ~machine ~guest:0 link strategy (fun r -> result := Some r);
+  M.migrate ?retry_limit ?retry_base_us ~machine ~guest:0 link strategy
+    (fun r -> result := Some r);
   let engine = Vmm.Machine.engine machine in
   let steps = ref 0 in
   while !result = None && Sim.Engine.step engine && !steps < 1_000_000 do
@@ -39,12 +46,17 @@ let migrate machine link strategy =
   done;
   Option.get !result
 
+let migrate machine link strategy =
+  match migrate_outcome machine link strategy with
+  | M.Completed r -> r
+  | M.Aborted _ -> Alcotest.fail "unexpected abort on a clean disk"
+
 let accounts_cover_all_pages () =
-  let machine = tiny_machine ~vs:Vswapper.Vsconfig.vswapper in
+  let machine = tiny_machine ~vs:Vswapper.Vsconfig.vswapper () in
   let pages = Storage.Geom.pages_of_mb 48 in
   List.iter
     (fun strategy ->
-      let machine = tiny_machine ~vs:Vswapper.Vsconfig.vswapper in
+      let machine = tiny_machine ~vs:Vswapper.Vsconfig.vswapper () in
       ignore machine;
       let r = migrate machine M.gbe strategy in
       check Alcotest.int "every page classified" pages
@@ -53,9 +65,9 @@ let accounts_cover_all_pages () =
   ignore machine
 
 let mapper_aware_sends_less () =
-  let m1 = tiny_machine ~vs:Vswapper.Vsconfig.vswapper in
+  let m1 = tiny_machine ~vs:Vswapper.Vsconfig.vswapper () in
   let full = migrate m1 M.gbe M.Full_copy in
-  let m2 = tiny_machine ~vs:Vswapper.Vsconfig.vswapper in
+  let m2 = tiny_machine ~vs:Vswapper.Vsconfig.vswapper () in
   let aware = migrate m2 M.gbe M.Mapper_aware in
   Alcotest.(check bool) "less traffic" true
     (aware.M.bytes_sent < full.M.bytes_sent);
@@ -64,25 +76,50 @@ let mapper_aware_sends_less () =
     (aware.M.duration <= full.M.duration)
 
 let baseline_has_no_mappings () =
-  let m = tiny_machine ~vs:Vswapper.Vsconfig.baseline in
+  let m = tiny_machine ~vs:Vswapper.Vsconfig.baseline () in
   let r = migrate m M.gbe M.Mapper_aware in
   (* Without the Mapper nothing is tracked, so even the aware strategy
      degenerates to copying (except zero pages). *)
   check Alcotest.int "no mappings" 0 r.M.mappings_sent
 
 let faster_link_helps_when_wire_bound () =
-  let m1 = tiny_machine ~vs:Vswapper.Vsconfig.baseline in
+  let m1 = tiny_machine ~vs:Vswapper.Vsconfig.baseline () in
   let slow = migrate m1 { M.bandwidth_mb_s = 10.0; rtt = Sim.Time.ms 1 } M.Full_copy in
-  let m2 = tiny_machine ~vs:Vswapper.Vsconfig.baseline in
+  let m2 = tiny_machine ~vs:Vswapper.Vsconfig.baseline () in
   let fast = migrate m2 M.ten_gbe M.Full_copy in
   Alcotest.(check bool) "bandwidth matters" true
     (fast.M.duration < slow.M.duration)
 
 let report_printable () =
-  let m = tiny_machine ~vs:Vswapper.Vsconfig.vswapper in
+  let m = tiny_machine ~vs:Vswapper.Vsconfig.vswapper () in
   let r = migrate m M.gbe M.Mapper_aware in
   let s = Format.asprintf "%a" M.pp_report r in
   Alcotest.(check bool) "mentions MB" true (Test_util.contains s "MB")
+
+(* Transient faults at a moderate rate: every read-back eventually
+   succeeds on a retried attempt (the fault hash keys on the attempt
+   number), so the migration completes — but only because it retried. *)
+let transient_reads_retry_to_completion () =
+  (* The rate is per sector and a page read spans 8 sectors, so keep it
+     low enough that a request's retries cannot plausibly exhaust. *)
+  let faults = Faults.Config.make ~seed:7 ~transient_rate:0.02 () in
+  let m = tiny_machine ~faults ~vs:Vswapper.Vsconfig.baseline () in
+  match migrate_outcome ~retry_limit:10 m M.gbe M.Full_copy with
+  | M.Aborted _ -> Alcotest.fail "transient faults must not abort"
+  | M.Completed r ->
+      Alcotest.(check bool) "reads happened" true (r.M.source_disk_reads > 0);
+      Alcotest.(check bool) "retries happened" true (r.M.retries > 0)
+
+(* A media error is permanent for its sector no matter how often the
+   read is retried, so the migration must abort and say why. *)
+let media_error_aborts () =
+  let faults = Faults.Config.make ~seed:7 ~media_rate:0.2 () in
+  let m = tiny_machine ~faults ~vs:Vswapper.Vsconfig.baseline () in
+  match migrate_outcome m M.gbe M.Full_copy with
+  | M.Completed _ -> Alcotest.fail "media faults must abort the migration"
+  | M.Aborted a ->
+      Alcotest.(check bool) "typed as media" true (a.M.error = Storage.Disk.Media);
+      Alcotest.(check bool) "sector identified" true (a.M.failed_sector >= 0)
 
 let tests =
   [
@@ -93,5 +130,8 @@ let tests =
         Alcotest.test_case "baseline has no mappings" `Quick baseline_has_no_mappings;
         Alcotest.test_case "bandwidth matters" `Quick faster_link_helps_when_wire_bound;
         Alcotest.test_case "report printable" `Quick report_printable;
+        Alcotest.test_case "transient retries complete" `Quick
+          transient_reads_retry_to_completion;
+        Alcotest.test_case "media error aborts" `Quick media_error_aborts;
       ] );
   ]

@@ -500,6 +500,103 @@ let vdisk_version_counts_writes =
       Array.to_list counts
       = List.init 16 (fun b -> Storage.Vdisk.version vd b))
 
+(* ------------------------------------------------------------------ *)
+(* Multi-queue (NVMe-style) disk                                       *)
+(* ------------------------------------------------------------------ *)
+
+let mk_mq_disk ~num_queues ~per_queue_depth =
+  let engine = Sim.Engine.create () in
+  let stats = Metrics.Stats.create () in
+  let disk =
+    Storage.Disk.create ~engine ~stats
+      { Storage.Disk.default_config with num_queues; per_queue_depth }
+  in
+  (engine, stats, disk)
+
+(* The same far-apart read set finishes sooner when its requests land on
+   two queues served in parallel than when they serialize behind one
+   elevator head. *)
+let mq_parallel_service_faster () =
+  let run ~num_queues ~spread =
+    let engine, _, disk = mk_mq_disk ~num_queues ~per_queue_depth:1 in
+    let pending = ref 0 in
+    List.iteri
+      (fun i s ->
+        incr pending;
+        Storage.Disk.submit disk ~sector:s ~nsectors:8
+          ~kind:Storage.Disk.Read
+          ~queue:(if spread then i else 0)
+          (fun _ -> decr pending))
+      [ 1_000_000; 200_000_000; 50_000_000; 400_000_000 ];
+    Test_util.drain engine;
+    check Alcotest.int "all completed" 0 !pending;
+    Sim.Time.to_us (Sim.Engine.now engine)
+  in
+  let serial = run ~num_queues:1 ~spread:false in
+  let parallel = run ~num_queues:4 ~spread:true in
+  Alcotest.(check bool)
+    (Printf.sprintf "4 queues (%d us) beat 1 (%d us)" parallel serial)
+    true
+    (parallel < serial)
+
+(* Queue steering reduces mod num_queues, and per-queue counters track
+   where batches were actually served. *)
+let mq_queue_reduction_and_stats () =
+  let engine, stats, disk = mk_mq_disk ~num_queues:2 ~per_queue_depth:1 in
+  check Alcotest.int "clamped queue count" 2 (Storage.Disk.num_queues disk);
+  (* queue 5 mod 2 = 1; queue 2 mod 2 = 0. *)
+  Storage.Disk.submit disk ~sector:1_000_000 ~nsectors:8
+    ~kind:Storage.Disk.Read ~queue:5 (fun _ -> ());
+  Storage.Disk.submit disk ~sector:2_000_000 ~nsectors:8
+    ~kind:Storage.Disk.Read ~queue:2 (fun _ -> ());
+  Test_util.drain engine;
+  let qs = Storage.Disk.queue_stats disk in
+  check Alcotest.int "two queues reported" 2 (Array.length qs);
+  check Alcotest.int "queue 0 served one batch" 1
+    qs.(0).Storage.Disk.q_batches;
+  check Alcotest.int "queue 1 served one batch" 1
+    qs.(1).Storage.Disk.q_batches;
+  check Alcotest.int "mq stat counts non-zero queues only" 1
+    stats.Metrics.Stats.disk_mq_batches;
+  Alcotest.(check bool) "depth highwater >= 2 with both on the media" true
+    (stats.Metrics.Stats.disk_queue_depth_highwater >= 2)
+
+(* per_queue_depth > 1 admits concurrent batches on one queue; the
+   queue's own highwater proves they overlapped. *)
+let mq_depth_admits_concurrent_batches () =
+  let engine, _, disk = mk_mq_disk ~num_queues:1 ~per_queue_depth:2 in
+  List.iter
+    (fun s ->
+      Storage.Disk.submit disk ~sector:s ~nsectors:8 ~kind:Storage.Disk.Read
+        (fun _ -> ()))
+    [ 1_000_000; 300_000_000 ];
+  Test_util.drain engine;
+  let qs = Storage.Disk.queue_stats disk in
+  check Alcotest.int "both batches overlapped" 2
+    qs.(0).Storage.Disk.q_depth_highwater
+
+(* Every read completes exactly once no matter which queue it is steered
+   to — the multi-queue generalization of the single-queue property. *)
+let mq_every_read_completes_once =
+  QCheck.Test.make ~name:"disk: mq reads complete exactly once" ~count:100
+    QCheck.(
+      pair (int_range 1 4)
+        (list_of_size Gen.(int_range 1 30) (pair (int_range 0 40) (int_range 0 7))))
+    (fun (nq, picks) ->
+      let engine, _, disk = mk_mq_disk ~num_queues:nq ~per_queue_depth:2 in
+      let completions = Hashtbl.create 64 in
+      List.iteri
+        (fun i (slot, q) ->
+          Storage.Disk.submit disk ~sector:(slot * 1_000_000) ~nsectors:8
+            ~kind:Storage.Disk.Read ~queue:q (fun _ ->
+              Hashtbl.replace completions i
+                (1 + Option.value ~default:0 (Hashtbl.find_opt completions i))))
+        picks;
+      Test_util.drain engine;
+      List.for_all
+        (fun i -> Hashtbl.find_opt completions i = Some 1)
+        (List.init (List.length picks) Fun.id))
+
 let tests =
   [
     ( "storage:geom+content",
@@ -539,6 +636,16 @@ let tests =
         Alcotest.test_case "degraded latency" `Quick disk_degraded_latency;
         qcheck disk_service_monotone;
         qcheck disk_every_read_completes_once;
+      ] );
+    ( "storage:multiqueue",
+      [
+        Alcotest.test_case "parallel service faster" `Quick
+          mq_parallel_service_faster;
+        Alcotest.test_case "queue reduction and stats" `Quick
+          mq_queue_reduction_and_stats;
+        Alcotest.test_case "depth admits concurrency" `Quick
+          mq_depth_admits_concurrent_batches;
+        qcheck mq_every_read_completes_once;
       ] );
     ( "storage:swap_area",
       [

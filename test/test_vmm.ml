@@ -204,6 +204,62 @@ let config_names () =
     (Vmm.Config.name_of
        { base with guests = [ { g with balloon_static_mb = Some 16 } ] })
 
+(* Differential property: with the disk reduced to a single queue of
+   depth 1 and the per-guest in-flight bound at 1 (in both modes — the
+   bound serializes readahead-initiated target faults, so it must match
+   on each side), the async page-fault path degenerates to the
+   synchronous one: a single-threaded guest has nothing to overlap, so
+   both modes must produce identical runtimes and identical I/O
+   accounting for any workload shape. *)
+let async_sync_differential =
+  QCheck.Test.make
+    ~name:"machine: async (inflight=1, 1 queue) = sync for 1-thread guests"
+    ~count:15
+    QCheck.(
+      triple (int_range 16 32) (int_range 8 16) (int_range 1 2))
+    (fun (file_mb, limit_mb, iterations) ->
+      let run ~async =
+        let workload = Workloads.Sysbench.workload ~iterations ~file_mb () in
+        let guest =
+          {
+            (Vmm.Config.default_guest ~workload) with
+            mem_mb = 48;
+            resident_limit_mb = Some limit_mb;
+            warm_all = true;
+            data_mb = file_mb + 16;
+          }
+        in
+        let cfg =
+          {
+            (Vmm.Config.default ~guests:[ guest ]) with
+            host_mem_mb = 128;
+            host_swap_mb = 96;
+            async_faults = async;
+            disk =
+              {
+                Storage.Disk.default_config with
+                num_queues = 1;
+                per_queue_depth = 1;
+              };
+            hbase =
+              { Host.Hconfig.default with max_inflight_faults = 1 };
+          }
+        in
+        let r = Vmm.Machine.run (Vmm.Machine.build cfg) in
+        let s = r.Vmm.Machine.stats in
+        ( Array.map (fun g -> g.Vmm.Machine.runtime) r.Vmm.Machine.guests,
+          ( s.Metrics.Stats.disk_ops,
+            s.Metrics.Stats.disk_sectors_read,
+            s.Metrics.Stats.disk_sectors_written,
+            s.Metrics.Stats.host_swapins,
+            s.Metrics.Stats.host_swapouts ),
+          ( s.Metrics.Stats.guest_context_faults,
+            s.Metrics.Stats.host_context_faults,
+            s.Metrics.Stats.stale_reads,
+            s.Metrics.Stats.false_reads ) )
+      in
+      run ~async:false = run ~async:true)
+
 let tests =
   [
     ( "vmm:workload",
@@ -221,5 +277,6 @@ let tests =
         Alcotest.test_case "time limit" `Quick machine_time_limit;
         Alcotest.test_case "single run" `Quick machine_runs_twice_rejected;
         Alcotest.test_case "config names" `Quick config_names;
+        Test_util.qcheck async_sync_differential;
       ] );
   ]
