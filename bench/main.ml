@@ -194,9 +194,10 @@ let write_json ~file ~scale r =
   let f = Experiments.Exp.fault_totals () in
   out
     "  \"faults\": {\"injected\": %d, \"retried\": %d, \"degraded\": %d, \
-     \"killed\": %d},\n"
+     \"killed\": %d, \"destage_lost\": %d, \"destage_retried\": %d},\n"
     f.Experiments.Exp.injected f.Experiments.Exp.retried
-    f.Experiments.Exp.degraded f.Experiments.Exp.killed;
+    f.Experiments.Exp.degraded f.Experiments.Exp.killed
+    f.Experiments.Exp.destage_lost f.Experiments.Exp.destage_retried;
   let a = Experiments.Exp.async_totals () in
   out
     "  \"async\": {\"waiter_merges\": %d, \"faults_deferred\": %d, \
@@ -206,6 +207,16 @@ let write_json ~file ~scale r =
   out
     "  \"queues\": {\"mq_batches\": %d, \"depth_highwater\": %d},\n"
     a.Experiments.Exp.mq_batches a.Experiments.Exp.queue_depth_highwater;
+  let tt = Experiments.Exp.tier_totals () in
+  out
+    "  \"tiers\": {\"admissions\": %d, \"rejects\": %d, \"promotions\": %d, \
+     \"demotions\": %d, \"writeback_sectors\": %d, \"fast_swapins\": %d, \
+     \"slow_swapins\": %d, \"fast_swapin_us\": %d, \"slow_swapin_us\": %d},\n"
+    tt.Experiments.Exp.admissions tt.Experiments.Exp.rejects
+    tt.Experiments.Exp.promotions tt.Experiments.Exp.demotions
+    tt.Experiments.Exp.writeback_sectors tt.Experiments.Exp.fast_swapins
+    tt.Experiments.Exp.slow_swapins tt.Experiments.Exp.fast_swapin_us
+    tt.Experiments.Exp.slow_swapin_us;
   (* Engine section: lifetime totals of the event engine's hot path, a
      schedule+cancel churn microbench on both backends (so every summary
      records the wheel-vs-heap throughput on this machine), and fired

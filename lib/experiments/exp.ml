@@ -92,18 +92,24 @@ type fault_totals = {
   retried : int;
   degraded : int;
   killed : int;
+  destage_lost : int;
+  destage_retried : int;
 }
 
 let acc_injected = Atomic.make 0
 let acc_retried = Atomic.make 0
 let acc_degraded = Atomic.make 0
 let acc_killed = Atomic.make 0
+let acc_destage_lost = Atomic.make 0
+let acc_destage_retried = Atomic.make 0
 
 let reset_fault_totals () =
   Atomic.set acc_injected 0;
   Atomic.set acc_retried 0;
   Atomic.set acc_degraded 0;
-  Atomic.set acc_killed 0
+  Atomic.set acc_killed 0;
+  Atomic.set acc_destage_lost 0;
+  Atomic.set acc_destage_retried 0
 
 let fault_totals () =
   {
@@ -111,6 +117,56 @@ let fault_totals () =
     retried = Atomic.get acc_retried;
     degraded = Atomic.get acc_degraded;
     killed = Atomic.get acc_killed;
+    destage_lost = Atomic.get acc_destage_lost;
+    destage_retried = Atomic.get acc_destage_retried;
+  }
+
+(* Tiered swap-backend totals, same atomic discipline.  All zero when
+   every run used the disk-only passthrough. *)
+type tier_totals = {
+  admissions : int;
+  rejects : int;
+  promotions : int;
+  demotions : int;
+  writeback_sectors : int;
+  fast_swapins : int;
+  slow_swapins : int;
+  fast_swapin_us : int;
+  slow_swapin_us : int;
+}
+
+let acc_tier_admissions = Atomic.make 0
+let acc_tier_rejects = Atomic.make 0
+let acc_tier_promotions = Atomic.make 0
+let acc_tier_demotions = Atomic.make 0
+let acc_tier_writeback = Atomic.make 0
+let acc_tier_fast_ins = Atomic.make 0
+let acc_tier_slow_ins = Atomic.make 0
+let acc_tier_fast_us = Atomic.make 0
+let acc_tier_slow_us = Atomic.make 0
+
+let reset_tier_totals () =
+  Atomic.set acc_tier_admissions 0;
+  Atomic.set acc_tier_rejects 0;
+  Atomic.set acc_tier_promotions 0;
+  Atomic.set acc_tier_demotions 0;
+  Atomic.set acc_tier_writeback 0;
+  Atomic.set acc_tier_fast_ins 0;
+  Atomic.set acc_tier_slow_ins 0;
+  Atomic.set acc_tier_fast_us 0;
+  Atomic.set acc_tier_slow_us 0
+
+let tier_totals () =
+  {
+    admissions = Atomic.get acc_tier_admissions;
+    rejects = Atomic.get acc_tier_rejects;
+    promotions = Atomic.get acc_tier_promotions;
+    demotions = Atomic.get acc_tier_demotions;
+    writeback_sectors = Atomic.get acc_tier_writeback;
+    fast_swapins = Atomic.get acc_tier_fast_ins;
+    slow_swapins = Atomic.get acc_tier_slow_ins;
+    fast_swapin_us = Atomic.get acc_tier_fast_us;
+    slow_swapin_us = Atomic.get acc_tier_slow_us;
   }
 
 (* Engine telemetry totals, same atomic discipline.  Per-experiment
@@ -235,6 +291,29 @@ let record_disk_stats (s : Metrics.Stats.t) =
   ignore
     (Atomic.fetch_and_add acc_degraded s.Metrics.Stats.faults_degraded_batches);
   ignore (Atomic.fetch_and_add acc_killed s.Metrics.Stats.fault_guest_kills);
+  ignore
+    (Atomic.fetch_and_add acc_destage_lost s.Metrics.Stats.destage_media_errors);
+  ignore
+    (Atomic.fetch_and_add acc_destage_retried
+       s.Metrics.Stats.destage_transient_retries);
+  ignore
+    (Atomic.fetch_and_add acc_tier_admissions s.Metrics.Stats.tier_admissions);
+  ignore (Atomic.fetch_and_add acc_tier_rejects s.Metrics.Stats.tier_rejects);
+  ignore
+    (Atomic.fetch_and_add acc_tier_promotions s.Metrics.Stats.tier_promotions);
+  ignore
+    (Atomic.fetch_and_add acc_tier_demotions s.Metrics.Stats.tier_demotions);
+  ignore
+    (Atomic.fetch_and_add acc_tier_writeback
+       s.Metrics.Stats.tier_writeback_sectors);
+  ignore
+    (Atomic.fetch_and_add acc_tier_fast_ins s.Metrics.Stats.tier_fast_swapins);
+  ignore
+    (Atomic.fetch_and_add acc_tier_slow_ins s.Metrics.Stats.tier_slow_swapins);
+  ignore
+    (Atomic.fetch_and_add acc_tier_fast_us s.Metrics.Stats.tier_fast_swapin_us);
+  ignore
+    (Atomic.fetch_and_add acc_tier_slow_us s.Metrics.Stats.tier_slow_swapin_us);
   ignore
     (Atomic.fetch_and_add acc_engine_fired s.Metrics.Stats.engine_events_fired);
   ignore

@@ -78,10 +78,32 @@ type fault_totals = {
   retried : int;  (** transparent retries after transient errors *)
   degraded : int;  (** media accesses slowed by a degraded-latency fault *)
   killed : int;  (** guests abandoned after unrecoverable I/O failures *)
+  destage_lost : int;
+      (** destaged sectors lost to media errors (or retry exhaustion) *)
+  destage_retried : int;  (** destaged sectors re-queued after transients *)
 }
 
 val reset_fault_totals : unit -> unit
 val fault_totals : unit -> fault_totals
+
+(** Tiered swap-backend totals summed over every [run_machine] since the
+    last [reset_tier_totals], with the same atomic accumulation
+    discipline as {!disk_totals}.  All zero when every run used the
+    disk-only passthrough. *)
+type tier_totals = {
+  admissions : int;  (** swap-outs accepted by the fast tier *)
+  rejects : int;  (** swap-outs the fast tier refused (routed slow) *)
+  promotions : int;  (** slow-tier swap-ins copied up to the fast tier *)
+  demotions : int;  (** cold fast-tier slots written back to the slow tier *)
+  writeback_sectors : int;  (** sectors moved by demotion writeback *)
+  fast_swapins : int;
+  slow_swapins : int;
+  fast_swapin_us : int;  (** summed fast-tier swap-in service time *)
+  slow_swapin_us : int;  (** summed slow-tier swap-in service time *)
+}
+
+val reset_tier_totals : unit -> unit
+val tier_totals : unit -> tier_totals
 
 (** Event-engine telemetry totals summed over every [run_machine] since
     the last [reset_engine_totals], with the same atomic accumulation

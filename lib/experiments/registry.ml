@@ -17,6 +17,7 @@ let all =
     Ablations.exp;
     Resilience.exp;
     Scalability.exp;
+    Tiering.exp;
   ]
 
 let find id = List.find_opt (fun e -> e.Exp.id = id) all

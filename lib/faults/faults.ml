@@ -36,6 +36,8 @@ module Plan = struct
     media_key : int64;
     transient_key : int64;
     degraded_key : int64;
+    destage_media_key : int64;
+    destage_transient_key : int64;
     none : bool;
   }
 
@@ -65,7 +67,20 @@ module Plan = struct
     let media_key = Sim.Rng.next_int64 rng in
     let transient_key = Sim.Rng.next_int64 rng in
     let degraded_key = Sim.Rng.next_int64 rng in
-    { cfg; media_key; transient_key; degraded_key; none = Config.is_none cfg }
+    (* Destage keys are drawn after the read-path keys, so adding the
+       write-path streams left every pre-existing read-fault pattern of a
+       given seed untouched. *)
+    let destage_media_key = Sim.Rng.next_int64 rng in
+    let destage_transient_key = Sim.Rng.next_int64 rng in
+    {
+      cfg;
+      media_key;
+      transient_key;
+      degraded_key;
+      destage_media_key;
+      destage_transient_key;
+      none = Config.is_none cfg;
+    }
 
   let none = create Config.none
 
@@ -90,6 +105,21 @@ module Plan = struct
         incr s
       done;
       !err
+    end
+
+  let write_error t ~sector ~attempt =
+    if t.none then None
+    else begin
+      let cfg = t.cfg in
+      if
+        cfg.media_rate > 0.0
+        && hash01 t.destage_media_key sector 0 < cfg.media_rate
+      then Some Error.Media
+      else if
+        cfg.transient_rate > 0.0
+        && hash01 t.destage_transient_key sector attempt < cfg.transient_rate
+      then Some Error.Transient
+      else None
     end
 
   let degraded_mult t ~sector =

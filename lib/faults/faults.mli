@@ -62,7 +62,22 @@ module Plan : sig
       errors also hash the attempt number, so a retry can succeed.
       Media takes precedence when both fire. *)
 
+  val write_error : t -> sector:int -> attempt:int -> Error.t option
+  (** Fault decision for destaging one buffered sector to the media on
+      its [attempt]-th destage.  Drawn from write-path hash streams that
+      are independent of the read-path streams, so enabling write faults
+      does not reshuffle where read faults land for a given seed.  Media
+      errors depend only on the sector (they persist); transient errors
+      also hash the attempt, so a re-destage can succeed. *)
+
   val degraded_mult : t -> sector:int -> float option
   (** [Some m] when service starting at [sector] should be slowed by
       factor [m]; decided per starting sector, independent of time. *)
+
+  val hash01 : int64 -> int -> int -> float
+  (** [hash01 key a b] is the pure SplitMix64-style hash of [(key, a,
+      b)] mapped to [0, 1) — the primitive behind every fault decision.
+      Exposed so other deterministic per-sector models (e.g. the
+      compressed-RAM tier's compressibility ratio) can draw from the
+      same family without sharing a mutable stream. *)
 end

@@ -36,6 +36,7 @@ type guest = {
 type t = {
   engine : Sim.Engine.t;
   disk : Storage.Disk.t;
+  tiers : Storage.Tiers.t;  (* swap traffic routes through this *)
   stats : Metrics.Stats.t;
   config : Hconfig.t;
   vs : Vswapper.Vsconfig.t;
@@ -69,10 +70,22 @@ let owner_gpa key = key land owner_gpa_mask
 (* Temporary debug hook: called with (gpa, slot) on each swap-out. *)
 let debug_evict_hook : (int -> int -> unit) ref = ref (fun _ _ -> ())
 
-let create ~engine ~disk ~stats ~config ~vsconfig ~swap ~hv_base_sector =
+let create ~engine ~disk ?tiers ~stats ~config ~vsconfig ~swap ~hv_base_sector
+    () =
+  (* Swap I/O always goes through a [Tiers]; without an explicit one we
+     build the disk-only passthrough, which is call-for-call identical
+     to hitting the disk directly. *)
+  let tiers =
+    match tiers with
+    | Some tiers -> tiers
+    | None ->
+        Storage.Tiers.create ~engine ~stats ~disk ~swap
+          Storage.Tiers.disk_only
+  in
   {
     engine;
     disk;
+    tiers;
     stats;
     config;
     vs = vsconfig;
@@ -222,10 +235,9 @@ let evict_frame t frame =
                     t.stats.silent_swap_writes <-
                       t.stats.silent_swap_writes + 1;
                   (* Fire-and-forget: nobody awaits the swap-out ack, so
-                     skip the completion event entirely. *)
-                  Storage.Disk.write_buffered t.disk
-                    ~sector:(Storage.Swap_area.sector_of_slot t.swap slot)
-                    ~nsectors:page_sectors;
+                     skip the completion event entirely.  The tier
+                     composite picks where the page lands. *)
+                  Storage.Tiers.swap_out t.tiers ~slot ~queue:0;
                   true)
       in
       if evicted then begin
@@ -772,7 +784,11 @@ and swapin_cluster t g ~gpa ~slot ~host_context k =
   for s = s_end - 1 downto s0 do
     if s <> slot then
       match Hashtbl.find_opt t.slot_owner s with
-      | Some owner when not (Hashtbl.mem t.inflight owner) -> (
+      | Some owner
+        when (not (Hashtbl.mem t.inflight owner))
+             (* One request has one latency model: readahead never spans
+                backend tiers (constant-true in passthrough mode). *)
+             && Storage.Tiers.same_tier t.tiers slot s -> (
           match (guest t (owner_gid owner)).ept.(owner_gpa owner) with
           | E_in_swap s' when s' = s -> neighbours := (s, owner) :: !neighbours
           | _ -> ())
@@ -817,16 +833,15 @@ and swapin_cluster t g ~gpa ~slot ~host_context k =
   (* Retries cover the faulting page only: the prefetched neighbours are
      best-effort and were already released on the first failure. *)
   let rec retry ~attempt =
-    Storage.Disk.submit t.disk
+    Storage.Tiers.swap_in t.tiers ~slot
       ~sector:(Storage.Swap_area.sector_of_slot t.swap slot)
-      ~nsectors:page_sectors ~kind:Storage.Disk.Read ~queue:g.gid ~attempt
+      ~nsectors:page_sectors ~queue:g.gid ~attempt
       (fun (reply : Storage.Disk.reply) ->
         match reply.result with
         | Ok () -> install_target ()
         | Error err -> handle_read_error t g ~err ~attempt ~retry ~give_up:k)
   in
-  Storage.Disk.submit t.disk ~sector ~nsectors ~kind:Storage.Disk.Read
-    ~queue:g.gid
+  Storage.Tiers.swap_in t.tiers ~slot ~sector ~nsectors ~queue:g.gid ~attempt:0
     (fun (reply : Storage.Disk.reply) ->
       match reply.result with
       | Ok () ->

@@ -27,14 +27,21 @@ type page_state =
   | In_image  (** Mapper-discarded; backed by a virtual-disk block *)
   | Ballooned  (** surrendered by the guest's balloon driver *)
 
+(** [tiers] routes swap traffic (swap-out writes, swap-in reads); when
+    omitted, a disk-only passthrough {!Storage.Tiers} is built
+    internally, which is call-for-call identical to hitting [disk]
+    directly.  Virtual-disk image I/O always goes straight to [disk] —
+    only anonymous pages live on swap tiers. *)
 val create :
   engine:Sim.Engine.t ->
   disk:Storage.Disk.t ->
+  ?tiers:Storage.Tiers.t ->
   stats:Metrics.Stats.t ->
   config:Hconfig.t ->
   vsconfig:Vswapper.Vsconfig.t ->
   swap:Storage.Swap_area.t ->
   hv_base_sector:int ->
+  unit ->
   t
 
 (** [register_guest t ~vdisk ~gpa_pages ~resident_limit] admits a guest

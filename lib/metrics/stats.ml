@@ -39,6 +39,8 @@ type t = {
   mutable fault_retries : int;
   mutable fault_retry_exhausted : int;
   mutable fault_guest_kills : int;
+  mutable destage_media_errors : int;
+  mutable destage_transient_retries : int;
   mutable swap_full_fallbacks : int;
   mutable emergency_steals : int;
   mutable async_waiter_merges : int;
@@ -47,6 +49,15 @@ type t = {
   mutable engine_events_fired : int;
   mutable engine_cancels_reclaimed : int;
   mutable engine_cascades : int;
+  mutable tier_admissions : int;
+  mutable tier_rejects : int;
+  mutable tier_promotions : int;
+  mutable tier_demotions : int;
+  mutable tier_writeback_sectors : int;
+  mutable tier_fast_swapins : int;
+  mutable tier_slow_swapins : int;
+  mutable tier_fast_swapin_us : int;
+  mutable tier_slow_swapin_us : int;
 }
 
 let create () =
@@ -91,6 +102,8 @@ let create () =
     fault_retries = 0;
     fault_retry_exhausted = 0;
     fault_guest_kills = 0;
+    destage_media_errors = 0;
+    destage_transient_retries = 0;
     swap_full_fallbacks = 0;
     emergency_steals = 0;
     async_waiter_merges = 0;
@@ -99,6 +112,15 @@ let create () =
     engine_events_fired = 0;
     engine_cancels_reclaimed = 0;
     engine_cascades = 0;
+    tier_admissions = 0;
+    tier_rejects = 0;
+    tier_promotions = 0;
+    tier_demotions = 0;
+    tier_writeback_sectors = 0;
+    tier_fast_swapins = 0;
+    tier_slow_swapins = 0;
+    tier_fast_swapin_us = 0;
+    tier_slow_swapin_us = 0;
   }
 
 let copy t = { t with disk_ops = t.disk_ops }
@@ -151,6 +173,9 @@ let diff a b =
     fault_retries = a.fault_retries - b.fault_retries;
     fault_retry_exhausted = a.fault_retry_exhausted - b.fault_retry_exhausted;
     fault_guest_kills = a.fault_guest_kills - b.fault_guest_kills;
+    destage_media_errors = a.destage_media_errors - b.destage_media_errors;
+    destage_transient_retries =
+      a.destage_transient_retries - b.destage_transient_retries;
     swap_full_fallbacks = a.swap_full_fallbacks - b.swap_full_fallbacks;
     emergency_steals = a.emergency_steals - b.emergency_steals;
     async_waiter_merges = a.async_waiter_merges - b.async_waiter_merges;
@@ -161,6 +186,16 @@ let diff a b =
     engine_cancels_reclaimed =
       a.engine_cancels_reclaimed - b.engine_cancels_reclaimed;
     engine_cascades = a.engine_cascades - b.engine_cascades;
+    tier_admissions = a.tier_admissions - b.tier_admissions;
+    tier_rejects = a.tier_rejects - b.tier_rejects;
+    tier_promotions = a.tier_promotions - b.tier_promotions;
+    tier_demotions = a.tier_demotions - b.tier_demotions;
+    tier_writeback_sectors =
+      a.tier_writeback_sectors - b.tier_writeback_sectors;
+    tier_fast_swapins = a.tier_fast_swapins - b.tier_fast_swapins;
+    tier_slow_swapins = a.tier_slow_swapins - b.tier_slow_swapins;
+    tier_fast_swapin_us = a.tier_fast_swapin_us - b.tier_fast_swapin_us;
+    tier_slow_swapin_us = a.tier_slow_swapin_us - b.tier_slow_swapin_us;
   }
 
 let fields t =
@@ -205,6 +240,8 @@ let fields t =
     ("fault_retries", t.fault_retries);
     ("fault_retry_exhausted", t.fault_retry_exhausted);
     ("fault_guest_kills", t.fault_guest_kills);
+    ("destage_media_errors", t.destage_media_errors);
+    ("destage_transient_retries", t.destage_transient_retries);
     ("swap_full_fallbacks", t.swap_full_fallbacks);
     ("emergency_steals", t.emergency_steals);
     ("async_waiter_merges", t.async_waiter_merges);
@@ -213,6 +250,15 @@ let fields t =
     ("engine_events_fired", t.engine_events_fired);
     ("engine_cancels_reclaimed", t.engine_cancels_reclaimed);
     ("engine_cascades", t.engine_cascades);
+    ("tier_admissions", t.tier_admissions);
+    ("tier_rejects", t.tier_rejects);
+    ("tier_promotions", t.tier_promotions);
+    ("tier_demotions", t.tier_demotions);
+    ("tier_writeback_sectors", t.tier_writeback_sectors);
+    ("tier_fast_swapins", t.tier_fast_swapins);
+    ("tier_slow_swapins", t.tier_slow_swapins);
+    ("tier_fast_swapin_us", t.tier_fast_swapin_us);
+    ("tier_slow_swapin_us", t.tier_slow_swapin_us);
   ]
 
 let pp fmt t =

@@ -74,6 +74,12 @@ type t = {
       (** reads abandoned after the retry limit / error budget *)
   mutable fault_guest_kills : int;
       (** guests killed by the host (I/O failure or OOM last resort) *)
+  mutable destage_media_errors : int;
+      (** buffered sectors lost while destaging — media error, or
+          transient retries exhausted (the write ack had already
+          succeeded — write-back fault truth) *)
+  mutable destage_transient_retries : int;
+      (** buffered sectors re-queued after a transient destage error *)
   mutable swap_full_fallbacks : int;
       (** anon evictions skipped because the swap area was full *)
   mutable emergency_steals : int;
@@ -92,6 +98,23 @@ type t = {
       (** cancelled event records whose storage was recycled *)
   mutable engine_cascades : int;
       (** timing-wheel slot redistributions (0 under the heap backend) *)
+  (* Tiered swap backends (all 0 in the default single-disk mode). *)
+  mutable tier_admissions : int;  (** swap-outs accepted by the fast tier *)
+  mutable tier_rejects : int;
+      (** swap-outs the fast tier refused (incompressible page or tier
+          full); the page went to the slow tier instead *)
+  mutable tier_promotions : int;
+      (** slow-tier slots copied into the fast tier on swap-in *)
+  mutable tier_demotions : int;
+      (** cold fast-tier slots written back to the slow tier *)
+  mutable tier_writeback_sectors : int;
+      (** sectors moved by demotion writeback *)
+  mutable tier_fast_swapins : int;  (** swap-in reads served by the fast tier *)
+  mutable tier_slow_swapins : int;  (** swap-in reads served by the slow tier *)
+  mutable tier_fast_swapin_us : int;
+      (** summed service time of fast-tier swap-ins (mean = /count) *)
+  mutable tier_slow_swapin_us : int;
+      (** summed service time of slow-tier swap-ins (mean = /count) *)
 }
 
 val create : unit -> t

@@ -19,6 +19,7 @@ type config = {
   idle_flush_delay_us : int;
   num_queues : int;
   per_queue_depth : int;
+  destage_queues : int;
 }
 
 let default_config =
@@ -37,6 +38,7 @@ let default_config =
     idle_flush_delay_us = 3_000;
     num_queues = 1;
     per_queue_depth = 1;
+    destage_queues = 1;
   }
 
 type request = {
@@ -49,15 +51,20 @@ type request = {
 
 (* One NVMe-style submission queue with its own service channel: a
    private sorted pending set, C-LOOK cursor (head), and up to
-   [per_queue_depth] batches on the media at once.  Queue 0 doubles as
-   the destage channel for the shared write buffer, so a single-queue
-   device degenerates to the classic one-spindle elevator. *)
+   [per_queue_depth] batches on the media at once.  The first
+   [destage_queues] queues double as destage channels for the shared
+   write buffer — each with its own [flushing] flag, so a
+   writeback-heavy workload no longer serializes destaging behind
+   queue 0 while the other channels idle.  With the default
+   [destage_queues = 1], a single-queue device degenerates to the
+   classic one-spindle elevator. *)
 type queue = {
   qid : int;
   mutable reads : request list;  (* sorted by (sector, seq) *)
   mutable nreads : int;
   mutable head : int;  (* sector just past this channel's last transfer *)
   mutable in_service : int;  (* batches currently on the media *)
+  mutable flushing : bool;  (* a destage chunk occupies this channel *)
   mutable batches : int;  (* lifetime media batches served here *)
   mutable depth_highwater : int;
 }
@@ -74,7 +81,9 @@ type t = {
   (* Sorted, disjoint (start, len) runs of dirty sectors. *)
   mutable write_runs : (int * int) list;
   mutable write_buf_sectors : int;
-  mutable flushing : bool;  (* a destage chunk occupies queue 0's channel *)
+  mutable flush_epoch : int;  (* destage count; keys transient write faults *)
+  destage_attempts : (int, int) Hashtbl.t;
+      (* sector -> failed destage count; never iterated (determinism) *)
   mutable idle_timer : Sim.Engine.event;
   mutable trace :
     (kind -> head:int -> sector:int -> nsectors:int -> unit) option;
@@ -86,7 +95,8 @@ let create ~engine ~stats ?(faults = Faults.Plan.none) config =
     engine;
     stats;
     config = { config with num_queues = nq;
-               per_queue_depth = max 1 config.per_queue_depth };
+               per_queue_depth = max 1 config.per_queue_depth;
+               destage_queues = max 1 (min nq config.destage_queues) };
     faults;
     queues =
       Array.init nq (fun qid ->
@@ -96,13 +106,15 @@ let create ~engine ~stats ?(faults = Faults.Plan.none) config =
             nreads = 0;
             head = 0;
             in_service = 0;
+            flushing = false;
             batches = 0;
             depth_highwater = 0;
           });
     next_seq = 0;
     write_runs = [];
     write_buf_sectors = 0;
-    flushing = false;
+    flush_epoch = 0;
+    destage_attempts = Hashtbl.create 64;
     idle_timer = Sim.Engine.null;
     trace = None;
   }
@@ -121,6 +133,10 @@ let seek_time t distance =
 (* A short forward gap is crossed by letting the platter spin past it
    (cost: the gap's transfer time), not by a seek + rotational wait. *)
 let forward_skip_sectors = 4_096 (* ~2 MiB, a couple of tracks *)
+
+(* Give up re-destaging a transiently failing sector after this many
+   attempts; the buffered copy is then dropped (counted as lost). *)
+let destage_retry_limit = 6
 
 let service_time_from t ~head ~sector ~nsectors =
   let c = t.config in
@@ -291,8 +307,9 @@ let take_batch t q =
       end
 
 let total_in_service t =
-  Array.fold_left (fun acc q -> acc + q.in_service) 0 t.queues
-  + if t.flushing then 1 else 0
+  Array.fold_left
+    (fun acc q -> acc + q.in_service + if q.flushing then 1 else 0)
+    0 t.queues
 
 let total_reads t = Array.fold_left (fun acc q -> acc + q.nreads) 0 t.queues
 
@@ -339,7 +356,8 @@ let enter_service t q =
    engine event, same-tick events fire in schedule order, and nothing
    here iterates a hashtable — so output is byte-identical at any
    [--jobs] width. *)
-let rec pump t q = if q.qid = 0 then pump0 t q else pump_reads t q
+let rec pump t q =
+  if q.qid < t.config.destage_queues then pump0 t q else pump_reads t q
 
 and pump_reads t q =
   if q.in_service < t.config.per_queue_depth && q.reads <> [] then
@@ -352,13 +370,13 @@ and pump_reads t q =
 and pump0 t q =
   let over_cap = t.write_buf_sectors > t.config.write_buffer_sectors in
   if over_cap then begin
-    if (not t.flushing) && q.in_service = 0 then flush_chunk t q
+    if (not q.flushing) && q.in_service = 0 then flush_chunk t q
   end
   else if q.reads = [] then begin
-    if t.write_runs <> [] && (not t.flushing) && q.in_service = 0 then
+    if t.write_runs <> [] && (not q.flushing) && q.in_service = 0 then
       arm_idle_timer t
   end
-  else if (not t.flushing) && q.in_service < t.config.per_queue_depth then
+  else if (not q.flushing) && q.in_service < t.config.per_queue_depth then
     match take_batch t q with
     | None -> ()
     | Some b ->
@@ -369,13 +387,71 @@ and flush_chunk t q =
   match pop_flush_chunk t ~head:q.head with
   | None -> pump0 t q
   | Some (sector, nsectors) ->
-      t.flushing <- true;
+      q.flushing <- true;
+      (* Each destage draws a fresh epoch; transient write faults hash
+         the epoch, so a re-queued sector re-rolls on its next destage
+         and the retry loop converges geometrically. *)
+      let epoch = t.flush_epoch in
+      t.flush_epoch <- epoch + 1;
       account_flush t ~head:q.head ~sector nsectors;
       let dt = service_time_from t ~head:q.head ~sector ~nsectors in
       q.head <- sector + nsectors;
       (Sim.Engine.run_after t.engine dt (fun () ->
-             t.flushing <- false;
+             q.flushing <- false;
+             inject_destage_faults t ~sector ~nsectors ~epoch;
              pump0 t q))
+
+(* The write ack already succeeded when the data entered the cache, so
+   faults discovered while destaging cannot be reported to the
+   submitter — exactly the write-back lie this layer models.  Media
+   errors drop the buffered copy (counted, lost); transient errors
+   re-queue the affected sectors as coalesced runs for a later destage
+   pass under a fresh epoch.  A sector whose re-destages keep failing
+   transiently is abandoned after [destage_retry_limit] attempts and
+   counted as lost alongside the media errors — mirroring how the read
+   path exhausts its retry budget, and bounding the work even at a
+   transient rate of 1.0. *)
+and inject_destage_faults t ~sector ~nsectors ~epoch =
+  let c = Faults.Plan.config t.faults in
+  if c.Faults.Config.media_rate > 0.0 || c.Faults.Config.transient_rate > 0.0
+  then begin
+    let run_start = ref (-1) in
+    let flush_run e =
+      if !run_start >= 0 then begin
+        add_write_run t !run_start (e - !run_start);
+        run_start := -1
+      end
+    in
+    for s = sector to sector + nsectors - 1 do
+      match Faults.Plan.write_error t.faults ~sector:s ~attempt:epoch with
+      | Some Faults.Error.Media ->
+          Hashtbl.remove t.destage_attempts s;
+          t.stats.destage_media_errors <- t.stats.destage_media_errors + 1;
+          flush_run s
+      | Some Faults.Error.Transient ->
+          let tries =
+            (match Hashtbl.find_opt t.destage_attempts s with
+            | Some n -> n
+            | None -> 0)
+            + 1
+          in
+          if tries >= destage_retry_limit then begin
+            Hashtbl.remove t.destage_attempts s;
+            t.stats.destage_media_errors <- t.stats.destage_media_errors + 1;
+            flush_run s
+          end
+          else begin
+            Hashtbl.replace t.destage_attempts s tries;
+            t.stats.destage_transient_retries <-
+              t.stats.destage_transient_retries + 1;
+            if !run_start < 0 then run_start := s
+          end
+      | None ->
+          Hashtbl.remove t.destage_attempts s;
+          flush_run s
+    done;
+    flush_run (sector + nsectors)
+  end
 
 and arm_idle_timer t =
   (* Fire-and-check, deliberately not disarmed when service resumes:
@@ -389,9 +465,12 @@ and arm_idle_timer t =
            (Sim.Time.us t.config.idle_flush_delay_us)
            (fun () ->
              t.idle_timer <- Sim.Engine.null;
-             (* Destage in the background only if idle right now. *)
+             (* Destage in the background only if idle right now; with
+                several destage channels, start one chunk on each. *)
              if total_in_service t = 0 && total_reads t = 0 then
-               if t.write_runs <> [] then flush_chunk t t.queues.(0)))
+               for qid = 0 to t.config.destage_queues - 1 do
+                 if t.write_runs <> [] then flush_chunk t t.queues.(qid)
+               done))
 
 and start_batch t q = function
   | From_buffer req ->
@@ -478,22 +557,27 @@ let submit t ~sector ~nsectors ~kind ?(queue = 0) ?(attempt = 0) completion =
       let dt = Sim.Time.us t.config.write_ack_us in
       (* Buffered-write acks always succeed: the cache absorbed the data
          (media errors on destage are invisible to the submitter, as on
-         a real write-back drive). *)
+         a real write-back drive).  The data lands in the shared buffer
+         regardless of [queue]; the argument picks which destage channel
+         gets kicked, folded into [0, destage_queues). *)
       (Sim.Engine.run_after t.engine dt (fun () ->
              completion { result = Ok (); service = dt }));
-      pump0 t t.queues.(0)
+      let dqs = t.config.destage_queues in
+      pump0 t t.queues.(((queue mod dqs) + dqs) mod dqs)
 
 (* Buffered write without a completion event: for fire-and-forget
    destaging traffic (e.g. swap-out) whose ack nobody awaits. *)
-let write_buffered t ~sector ~nsectors =
+let write_buffered ?(queue = 0) t ~sector ~nsectors =
   check_bounds t ~who:"write_buffered" ~sector ~nsectors;
   add_write_run t sector nsectors;
-  pump0 t t.queues.(0)
+  let dqs = t.config.destage_queues in
+  pump0 t t.queues.(((queue mod dqs) + dqs) mod dqs)
 
 let queue_depth t =
   total_reads t + List.length t.write_runs + total_in_service t
 
 let num_queues t = t.config.num_queues
+let config t = t.config
 
 let queue_stats t =
   Array.map

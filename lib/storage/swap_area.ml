@@ -4,6 +4,7 @@ type t = {
   base_sector : int;
   nslots : int;
   contents : Content.t option array;
+  tiers : int array;  (* backend tier of each allocated slot; 0 = fast *)
   free_in_cluster : int array;  (* free-slot count per cluster *)
   (* Current allocation cluster and the next offset to try within it;
      -1 means no current cluster. *)
@@ -12,6 +13,9 @@ type t = {
   mutable scan_cursor : int;  (* fallback first-free scan position *)
   mutable in_use : int;
   mutable fragmented_allocs : int;
+  mutable on_free : (slot:int -> tier:int -> unit) option;
+      (* called by [free] before the slot is reset, so a tiered backend
+         can release per-slot resources without shadow bookkeeping *)
 }
 
 (* The area holds exactly the requested number of slots: the cluster
@@ -27,12 +31,14 @@ let create ~base_sector ~nslots =
     base_sector;
     nslots;
     contents = Array.make nslots None;
+    tiers = Array.make nslots 0;
     free_in_cluster = Array.init nclusters cluster_free;
     cur_cluster = -1;
     cur_offset = 0;
     scan_cursor = 0;
     in_use = 0;
     fragmented_allocs = 0;
+    on_free = None;
   }
 
 let nclusters t = Array.length t.free_in_cluster
@@ -46,6 +52,7 @@ let check t slot =
 
 let take t slot content =
   t.contents.(slot) <- Some content;
+  t.tiers.(slot) <- 0;
   t.free_in_cluster.(slot / cluster_slots) <-
     t.free_in_cluster.(slot / cluster_slots) - 1;
   t.in_use <- t.in_use + 1;
@@ -98,10 +105,23 @@ let free t slot =
   match t.contents.(slot) with
   | None -> invalid_arg (Printf.sprintf "Swap_area.free: slot %d is free" slot)
   | Some _ ->
+      (match t.on_free with
+      | Some f -> f ~slot ~tier:t.tiers.(slot)
+      | None -> ());
       t.contents.(slot) <- None;
       t.free_in_cluster.(slot / cluster_slots) <-
         t.free_in_cluster.(slot / cluster_slots) + 1;
       t.in_use <- t.in_use - 1
+
+let set_tier t slot tier =
+  check t slot;
+  t.tiers.(slot) <- tier
+
+let tier t slot =
+  check t slot;
+  t.tiers.(slot)
+
+let set_on_free t f = t.on_free <- f
 
 let content t slot =
   check t slot;

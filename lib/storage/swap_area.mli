@@ -23,8 +23,32 @@ val cluster_slots : int
     its index, or [None] if the area is full. *)
 val alloc : t -> Content.t -> int option
 
-(** [free t slot] releases a slot.  Freeing a free slot is an error. *)
+(** [free t slot] releases a slot, first invoking the {!set_on_free}
+    hook (if any) with the slot's tier.  Freeing a free slot is an
+    error. *)
 val free : t -> int -> unit
+
+(** {2 Backend-tier metadata}
+
+    A tiered swap backend ({!Tiers}) stores each page on one of its
+    tiers; the area records which, so swap-in, readahead grouping and
+    release all agree without shadow tables. *)
+
+(** [set_tier t slot tier] records the backend tier holding [slot]'s
+    page.  [alloc] resets a slot's tier to 0 (the fast tier / sole
+    disk). *)
+val set_tier : t -> int -> int -> unit
+
+(** [tier t slot] is the backend tier recorded for [slot] (0 unless a
+    tiered backend set it). *)
+val tier : t -> int -> int
+
+(** [set_on_free t (Some f)] installs a hook called by {!free} with the
+    slot index and its recorded tier, before the slot is reset.  Lets a
+    tiered backend release per-slot resources (compressed-pool bytes,
+    fast-tier share) at every free site without each caller knowing
+    about tiers. *)
+val set_on_free : t -> (slot:int -> tier:int -> unit) option -> unit
 
 (** [content t slot] is the content stored in an allocated slot. *)
 val content : t -> int -> Content.t

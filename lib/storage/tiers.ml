@@ -1,0 +1,239 @@
+type kind = Disk_tier | Czram | Remote
+
+type config = {
+  fast : kind;
+  slow : kind;
+  fast_share_percent : int;
+  czram_seed : int;
+  czram_admit_ratio : float;
+  czram_compress_us : int;
+  czram_decompress_us : int;
+  remote_rtt_us : int;
+  remote_gbps : float;
+  writeback_idle_us : int;
+  writeback_batch : int;
+}
+
+let disk_only =
+  {
+    fast = Disk_tier;
+    slow = Disk_tier;
+    fast_share_percent = 50;
+    czram_seed = 0;
+    czram_admit_ratio = 0.75;
+    czram_compress_us = 10;
+    czram_decompress_us = 5;
+    remote_rtt_us = 20;
+    remote_gbps = 10.0;
+    writeback_idle_us = 2_000_000;
+    writeback_batch = 64;
+  }
+
+let kind_to_string = function
+  | Disk_tier -> "disk"
+  | Czram -> "czram"
+  | Remote -> "remote"
+
+let kind_of_string = function
+  | "disk" -> Some Disk_tier
+  | "czram" -> Some Czram
+  | "remote" -> Some Remote
+  | _ -> None
+
+(* "fast+slow" ("czram+disk", "disk+remote", ...); a single kind puts
+   everything on that tier over a disk slow tier, except the plain
+   "disk" which is the passthrough default. *)
+let pair_of_string s =
+  match String.index_opt s '+' with
+  | Some i -> (
+      let a = String.sub s 0 i in
+      let b = String.sub s (i + 1) (String.length s - i - 1) in
+      match (kind_of_string a, kind_of_string b) with
+      | Some f, Some sl -> Some (f, sl)
+      | _ -> None)
+  | None -> (
+      match kind_of_string s with
+      | Some Disk_tier -> Some (Disk_tier, Disk_tier)
+      | Some k -> Some (k, Disk_tier)
+      | None -> None)
+
+let pair_to_string cfg =
+  if cfg.fast = Disk_tier && cfg.slow = Disk_tier then "disk"
+  else kind_to_string cfg.fast ^ "+" ^ kind_to_string cfg.slow
+
+type t = {
+  engine : Sim.Engine.t;
+  stats : Metrics.Stats.t;
+  disk : Disk.t;
+  swap : Swap_area.t;
+  cfg : config;
+  passthrough : bool;
+  fast : Backend.t;
+  slow : Backend.t;
+  fast_cap : int;  (* slot share of the fast tier *)
+  mutable fast_slots : int;
+  last_access : int array;  (* per-slot µs timestamp; [||] in passthrough *)
+  mutable hand : int;  (* demotion clock hand *)
+}
+
+let page_sectors = Geom.sectors_per_page
+let now_us t = Sim.Time.to_us (Sim.Engine.now t.engine)
+
+let create ~engine ~stats ~disk ~swap (cfg : config) =
+  let passthrough = cfg.fast = Disk_tier && cfg.slow = Disk_tier in
+  let nslots = Swap_area.nslots swap in
+  let share = max 0 (min 100 cfg.fast_share_percent) in
+  let fast_cap = nslots * share / 100 in
+  let mk = function
+    | Disk_tier -> Backend.of_disk disk
+    | Czram ->
+        (* Pool sized to the fast share at a typical compressed ratio;
+           admission rejects both incompressible pages and overflow. *)
+        Backend.czram ~engine ~seed:cfg.czram_seed
+          ~admit_ratio:cfg.czram_admit_ratio
+          ~pool_bytes:(max Geom.page_bytes (fast_cap * Geom.page_bytes * 3 / 5))
+          ~compress_us:cfg.czram_compress_us
+          ~decompress_us:cfg.czram_decompress_us
+    | Remote ->
+        Backend.remote ~engine ~rtt_us:cfg.remote_rtt_us
+          ~bytes_per_us:(cfg.remote_gbps *. 125.0)
+  in
+  let t =
+    {
+      engine;
+      stats;
+      disk;
+      swap;
+      cfg;
+      passthrough;
+      fast = mk cfg.fast;
+      slow = mk cfg.slow;
+      fast_cap;
+      fast_slots = 0;
+      last_access = (if passthrough then [||] else Array.make nslots 0);
+      hand = 0;
+    }
+  in
+  if not passthrough then
+    Swap_area.set_on_free swap
+      (Some
+         (fun ~slot ~tier ->
+           let sector = Swap_area.sector_of_slot swap slot in
+           if tier = 0 then begin
+             t.fast_slots <- t.fast_slots - 1;
+             Backend.release t.fast ~sector ~nsectors:page_sectors
+           end
+           else Backend.release t.slow ~sector ~nsectors:page_sectors));
+  t
+
+(* Writeback of cold fast-tier slots, driven by capacity pressure (the
+   zswap shrinker runs under allocation pressure, not on a timer — and
+   a timer here would also stretch every run's final drain).  Only when
+   the fast tier is at its slot cap does a swap-out advance a clock
+   hand over [writeback_batch] slots and demote the fast-tier ones
+   idle for [writeback_idle_us] or more; an under-capacity fast tier
+   keeps its pages, however cold — demoting a RAM-resident page costs a
+   disk write and buys nothing until the slots are needed. *)
+let demote_cold t =
+  let n = Swap_area.nslots t.swap in
+  let now = now_us t in
+  for _ = 1 to min n t.cfg.writeback_batch do
+    let slot = t.hand in
+    t.hand <- (t.hand + 1) mod n;
+    if
+      Swap_area.is_allocated t.swap slot
+      && Swap_area.tier t.swap slot = 0
+      && now - t.last_access.(slot) >= t.cfg.writeback_idle_us
+    then begin
+      let sector = Swap_area.sector_of_slot t.swap slot in
+      Backend.release t.fast ~sector ~nsectors:page_sectors;
+      Backend.write t.slow ~queue:0 ~sector ~nsectors:page_sectors;
+      Swap_area.set_tier t.swap slot 1;
+      t.fast_slots <- t.fast_slots - 1;
+      t.stats.Metrics.Stats.tier_demotions <-
+        t.stats.Metrics.Stats.tier_demotions + 1;
+      t.stats.Metrics.Stats.tier_writeback_sectors <-
+        t.stats.Metrics.Stats.tier_writeback_sectors + page_sectors
+    end
+  done
+
+let swap_out t ~slot ~queue =
+  let sector = Swap_area.sector_of_slot t.swap slot in
+  if t.passthrough then
+    Disk.write_buffered ~queue t.disk ~sector ~nsectors:page_sectors
+  else begin
+    if t.fast_slots >= t.fast_cap && t.fast_cap > 0 then demote_cold t;
+    if t.fast_slots < t.fast_cap && Backend.admit t.fast ~sector then begin
+      Swap_area.set_tier t.swap slot 0;
+      t.fast_slots <- t.fast_slots + 1;
+      t.last_access.(slot) <- now_us t;
+      t.stats.Metrics.Stats.tier_admissions <-
+        t.stats.Metrics.Stats.tier_admissions + 1;
+      Backend.write t.fast ~queue ~sector ~nsectors:page_sectors
+    end
+    else begin
+      Swap_area.set_tier t.swap slot 1;
+      t.stats.Metrics.Stats.tier_rejects <-
+        t.stats.Metrics.Stats.tier_rejects + 1;
+      Backend.write t.slow ~queue ~sector ~nsectors:page_sectors
+    end
+  end
+
+(* Copy a just-read slow-tier page into the fast tier (target pages
+   only — readahead neighbours stay put until they prove hot). *)
+let promote t ~slot =
+  if
+    Swap_area.is_allocated t.swap slot
+    && Swap_area.tier t.swap slot = 1
+    && t.fast_slots < t.fast_cap
+  then begin
+    let sector = Swap_area.sector_of_slot t.swap slot in
+    if Backend.admit t.fast ~sector then begin
+      Backend.release t.slow ~sector ~nsectors:page_sectors;
+      Backend.write t.fast ~queue:0 ~sector ~nsectors:page_sectors;
+      Swap_area.set_tier t.swap slot 0;
+      t.fast_slots <- t.fast_slots + 1;
+      t.last_access.(slot) <- now_us t;
+      t.stats.Metrics.Stats.tier_promotions <-
+        t.stats.Metrics.Stats.tier_promotions + 1
+    end
+  end
+
+let swap_in t ~slot ~sector ~nsectors ~queue ~attempt k =
+  if t.passthrough then
+    Disk.submit t.disk ~sector ~nsectors ~kind:Disk.Read ~queue ~attempt k
+  else begin
+    let tier = Swap_area.tier t.swap slot in
+    t.last_access.(slot) <- now_us t;
+    let backend = if tier = 0 then t.fast else t.slow in
+    Backend.read backend ~sector ~nsectors ~queue ~attempt
+      (fun (reply : Backend.reply) ->
+        let us = Sim.Time.to_us reply.service in
+        let s = t.stats in
+        if tier = 0 then begin
+          s.Metrics.Stats.tier_fast_swapins <-
+            s.Metrics.Stats.tier_fast_swapins + 1;
+          s.Metrics.Stats.tier_fast_swapin_us <-
+            s.Metrics.Stats.tier_fast_swapin_us + us
+        end
+        else begin
+          s.Metrics.Stats.tier_slow_swapins <-
+            s.Metrics.Stats.tier_slow_swapins + 1;
+          s.Metrics.Stats.tier_slow_swapin_us <-
+            s.Metrics.Stats.tier_slow_swapin_us + us;
+          match reply.result with
+          | Ok () -> promote t ~slot
+          | Error _ -> ()
+        end;
+        k reply)
+  end
+
+let same_tier t a b =
+  t.passthrough || Swap_area.tier t.swap a = Swap_area.tier t.swap b
+
+let is_passthrough t = t.passthrough
+let fast_slots t = t.fast_slots
+let fast_capacity t = t.fast_cap
+let fast_used_bytes t = Backend.used_bytes t.fast
+let config t = t.cfg
+let describe t = pair_to_string t.cfg

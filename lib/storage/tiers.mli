@@ -1,0 +1,105 @@
+(** Tiered swap-backend composite.
+
+    Routes host swap traffic between a fast and a slow {!Backend}:
+    swap-outs go to the fast tier while its slot share and admission
+    policy allow (the compressed tier rejects incompressible pages),
+    and to the slow tier otherwise; a slow-tier page is promoted to the
+    fast tier when it proves hot (a target swap-in); cold fast-tier
+    slots are written back to the slow tier by a clock-hand sweep run
+    only when the fast tier is at its slot cap (capacity pressure, like
+    the zswap shrinker).  The {!Swap_area} records each slot's tier
+    so swap-in, readahead grouping and release all agree.
+
+    The default {!disk_only} configuration is a pure passthrough to the
+    {!Disk}: identical calls, no extra events, no per-slot metadata, no
+    counters — a machine built with it behaves byte-for-byte like one
+    that never heard of tiers. *)
+
+type kind = Disk_tier | Czram | Remote
+
+type config = {
+  fast : kind;
+  slow : kind;
+  fast_share_percent : int;
+      (** slot share of the fast tier, clamped to [0, 100] *)
+  czram_seed : int;  (** seeds the per-page compressibility hash *)
+  czram_admit_ratio : float;
+      (** max compressed/uncompressed ratio the pool accepts *)
+  czram_compress_us : int;  (** CPU cost per page swapped out *)
+  czram_decompress_us : int;  (** CPU cost per page swapped in *)
+  remote_rtt_us : int;  (** network round-trip per request *)
+  remote_gbps : float;  (** link bandwidth, gigabits per second *)
+  writeback_idle_us : int;
+      (** idle age beyond which a fast-tier slot is demotion-cold *)
+  writeback_batch : int;
+      (** clock-hand slots swept per swap-out *)
+}
+
+(** Both tiers on the disk: the passthrough default. *)
+val disk_only : config
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
+
+(** [pair_of_string "czram+disk"] parses a VSWAPPER_TIERS value:
+    ["fast+slow"], or a single kind (over a disk slow tier; plain
+    ["disk"] is the passthrough pair). *)
+val pair_of_string : string -> (kind * kind) option
+
+(** [pair_to_string cfg] renders the tier pair (["disk"],
+    ["czram+disk"], ...). *)
+val pair_to_string : config -> string
+
+type t
+
+(** [create ~engine ~stats ~disk ~swap cfg] builds the composite and —
+    unless [cfg] is the passthrough pair — installs a
+    {!Swap_area.set_on_free} hook that returns per-slot tier resources
+    on every free. *)
+val create :
+  engine:Sim.Engine.t ->
+  stats:Metrics.Stats.t ->
+  disk:Disk.t ->
+  swap:Swap_area.t ->
+  config ->
+  t
+
+(** [swap_out t ~slot ~queue] stores the page of a freshly allocated
+    slot, picking the tier by admission policy and recording it in the
+    swap area.  Fire-and-forget, like {!Disk.write_buffered}. *)
+val swap_out : t -> slot:int -> queue:int -> unit
+
+(** [swap_in t ~slot ~sector ~nsectors ~queue ~attempt k] reads a span
+    whose pages all live on [slot]'s tier (callers keep readahead
+    homogeneous via {!same_tier}) and calls [k] on completion.  In
+    tiered mode it also accounts per-tier swap-in latency and promotes
+    the target slot after a successful slow-tier read. *)
+val swap_in :
+  t ->
+  slot:int ->
+  sector:int ->
+  nsectors:int ->
+  queue:int ->
+  attempt:int ->
+  (Backend.reply -> unit) ->
+  unit
+
+(** [same_tier t a b] — whether slots [a] and [b] live on the same tier
+    (always true in passthrough).  Readahead must not span tiers: one
+    request has one latency model. *)
+val same_tier : t -> int -> int -> bool
+
+val is_passthrough : t -> bool
+
+(** Current fast-tier slot count and its cap. *)
+val fast_slots : t -> int
+
+val fast_capacity : t -> int
+
+(** Fast-tier pool occupancy in bytes (compressed tier only; 0 else). *)
+val fast_used_bytes : t -> int
+
+val config : t -> config
+
+(** ["disk"], ["czram+disk"], ... — for experiment headers. *)
+val describe : t -> string

@@ -22,6 +22,7 @@ type t = {
   seed : int;
   faults : Faults.Config.t;
   async_faults : bool;
+  tiers : Storage.Tiers.config;
 }
 
 let default_guest ~workload =
@@ -54,6 +55,40 @@ let env_flag name fallback =
   | Some ("0" | "false" | "no" | "off") -> false
   | Some _ | None -> fallback
 
+let env_float name fallback =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some v when v > 0.0 -> v
+      | Some _ | None -> fallback)
+  | None -> fallback
+
+(* VSWAPPER_TIERS picks the tier pair ("disk", "czram+disk",
+   "disk+remote", "czram+remote"); the per-tier knobs refine it.  The
+   default is the disk-only passthrough, so every run without these
+   variables behaves exactly as before tiering existed. *)
+let env_tiers () =
+  let base = Storage.Tiers.disk_only in
+  let base =
+    match Sys.getenv_opt "VSWAPPER_TIERS" with
+    | Some s -> (
+        match Storage.Tiers.pair_of_string (String.lowercase_ascii (String.trim s)) with
+        | Some (fast, slow) -> { base with Storage.Tiers.fast; slow }
+        | None -> base)
+    | None -> base
+  in
+  {
+    base with
+    Storage.Tiers.fast_share_percent =
+      env_int "VSWAPPER_FAST_SHARE" base.Storage.Tiers.fast_share_percent;
+    czram_admit_ratio =
+      env_float "VSWAPPER_CZRAM_RATIO" base.Storage.Tiers.czram_admit_ratio;
+    remote_rtt_us =
+      env_int "VSWAPPER_REMOTE_RTT_US" base.Storage.Tiers.remote_rtt_us;
+    remote_gbps =
+      env_float "VSWAPPER_REMOTE_GBPS" base.Storage.Tiers.remote_gbps;
+  }
+
 let default ~guests =
   let disk =
     {
@@ -85,6 +120,7 @@ let default ~guests =
     seed = 42;
     faults = Faults.Config.none;
     async_faults = env_flag "VSWAPPER_ASYNC" false;
+    tiers = env_tiers ();
   }
 
 let name_of t =

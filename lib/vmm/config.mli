@@ -40,6 +40,9 @@ type t = {
       (** release a faulting VCPU at I/O issue instead of completion, so
           runnable sibling threads overlap the wait (async page faults).
           Off by default: the sync path reproduces historical output. *)
+  tiers : Storage.Tiers.config;
+      (** swap-backend tiering; {!Storage.Tiers.disk_only} (the
+          default) is a pure passthrough to the disk *)
 }
 
 val default_guest : workload:Workload.t -> guest_spec
@@ -49,7 +52,12 @@ val default_guest : workload:Workload.t -> guest_spec
     [VSWAPPER_ASYNC] (bool) sets [async_faults], [VSWAPPER_QUEUES] /
     [VSWAPPER_QDEPTH] (positive ints) set the disk's [num_queues] /
     [per_queue_depth], [VSWAPPER_MAX_INFLIGHT] (int >= 0) sets
-    [Host.Hconfig.max_inflight_faults]. *)
+    [Host.Hconfig.max_inflight_faults].  Tiering knobs:
+    [VSWAPPER_TIERS] ("disk", "czram+disk", "disk+remote",
+    "czram+remote") picks the tier pair; [VSWAPPER_FAST_SHARE]
+    (percent), [VSWAPPER_CZRAM_RATIO] (max admitted compression
+    ratio), [VSWAPPER_REMOTE_RTT_US] and [VSWAPPER_REMOTE_GBPS]
+    refine it. *)
 val default : guests:guest_spec list -> t
 
 (** [name_of_vs cfg] is the paper's name for a configuration:

@@ -77,9 +77,10 @@ let build (cfg : Config.t) =
       ~nslots:(Storage.Geom.pages_of_mb cfg.host_swap_mb)
   in
   let hconfig = Host.Hconfig.with_memory_mb cfg.hbase cfg.host_mem_mb in
+  let tiers = Storage.Tiers.create ~engine ~stats ~disk ~swap cfg.tiers in
   let host =
-    Host.Hostmm.create ~engine ~disk ~stats ~config:hconfig ~vsconfig:cfg.vs
-      ~swap ~hv_base_sector
+    Host.Hostmm.create ~engine ~disk ~tiers ~stats ~config:hconfig
+      ~vsconfig:cfg.vs ~swap ~hv_base_sector ()
   in
   let gruns =
     Array.of_list

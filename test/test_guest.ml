@@ -29,7 +29,7 @@ let mk_rig ?(mem_mb = 16) ?resident_limit_mb () =
   let hconfig = Host.Hconfig.with_memory_mb Host.Hconfig.default 128 in
   let host =
     H.create ~engine ~disk ~stats ~config:hconfig
-      ~vsconfig:Vswapper.Vsconfig.baseline ~swap ~hv_base_sector:0
+      ~vsconfig:Vswapper.Vsconfig.baseline ~swap ~hv_base_sector:0 ()
   in
   let gid =
     H.register_guest host ~vdisk ~gpa_pages:gcfg.Guest.Gconfig.mem_pages

@@ -43,6 +43,7 @@ let mk_rig ?(vs = Vswapper.Vsconfig.baseline) ?(limit = Some 96)
   in
   let host =
     H.create ~engine ~disk ~stats ~config ~vsconfig:vs ~swap ~hv_base_sector:0
+      ()
   in
   let gid =
     H.register_guest host ~vdisk ~gpa_pages:512 ~resident_limit:limit
@@ -463,7 +464,7 @@ let two_guests_are_isolated () =
   in
   let host =
     H.create ~engine ~disk ~stats ~config ~vsconfig:Vswapper.Vsconfig.mapper_only
-      ~swap ~hv_base_sector:0
+      ~swap ~hv_base_sector:0 ()
   in
   let g0 = H.register_guest host ~vdisk:vd0 ~gpa_pages:128 ~resident_limit:(Some 48) in
   let g1 = H.register_guest host ~vdisk:vd1 ~gpa_pages:128 ~resident_limit:(Some 48) in

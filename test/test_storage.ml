@@ -597,6 +597,315 @@ let mq_every_read_completes_once =
         (fun i -> Hashtbl.find_opt completions i = Some 1)
         (List.init (List.length picks) Fun.id))
 
+(* ------------------------------------------------------------------ *)
+(* Destage-path fault injection                                        *)
+(* ------------------------------------------------------------------ *)
+
+let mk_faulty_disk ?(config = Storage.Disk.default_config) fcfg =
+  let engine = Sim.Engine.create () in
+  let stats = Metrics.Stats.create () in
+  let faults = Faults.Plan.create fcfg in
+  let disk = Storage.Disk.create ~engine ~stats ~faults config in
+  (engine, stats, disk)
+
+(* A media error on a destaged sector is counted instead of silently
+   dropped: the destage path consults the same fault plan as reads. *)
+let destage_media_fault_counted () =
+  let engine, stats, disk =
+    mk_faulty_disk (Faults.Config.make ~seed:11 ~media_rate:0.5 ())
+  in
+  Storage.Disk.write_buffered disk ~sector:0 ~nsectors:512;
+  Test_util.drain engine;
+  check Alcotest.int "buffer drained" 0
+    (Storage.Disk.buffered_write_sectors disk);
+  Alcotest.(check bool) "media errors surfaced" true
+    (stats.Metrics.Stats.destage_media_errors > 0);
+  (* Rate 0.5 over 512 sectors: the count is a per-sector decision, not
+     an all-or-nothing one. *)
+  Alcotest.(check bool) "per-sector, not per-chunk" true
+    (stats.Metrics.Stats.destage_media_errors < 512)
+
+(* Transient destage errors re-queue the sector and eventually succeed:
+   the retry counter moves, and the buffer still drains to empty. *)
+let destage_transient_retries_then_succeeds () =
+  let engine, stats, disk =
+    mk_faulty_disk (Faults.Config.make ~seed:7 ~transient_rate:0.3 ())
+  in
+  Storage.Disk.write_buffered disk ~sector:0 ~nsectors:512;
+  Test_util.drain engine;
+  check Alcotest.int "buffer drained despite transients" 0
+    (Storage.Disk.buffered_write_sectors disk);
+  Alcotest.(check bool) "retries counted" true
+    (stats.Metrics.Stats.destage_transient_retries > 0)
+
+(* transient_rate 1.0 must not livelock: the per-sector retry budget
+   converts exhausted sectors into counted losses and the drain ends. *)
+let destage_retry_budget_bounds_livelock () =
+  let engine, stats, disk =
+    mk_faulty_disk (Faults.Config.make ~seed:3 ~transient_rate:1.0 ())
+  in
+  Storage.Disk.write_buffered disk ~sector:0 ~nsectors:64;
+  Test_util.drain engine;
+  check Alcotest.int "buffer drained" 0
+    (Storage.Disk.buffered_write_sectors disk);
+  check Alcotest.int "every sector exhausted its budget" 64
+    stats.Metrics.Stats.destage_media_errors;
+  Alcotest.(check bool) "retries happened first" true
+    (stats.Metrics.Stats.destage_transient_retries >= 64)
+
+(* With destage_queues = 2, two distant dirty runs destage on separate
+   queues concurrently, so the drain finishes sooner than the global
+   single-channel destage. *)
+let destage_parallel_queues_faster () =
+  let run destage_queues =
+    let engine = Sim.Engine.create () in
+    let stats = Metrics.Stats.create () in
+    let disk =
+      Storage.Disk.create ~engine ~stats
+        { Storage.Disk.default_config with num_queues = 2; destage_queues }
+    in
+    Storage.Disk.write_buffered ~queue:0 disk ~sector:100_000_000
+      ~nsectors:256;
+    Storage.Disk.write_buffered ~queue:1 disk ~sector:400_000_000
+      ~nsectors:256;
+    Test_util.drain engine;
+    check Alcotest.int "drained" 0 (Storage.Disk.buffered_write_sectors disk);
+    Sim.Time.to_us (Sim.Engine.now engine)
+  in
+  let serial = run 1 in
+  let parallel = run 2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "2 destage queues (%d us) beat 1 (%d us)" parallel serial)
+    true (parallel < serial)
+
+(* ------------------------------------------------------------------ *)
+(* Swap-backend implementations                                        *)
+(* ------------------------------------------------------------------ *)
+
+let czram_admission_latency_serialization () =
+  let engine = Sim.Engine.create () in
+  let b =
+    Storage.Backend.czram ~engine ~seed:0 ~admit_ratio:0.6
+      ~pool_bytes:(1 lsl 30) ~compress_us:10 ~decompress_us:5
+  in
+  (* Admission is a pure per-page property: some pages compress well
+     enough, others are rejected as incompressible. *)
+  let admitted =
+    List.filter
+      (fun p -> Storage.Backend.admit b ~sector:(p * 8))
+      (List.init 100 Fun.id)
+  in
+  let n = List.length admitted in
+  Alcotest.(check bool) "some admitted, some rejected" true (n > 0 && n < 100);
+  (* A lone page-in costs exactly the decompression time... *)
+  let s1 = ref 0 and s2 = ref 0 in
+  Storage.Backend.read b ~sector:0 ~nsectors:8 ~queue:0 ~attempt:0 (fun r ->
+      s1 := Sim.Time.to_us r.Storage.Backend.service);
+  (* ...and a concurrent one queues on the single compressor CPU. *)
+  Storage.Backend.read b ~sector:8 ~nsectors:8 ~queue:1 ~attempt:0 (fun r ->
+      s2 := Sim.Time.to_us r.Storage.Backend.service);
+  Test_util.drain engine;
+  check Alcotest.int "first read = decompress cost" 5 !s1;
+  check Alcotest.int "second serialized behind it" 10 !s2;
+  (* Pool accounting: writes grow the pool by the compressed size,
+     release returns exactly that size. *)
+  check Alcotest.int "empty pool" 0 (Storage.Backend.used_bytes b);
+  Storage.Backend.write b ~queue:0 ~sector:0 ~nsectors:8;
+  let used = Storage.Backend.used_bytes b in
+  Alcotest.(check bool) "compressed: between 0 and a page" true
+    (used > 0 && used < Storage.Geom.page_bytes);
+  Storage.Backend.release b ~sector:0 ~nsectors:8;
+  check Alcotest.int "release returns the same size" 0
+    (Storage.Backend.used_bytes b)
+
+let czram_pool_cap_rejects () =
+  let engine = Sim.Engine.create () in
+  (* Pool of one page: the second write cannot be admitted. *)
+  let b =
+    Storage.Backend.czram ~engine ~seed:0 ~admit_ratio:1.25
+      ~pool_bytes:Storage.Geom.page_bytes ~compress_us:10 ~decompress_us:5
+  in
+  Alcotest.(check bool) "first fits" true (Storage.Backend.admit b ~sector:0);
+  Storage.Backend.write b ~queue:0 ~sector:0 ~nsectors:8;
+  Alcotest.(check bool) "overflow rejected" false
+    (Storage.Backend.admit b ~sector:800)
+
+let remote_rtt_and_link_queueing () =
+  let engine = Sim.Engine.create () in
+  (* 4 bytes/us: a 4 KiB page takes 1024 us on the link; RTT 100 us. *)
+  let b = Storage.Backend.remote ~engine ~rtt_us:100 ~bytes_per_us:4.0 in
+  let s1 = ref 0 and s2 = ref 0 in
+  Storage.Backend.read b ~sector:0 ~nsectors:8 ~queue:0 ~attempt:0 (fun r ->
+      s1 := Sim.Time.to_us r.Storage.Backend.service);
+  Storage.Backend.read b ~sector:8 ~nsectors:8 ~queue:1 ~attempt:0 (fun r ->
+      s2 := Sim.Time.to_us r.Storage.Backend.service);
+  Test_util.drain engine;
+  check Alcotest.int "transfer + rtt" (1024 + 100) !s1;
+  check Alcotest.int "second queues on the link, rtt in parallel"
+    (2048 + 100) !s2
+
+(* ------------------------------------------------------------------ *)
+(* Tiered composite                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let swap_area_tier_metadata () =
+  let sa = Storage.Swap_area.create ~base_sector:0 ~nslots:16 in
+  let s = Option.get (Storage.Swap_area.alloc sa (Storage.Content.Anon 1)) in
+  check Alcotest.int "fresh slot on tier 0" 0 (Storage.Swap_area.tier sa s);
+  Storage.Swap_area.set_tier sa s 1;
+  check Alcotest.int "tier sticks" 1 (Storage.Swap_area.tier sa s);
+  let freed = ref None in
+  Storage.Swap_area.set_on_free sa
+    (Some (fun ~slot ~tier -> freed := Some (slot, tier)));
+  Storage.Swap_area.free sa s;
+  Alcotest.(check (option (pair int int))) "hook sees slot and tier"
+    (Some (s, 1)) !freed;
+  let s2 = Option.get (Storage.Swap_area.alloc sa (Storage.Content.Anon 2)) in
+  check Alcotest.int "tier reset on reuse" 0 (Storage.Swap_area.tier sa s2)
+
+let mk_tiers cfg =
+  let engine = Sim.Engine.create () in
+  let stats = Metrics.Stats.create () in
+  let disk = Storage.Disk.create ~engine ~stats Storage.Disk.default_config in
+  let swap = Storage.Swap_area.create ~base_sector:0 ~nslots:256 in
+  let t = Storage.Tiers.create ~engine ~stats ~disk ~swap cfg in
+  (engine, stats, swap, t)
+
+let tiers_routing_promotion_demotion () =
+  let cfg =
+    {
+      Storage.Tiers.disk_only with
+      Storage.Tiers.fast = Storage.Tiers.Remote;
+      (* remote admits everything (no compressibility, no pool), so the
+         slot-share cap is the only admission gate — which is exactly
+         what this test pins down. *)
+      slow = Storage.Tiers.Disk_tier;
+      fast_share_percent = 25;
+      writeback_idle_us = 1_000;
+      writeback_batch = 256;
+    }
+  in
+  let engine, stats, swap, t = mk_tiers cfg in
+  Alcotest.(check bool) "not passthrough" false
+    (Storage.Tiers.is_passthrough t);
+  check Alcotest.int "fast cap is the share" 64 (Storage.Tiers.fast_capacity t);
+  (* 80 swap-outs against a 64-slot fast tier: the cap binds (nothing is
+     demotion-cold yet, all pages were written just now). *)
+  let slots =
+    List.init 80 (fun i ->
+        Option.get (Storage.Swap_area.alloc swap (Storage.Content.Anon i)))
+  in
+  List.iter (fun slot -> Storage.Tiers.swap_out t ~slot ~queue:0) slots;
+  Test_util.drain engine;
+  check Alcotest.int "first 64 admitted fast" 64
+    stats.Metrics.Stats.tier_admissions;
+  check Alcotest.int "overflow routed slow" 16 stats.Metrics.Stats.tier_rejects;
+  check Alcotest.int "fast tier at cap" 64 (Storage.Tiers.fast_slots t);
+  check Alcotest.int "slot 0 on fast tier" 0
+    (Storage.Swap_area.tier swap (List.nth slots 0));
+  check Alcotest.int "slot 70 on slow tier" 1
+    (Storage.Swap_area.tier swap (List.nth slots 70));
+  (* Freeing a fast slot runs the on_free hook and makes room... *)
+  Storage.Swap_area.free swap (List.nth slots 0);
+  check Alcotest.int "hook released the fast slot" 63
+    (Storage.Tiers.fast_slots t);
+  (* ...so a slow-tier target swap-in promotes. *)
+  let slow_slot = List.nth slots 70 in
+  let done_ = ref false in
+  Storage.Tiers.swap_in t ~slot:slow_slot
+    ~sector:(Storage.Swap_area.sector_of_slot swap slow_slot)
+    ~nsectors:8 ~queue:0 ~attempt:0 (fun _ -> done_ := true);
+  Test_util.drain engine;
+  Alcotest.(check bool) "swap-in completed" true !done_;
+  check Alcotest.int "promoted to fast" 1 stats.Metrics.Stats.tier_promotions;
+  check Alcotest.int "slot now on tier 0" 0
+    (Storage.Swap_area.tier swap slow_slot);
+  check Alcotest.int "fast back at cap" 64 (Storage.Tiers.fast_slots t);
+  check Alcotest.int "slow swap-in accounted" 1
+    stats.Metrics.Stats.tier_slow_swapins;
+  (* Let every fast page go cold, then swap out under a full fast tier:
+     capacity pressure sweeps the clock hand and demotes. *)
+  Sim.Engine.run_after engine (Sim.Time.us 5_000) (fun () ->
+      let s =
+        Option.get (Storage.Swap_area.alloc swap (Storage.Content.Anon 99))
+      in
+      Storage.Tiers.swap_out t ~slot:s ~queue:0);
+  Test_util.drain engine;
+  Alcotest.(check bool) "cold slots demoted under pressure" true
+    (stats.Metrics.Stats.tier_demotions > 0);
+  check Alcotest.int "writeback sectors match demotions"
+    (8 * stats.Metrics.Stats.tier_demotions)
+    stats.Metrics.Stats.tier_writeback_sectors;
+  Alcotest.(check bool) "demotion made room for the admission" true
+    (stats.Metrics.Stats.tier_admissions > 64)
+
+(* Property: the disk-only composite is call-for-call identical to the
+   bare disk — same completion times, same media traffic — over random
+   swap-out/swap-in interleavings. *)
+let tiers_passthrough_differential =
+  QCheck.Test.make
+    ~name:"tiers: disk-only composite identical to bare disk" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 30)
+              (pair (int_range 0 199) bool))
+    (fun ops ->
+      let run_bare () =
+        let engine = Sim.Engine.create () in
+        let stats = Metrics.Stats.create () in
+        let disk =
+          Storage.Disk.create ~engine ~stats Storage.Disk.default_config
+        in
+        let log = ref [] in
+        List.iter
+          (fun (slot, out) ->
+            let sector = slot * 8 in
+            if out then
+              Storage.Disk.write_buffered ~queue:(slot mod 4) disk ~sector
+                ~nsectors:8
+            else
+              Storage.Disk.submit disk ~sector ~nsectors:8
+                ~kind:Storage.Disk.Read ~queue:(slot mod 4) (fun _ ->
+                  log := (slot, Sim.Engine.now engine) :: !log))
+          ops;
+        Test_util.drain engine;
+        (List.rev !log, stats)
+      in
+      let run_tiered () =
+        let engine = Sim.Engine.create () in
+        let stats = Metrics.Stats.create () in
+        let disk =
+          Storage.Disk.create ~engine ~stats Storage.Disk.default_config
+        in
+        let swap = Storage.Swap_area.create ~base_sector:0 ~nslots:256 in
+        for i = 0 to 199 do
+          ignore (Storage.Swap_area.alloc swap (Storage.Content.Anon i))
+        done;
+        let t =
+          Storage.Tiers.create ~engine ~stats ~disk ~swap
+            Storage.Tiers.disk_only
+        in
+        let log = ref [] in
+        List.iter
+          (fun (slot, out) ->
+            if out then Storage.Tiers.swap_out t ~slot ~queue:(slot mod 4)
+            else
+              Storage.Tiers.swap_in t ~slot ~sector:(slot * 8) ~nsectors:8
+                ~queue:(slot mod 4) ~attempt:0 (fun _ ->
+                  log := (slot, Sim.Engine.now engine) :: !log))
+          ops;
+        Test_util.drain engine;
+        (List.rev !log, stats)
+      in
+      let log_b, st_b = run_bare () in
+      let log_t, st_t = run_tiered () in
+      log_b = log_t
+      && st_b.Metrics.Stats.disk_ops = st_t.Metrics.Stats.disk_ops
+      && st_b.Metrics.Stats.disk_sectors_read
+         = st_t.Metrics.Stats.disk_sectors_read
+      && st_b.Metrics.Stats.disk_sectors_written
+         = st_t.Metrics.Stats.disk_sectors_written
+      && st_t.Metrics.Stats.tier_admissions = 0
+      && st_t.Metrics.Stats.tier_rejects = 0)
+
 let tests =
   [
     ( "storage:geom+content",
@@ -654,6 +963,34 @@ let tests =
         Alcotest.test_case "roundtrip" `Quick swap_roundtrip;
         Alcotest.test_case "fragmentation fallback" `Quick swap_fragmentation_fallback;
         Alcotest.test_case "free cluster reuse" `Quick swap_free_cluster_reuse;
+        Alcotest.test_case "tier metadata + on_free hook" `Quick
+          swap_area_tier_metadata;
         qcheck swap_model;
+      ] );
+    ( "storage:destage",
+      [
+        Alcotest.test_case "media fault counted" `Quick
+          destage_media_fault_counted;
+        Alcotest.test_case "transient retries then succeeds" `Quick
+          destage_transient_retries_then_succeeds;
+        Alcotest.test_case "retry budget bounds livelock" `Quick
+          destage_retry_budget_bounds_livelock;
+        Alcotest.test_case "parallel destage queues faster" `Quick
+          destage_parallel_queues_faster;
+      ] );
+    ( "storage:backend",
+      [
+        Alcotest.test_case "czram admission/latency/serialization" `Quick
+          czram_admission_latency_serialization;
+        Alcotest.test_case "czram pool cap rejects" `Quick
+          czram_pool_cap_rejects;
+        Alcotest.test_case "remote rtt + link queueing" `Quick
+          remote_rtt_and_link_queueing;
+      ] );
+    ( "storage:tiers",
+      [
+        Alcotest.test_case "routing, promotion, demotion" `Quick
+          tiers_routing_promotion_demotion;
+        qcheck tiers_passthrough_differential;
       ] );
   ]
