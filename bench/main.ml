@@ -63,7 +63,8 @@ let today () =
     tm.Unix.tm_mday
 
 type bench_record = {
-  mutable experiments : (string * float * bool) list;  (* id, wall_s, ok *)
+  mutable experiments : (string * float * bool * float) list;
+      (* id, wall_s, ok, alloc_words *)
   mutable total_wall_s : float;
   mutable micros : (string * float) list;  (* name, ns/run *)
   jobs : int;
@@ -175,7 +176,7 @@ let write_json ~file ~scale r =
   out "  \"scale\": %g,\n" scale;
   out "  \"jobs\": %d,\n" r.jobs;
   let serial_s =
-    List.fold_left (fun acc (_, s, _) -> acc +. s) 0.0 r.experiments
+    List.fold_left (fun acc (_, s, _, _) -> acc +. s) 0.0 r.experiments
   in
   out "  \"total_wall_s\": %.3f,\n" r.total_wall_s;
   out "  \"serial_equivalent_s\": %.3f,\n" serial_s;
@@ -241,9 +242,9 @@ let write_json ~file ~scale r =
     (fun i (id, events) ->
       let wall =
         match
-          List.find_opt (fun (id', _, _) -> id' = id) r.experiments
+          List.find_opt (fun (id', _, _, _) -> id' = id) r.experiments
         with
-        | Some (_, w, _) -> w
+        | Some (_, w, _, _) -> w
         | None -> 0.0
       in
       out "%s\n      {\"id\": \"%s\", \"events\": %d, \"events_per_sec\": %.0f}"
@@ -252,6 +253,18 @@ let write_json ~file ~scale r =
         (if wall > 0.0 then float_of_int events /. wall else 0.0))
     per_exp;
   out "\n    ]},\n";
+  (* Memory section: the writing domain's GC counters (worker-domain
+     allocation shows up per experiment below, not here) and the live /
+     peak heap after a full major — the footprint the flat metadata
+     plane is meant to keep down. *)
+  let gq = Gc.quick_stat () in
+  Gc.full_major ();
+  let gs = Gc.stat () in
+  out
+    "  \"memory\": {\"minor_words\": %.0f, \"major_words\": %.0f, \
+     \"promoted_words\": %.0f, \"top_heap_words\": %d, \"live_words\": %d},\n"
+    gq.Gc.minor_words gq.Gc.major_words gq.Gc.promoted_words
+    gs.Gc.top_heap_words gs.Gc.live_words;
   let ps = Parallel.Pool.stats (Parallel.Pool.global ()) in
   out
     "  \"parallel\": {\"jobs\": %d, \"worker_jobs\": %d, \"helper_jobs\": \
@@ -260,7 +273,7 @@ let write_json ~file ~scale r =
     ps.Parallel.Pool.helper_jobs ps.Parallel.Pool.peak_queue_depth;
   out "  \"experiments\": [";
   List.iteri
-    (fun i (id, wall_s, ok) ->
+    (fun i (id, wall_s, ok, alloc_words) ->
       (* [history] rolls the previous file's wall_s (plus its own
          history) forward, newest first, capped at [history_depth] past
          runs; [delta_s] stays the one-step comparison. *)
@@ -285,9 +298,16 @@ let write_json ~file ~scale r =
               (String.concat ", "
                  (List.map (Printf.sprintf "%.3f") hs))
       in
-      out "%s\n    {\"id\": \"%s\", \"wall_s\": %.3f%s%s, \"ok\": %b}"
+      (* alloc_mwords: millions of words the experiment allocated on
+         its domain; alloc_mwords_per_s is the rate, the number the
+         fault-path allocation work moves. *)
+      out
+        "%s\n    {\"id\": \"%s\", \"wall_s\": %.3f%s%s, \"alloc_mwords\": \
+         %.1f, \"alloc_mwords_per_s\": %.1f, \"ok\": %b}"
         (if i = 0 then "" else ",")
-        (json_escape id) wall_s delta history ok)
+        (json_escape id) wall_s delta history (alloc_words /. 1e6)
+        (if wall_s > 0.0 then alloc_words /. 1e6 /. wall_s else 0.0)
+        ok)
     r.experiments;
   out "\n  ],\n";
   out "  \"micros\": [";
@@ -344,7 +364,12 @@ let run_experiments ~record ids =
             (Printexc.to_string exn));
       record.experiments <-
         record.experiments
-        @ [ (id, o.wall_s, match o.output with Ok _ -> true | Error _ -> false) ])
+        @ [
+            ( id,
+              o.wall_s,
+              (match o.output with Ok _ -> true | Error _ -> false),
+              o.Experiments.Registry.alloc_words );
+          ])
     outcomes;
   let d = Experiments.Exp.disk_totals () in
   if d.Experiments.Exp.batches > 0 then
@@ -432,6 +457,92 @@ let preventer_bench =
            done
          done))
 
+(* The flat int table against the boxed stdlib table it replaced on the
+   fault path, same key set and op mix, so the summary records the
+   per-op win on this machine. *)
+let itbl_bench =
+  Test.make ~name:"mem: itbl set/find/remove 1000"
+    (Staged.stage (fun () ->
+         let t = Mem.Itbl.create () in
+         for i = 0 to 999 do
+           Mem.Itbl.set t (i * 7919) i
+         done;
+         let acc = ref 0 in
+         for i = 0 to 999 do
+           acc := !acc + Mem.Itbl.find t (i * 7919) ~default:0
+         done;
+         for i = 0 to 999 do
+           Mem.Itbl.remove t (i * 7919)
+         done;
+         ignore (Sys.opaque_identity !acc)))
+
+let hashtbl_ref_bench =
+  Test.make ~name:"mem: hashtbl set/find/remove 1000 (boxed reference)"
+    (Staged.stage (fun () ->
+         let t : (int, int) Hashtbl.t = Hashtbl.create 16 in
+         for i = 0 to 999 do
+           Hashtbl.replace t (i * 7919) i
+         done;
+         let acc = ref 0 in
+         for i = 0 to 999 do
+           acc :=
+             !acc + (match Hashtbl.find_opt t (i * 7919) with
+                    | Some v -> v
+                    | None -> 0)
+         done;
+         for i = 0 to 999 do
+           Hashtbl.remove t (i * 7919)
+         done;
+         ignore (Sys.opaque_identity !acc)))
+
+(* End-to-end fault-path churn on a small host: populate 512 guest pages
+   through a 96-frame resident limit (every write past it evicts through
+   the cgroup scan into host swap), then read them all back (major
+   faults with cluster readahead through the in-flight registry).  The
+   path this PR flattened — EPT dispatch, frame metadata, LRU moves,
+   slot-owner/in-flight table ops — all in one loop. *)
+let fault_path_bench =
+  Test.make ~name:"host: fault-path churn 512 pages write/evict/swap-in"
+    (Staged.stage (fun () ->
+         let engine = Sim.Engine.create () in
+         let stats = Metrics.Stats.create () in
+         let disk =
+           Storage.Disk.create ~engine ~stats Storage.Disk.default_config
+         in
+         let vdisk =
+           Storage.Vdisk.create ~id:0 ~base_sector:10_000 ~nblocks:1024
+         in
+         let swap =
+           Storage.Swap_area.create ~base_sector:1_000_000 ~nslots:4096
+         in
+         let config =
+           {
+             Host.Hconfig.default with
+             total_frames = 256;
+             low_watermark_frames = 8;
+             high_watermark_frames = 16;
+             hv_pages_per_guest = 4;
+           }
+         in
+         let host =
+           Host.Hostmm.create ~engine ~disk ~stats
+             ~config ~vsconfig:Vswapper.Vsconfig.baseline ~swap
+             ~hv_base_sector:0 ()
+         in
+         let gid =
+           Host.Hostmm.register_guest host ~vdisk ~gpa_pages:512
+             ~resident_limit:(Some 96)
+         in
+         for gpa = 0 to 511 do
+           Host.Hostmm.rep_write host ~guest:gid ~gpa
+             ~content:(Storage.Content.fresh_anon ()) (fun () -> ())
+         done;
+         Sim.Engine.run engine;
+         for gpa = 0 to 511 do
+           Host.Hostmm.touch_read host ~guest:gid ~gpa (fun _ -> ())
+         done;
+         Sim.Engine.run engine))
+
 let swap_alloc_bench =
   Test.make ~name:"storage: swap alloc/free 1000"
     (Staged.stage (fun () ->
@@ -455,13 +566,15 @@ let run_micro ~record () =
       engine_churn_bench Sim.Engine.Wheel;
       engine_churn_bench Sim.Engine.Heap;
       mapper_bench; preventer_bench;
+      itbl_bench; hashtbl_ref_bench; fault_path_bench;
       swap_alloc_bench;
     ]
     @ List.map experiment_bench
         (List.filter
            (fun e ->
              (* The multi-guest sweeps are too heavy to iterate. *)
-             not (List.mem e.Experiments.Exp.id [ "fig4"; "fig14" ]))
+             not
+               (List.mem e.Experiments.Exp.id [ "fig4"; "fig14"; "memscale" ]))
            Experiments.Registry.all)
   in
   let instances = Instance.[ monotonic_clock ] in

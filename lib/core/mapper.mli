@@ -38,8 +38,19 @@ val track : t -> gpa:int -> disk:int -> block:int -> version:int -> unit
     page, or the page was repurposed).  No-op if untracked. *)
 val untrack : t -> gpa:int -> unit
 
-(** [lookup t ~gpa] is the backing of [gpa] if tracked. *)
+(** [lookup t ~gpa] is the backing of [gpa] if tracked.  Allocates; the
+    fault/evict paths use the unboxed accessors below. *)
 val lookup : t -> gpa:int -> backing option
+
+(** [tracked_block t ~gpa] is the backing block of [gpa], or -1 if
+    untracked.  Allocation-free. *)
+val tracked_block : t -> gpa:int -> int
+
+(** [tracked_disk t ~gpa] is the backing disk of [gpa], or -1. *)
+val tracked_disk : t -> gpa:int -> int
+
+(** [tracked_version t ~gpa] is the backing version of [gpa], or -1. *)
+val tracked_version : t -> gpa:int -> int
 
 (** [gpas_of_block t ~disk ~block] are the guest pages tracked as holding
     the block. *)

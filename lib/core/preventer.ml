@@ -1,10 +1,18 @@
-type buffer = { started_at : Sim.Time.t; mutable frontier : int }
+(* Flat representation: the (at most [max_buffers], default 32) live
+   buffers sit in three fixed parallel int arrays — gpa (-1 = free),
+   start time, coverage frontier — scanned linearly.  The cap is tiny,
+   so the scan is a handful of cache-resident int compares and every
+   operation is allocation-free; the old boxed Hashtbl paid a record
+   allocation per buffered page on the emulated-write path. *)
 
 type t = {
   stats : Metrics.Stats.t;
   window : Sim.Time.t;
   max_buffers : int;
-  buffers : (int, buffer) Hashtbl.t;
+  p_gpa : int array;
+  p_started : int array;
+  p_frontier : int array;
+  mutable live : int;
 }
 
 type write_decision =
@@ -16,78 +24,118 @@ type write_decision =
 type read_decision = Served_from_buffer | Suspend
 
 let create ~stats ~window ~max_buffers =
-  { stats; window; max_buffers; buffers = Hashtbl.create 64 }
+  let n = max 1 max_buffers in
+  {
+    stats;
+    window;
+    max_buffers;
+    p_gpa = Array.make n (-1);
+    p_started = Array.make n 0;
+    p_frontier = Array.make n 0;
+    live = 0;
+  }
 
-let active t = Hashtbl.length t.buffers
-let is_buffered t ~gpa = Hashtbl.mem t.buffers gpa
+let active t = t.live
+let n_slots t = Array.length t.p_gpa
+
+let slot_of t gpa =
+  let n = n_slots t in
+  let rec go i =
+    if i >= n then -1 else if t.p_gpa.(i) = gpa then i else go (i + 1)
+  in
+  go 0
+
+let free_slot t =
+  let n = n_slots t in
+  let rec go i =
+    if i >= n then -1 else if t.p_gpa.(i) < 0 then i else go (i + 1)
+  in
+  go 0
+
+let is_buffered t ~gpa = slot_of t gpa >= 0
+
+let drop t i =
+  t.p_gpa.(i) <- -1;
+  t.live <- t.live - 1
 
 let on_write t ~now ~gpa ~offset ~len =
-  match Hashtbl.find_opt t.buffers gpa with
-  | None ->
-      if Hashtbl.length t.buffers >= t.max_buffers then begin
-        t.stats.preventer_rejects <- t.stats.preventer_rejects + 1;
-        Rejected
-      end
-      else if offset <> 0 then begin
-        (* A buffer can only start at the page head; anything else cannot
-           grow into full coverage under the sequential rule. *)
-        t.stats.preventer_merges <- t.stats.preventer_merges + 1;
-        Needs_merge
-      end
-      else if len >= Storage.Geom.page_bytes then begin
-        t.stats.preventer_remaps <- t.stats.preventer_remaps + 1;
-        Completed
-      end
-      else begin
-        Hashtbl.replace t.buffers gpa { started_at = now; frontier = len };
-        Buffered { first_write = true }
-      end
-  | Some buf ->
-      if offset <> buf.frontier then begin
-        Hashtbl.remove t.buffers gpa;
-        t.stats.preventer_merges <- t.stats.preventer_merges + 1;
-        Needs_merge
-      end
-      else begin
-        buf.frontier <- buf.frontier + len;
-        if buf.frontier >= Storage.Geom.page_bytes then begin
-          Hashtbl.remove t.buffers gpa;
-          t.stats.preventer_remaps <- t.stats.preventer_remaps + 1;
-          Completed
-        end
-        else Buffered { first_write = false }
-      end
+  let i = slot_of t gpa in
+  if i < 0 then
+    if t.live >= t.max_buffers then begin
+      t.stats.preventer_rejects <- t.stats.preventer_rejects + 1;
+      Rejected
+    end
+    else if offset <> 0 then begin
+      (* A buffer can only start at the page head; anything else cannot
+         grow into full coverage under the sequential rule. *)
+      t.stats.preventer_merges <- t.stats.preventer_merges + 1;
+      Needs_merge
+    end
+    else if len >= Storage.Geom.page_bytes then begin
+      t.stats.preventer_remaps <- t.stats.preventer_remaps + 1;
+      Completed
+    end
+    else begin
+      let i = free_slot t in
+      t.p_gpa.(i) <- gpa;
+      t.p_started.(i) <- now;
+      t.p_frontier.(i) <- len;
+      t.live <- t.live + 1;
+      Buffered { first_write = true }
+    end
+  else if offset <> t.p_frontier.(i) then begin
+    drop t i;
+    t.stats.preventer_merges <- t.stats.preventer_merges + 1;
+    Needs_merge
+  end
+  else begin
+    t.p_frontier.(i) <- t.p_frontier.(i) + len;
+    if t.p_frontier.(i) >= Storage.Geom.page_bytes then begin
+      drop t i;
+      t.stats.preventer_remaps <- t.stats.preventer_remaps + 1;
+      Completed
+    end
+    else Buffered { first_write = false }
+  end
 
 let on_rep_write t ~gpa =
-  Hashtbl.remove t.buffers gpa;
+  let i = slot_of t gpa in
+  if i >= 0 then drop t i;
   t.stats.preventer_remaps <- t.stats.preventer_remaps + 1
 
 let on_read t ~gpa ~offset ~len =
-  match Hashtbl.find_opt t.buffers gpa with
-  | Some buf when offset + len <= buf.frontier -> Served_from_buffer
-  | Some _ | None -> Suspend
+  let i = slot_of t gpa in
+  if i >= 0 && offset + len <= t.p_frontier.(i) then Served_from_buffer
+  else Suspend
 
 let expired t ~now =
+  (* Scanned high-to-low so the returned list comes out in ascending
+     slot order.  Which buffers expire is a pure time comparison; only
+     the caller's merge issue order follows this list. *)
   let gone = ref [] in
-  Hashtbl.iter
-    (fun gpa buf ->
-      if Sim.Time.sub now buf.started_at >= t.window then gone := gpa :: !gone)
-    t.buffers;
-  List.iter
-    (fun gpa ->
-      Hashtbl.remove t.buffers gpa;
+  for i = n_slots t - 1 downto 0 do
+    let gpa = t.p_gpa.(i) in
+    if gpa >= 0 && Sim.Time.sub now t.p_started.(i) >= t.window then begin
+      drop t i;
       t.stats.preventer_timeouts <- t.stats.preventer_timeouts + 1;
-      t.stats.preventer_merges <- t.stats.preventer_merges + 1)
-    !gone;
+      t.stats.preventer_merges <- t.stats.preventer_merges + 1;
+      gone := gpa :: !gone
+    end
+  done;
   !gone
 
 let next_deadline t =
-  Hashtbl.fold
-    (fun _ buf acc ->
-      let dl = Sim.Time.add buf.started_at t.window in
-      match acc with
-      | None -> Some dl
-      | Some best -> Some (Sim.Time.min best dl))
-    t.buffers None
+  let best = ref None in
+  for i = 0 to n_slots t - 1 do
+    if t.p_gpa.(i) >= 0 then begin
+      let dl = Sim.Time.add t.p_started.(i) t.window in
+      match !best with
+      | None -> best := Some dl
+      | Some b -> best := Some (Sim.Time.min b dl)
+    end
+  done;
+  !best
 
-let abandon t ~gpa = Hashtbl.remove t.buffers gpa
+let abandon t ~gpa =
+  let i = slot_of t gpa in
+  if i >= 0 then drop t i

@@ -18,6 +18,7 @@ let all =
     Resilience.exp;
     Scalability.exp;
     Tiering.exp;
+    Memscale.exp;
   ]
 
 let find id = List.find_opt (fun e -> e.Exp.id = id) all
@@ -27,17 +28,32 @@ type outcome = {
   exp : Exp.t;
   output : (string, exn) result;
   wall_s : float;
+  alloc_words : float;
 }
+
+(* Words allocated on the calling domain so far (minor + major, without
+   double-counting promotions).  [run_one] executes on the same worker
+   domain end to end, so the delta across a run is that experiment's own
+   allocation — modulo shards it fanned out to sibling domains. *)
+let domain_alloc_words () =
+  let g = Gc.quick_stat () in
+  g.Gc.minor_words +. g.Gc.major_words -. g.Gc.promoted_words
 
 let run_one ~scale (e : Exp.t) =
   let t0 = Unix.gettimeofday () in
+  let a0 = domain_alloc_words () in
   (* The tag scopes engine-telemetry attribution to this experiment; the
      sharded inner loops propagate it to their pool sub-jobs. *)
   let output =
     try Ok (Exp.with_exp_tag (Some e.Exp.id) (fun () -> e.Exp.run ~scale))
     with exn -> Error exn
   in
-  { exp = e; output; wall_s = Unix.gettimeofday () -. t0 }
+  {
+    exp = e;
+    output;
+    wall_s = Unix.gettimeofday () -. t0;
+    alloc_words = domain_alloc_words () -. a0;
+  }
 
 let run_all ?jobs ~scale chosen =
   (* Each experiment builds its own engine/RNG/disk and returns a buffered
@@ -60,5 +76,6 @@ let run_all ?jobs ~scale chosen =
   List.map2
     (fun e -> function
       | Ok o -> o
-      | Error exn -> { exp = e; output = Error exn; wall_s = 0.0 })
+      | Error exn ->
+          { exp = e; output = Error exn; wall_s = 0.0; alloc_words = 0.0 })
     chosen results

@@ -8,12 +8,15 @@ val find : string -> Exp.t option
 val ids : unit -> string list
 
 (** Result of one experiment run: the rendered output block (or the
-    exception the experiment raised, captured per job) and its wall-clock
-    cost in seconds. *)
+    exception the experiment raised, captured per job), its wall-clock
+    cost in seconds, and the words it allocated on its worker domain
+    (minor + major without double-counting promotions; shards fanned
+    out to sibling domains are not included). *)
 type outcome = {
   exp : Exp.t;
   output : (string, exn) result;
   wall_s : float;
+  alloc_words : float;
 }
 
 (** [run_all ?jobs ~scale exps] runs the experiments, fanning them out

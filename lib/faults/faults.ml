@@ -62,6 +62,17 @@ module Plan = struct
     let bits = Int64.to_int (Int64.shift_right_logical z 11) in
     float_of_int bits /. 9007199254740992.0
 
+  (* [mix64]'s allocation-free native-int sibling.  The 64-bit
+     multipliers above don't fit a 63-bit OCaml int, so these use
+     smaller odd constants of the same character; overflow wraps, and
+     the final mask keeps the result non-negative. *)
+  let mix_int z =
+    let z = z lxor (z lsr 30) in
+    let z = z * 0x2545F4914F6CDD1D in
+    let z = z lxor (z lsr 27) in
+    let z = z * 0x1B03738712FAD5C9 in
+    (z lxor (z lsr 31)) land max_int
+
   let create cfg =
     let rng = Sim.Rng.of_int cfg.Config.seed in
     let media_key = Sim.Rng.next_int64 rng in

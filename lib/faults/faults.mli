@@ -80,4 +80,13 @@ module Plan : sig
       Exposed so other deterministic per-sector models (e.g. the
       compressed-RAM tier's compressibility ratio) can draw from the
       same family without sharing a mutable stream. *)
+
+  val mix_int : int -> int
+  (** SplitMix-style finalizer over the native int, always
+      non-negative.  The allocation-free sibling of the [int64] mix
+      behind {!hash01} (the classic 64-bit constants do not fit OCaml's
+      63-bit int, so the multipliers differ): used where a well-mixed
+      deterministic tag must be derived from packed int fields without
+      boxing — e.g. {!Storage.Content.combine} and the flat
+      metadata-table hash. *)
 end

@@ -29,7 +29,7 @@ type t = {
   cfg : Gconfig.t;
   kinds : kind array;
   referenced : Bytes.t;
-  nodes : int Mem.Lru.node array;
+  arena : Mem.Flru.arena;  (* node id = gpa *)
   lru : Cgroup.t;  (* guest-side active/inactive lists *)
   mutable free : int list;
   mutable nfree : int;
@@ -63,6 +63,7 @@ type t = {
 
 let create ~engine ~host ~gid ~stats ~config =
   let n = config.Gconfig.mem_pages in
+  let arena = Mem.Flru.arena ~nodes:n () in
   {
     engine;
     host;
@@ -71,8 +72,8 @@ let create ~engine ~host ~gid ~stats ~config =
     cfg = config;
     kinds = Array.make n K_free;
     referenced = Bytes.make n '\000';
-    nodes = Array.init n Mem.Lru.node;
-    lru = Cgroup.create ~limit_frames:None;
+    arena;
+    lru = Cgroup.create ~arena ~limit_frames:None;
     free = List.init n (fun i -> i);
     nfree = n;
     cache = Hashtbl.create 4096;
@@ -191,14 +192,14 @@ let evict_page t gpa k =
   match t.kinds.(gpa) with
   | K_cache block when Hashtbl.mem t.pending_blocks block ->
       (* Page locked for in-flight I/O: unevictable until it completes. *)
-      Cgroup.move t.lru Cgroup.File_active t.nodes.(gpa);
+      Cgroup.move t.lru Cgroup.File_active gpa;
       k false
   | K_cache block when not (Hashtbl.mem t.dirty gpa) ->
-      Cgroup.remove t.lru t.nodes.(gpa);
+      Cgroup.remove t.lru gpa;
       drop_cache_page t gpa block;
       k true
   | K_cache block ->
-      Cgroup.remove t.lru t.nodes.(gpa);
+      Cgroup.remove t.lru gpa;
       Hostmm.vio_write t.host ~aligned:(draw_aligned t) ~guest:t.gid
         ~block0:block ~gpas:[| gpa |] (fun () ->
           drop_cache_page t gpa block;
@@ -208,10 +209,10 @@ let evict_page t gpa k =
       | None ->
           (* Guest swap full: page is effectively unevictable; park it on
              the active list so the scan stops revisiting it. *)
-          Cgroup.move t.lru Cgroup.Anon_active t.nodes.(gpa);
+          Cgroup.move t.lru Cgroup.Anon_active gpa;
           k false
       | Some slot ->
-          Cgroup.remove t.lru t.nodes.(gpa);
+          Cgroup.remove t.lru gpa;
           t.stats.guest_swapouts <- t.stats.guest_swapouts + 1;
           note_swap_pressure t;
           Hashtbl.replace t.swap_rev slot (r, idx);
@@ -245,7 +246,7 @@ let refill_inactive t ~file =
     | Some gpa ->
         incr moved;
         clear_ref t gpa;
-        Cgroup.move t.lru inactive t.nodes.(gpa)
+        Cgroup.move t.lru inactive gpa
   done
 
 let shrink t ~target ?(on_done = fun ~freed:_ ~scanned:_ -> ()) k =
@@ -284,7 +285,7 @@ let shrink t ~target ?(on_done = fun ~freed:_ ~scanned:_ -> ()) k =
               | K_anon _ -> Cgroup.Anon_active
               | K_free | K_kernel | K_balloon -> assert false
             in
-            Cgroup.move t.lru active t.nodes.(gpa);
+            Cgroup.move t.lru active gpa;
             loop ()
           end
           else
@@ -479,7 +480,7 @@ let read_file t f ~idx k =
               t.kinds.(gpa) <- K_cache b;
               Hashtbl.replace t.cache b gpa;
               Hashtbl.replace t.pending_blocks b (ref []);
-              Cgroup.insert t.lru Cgroup.File_inactive t.nodes.(gpa))
+              Cgroup.insert t.lru Cgroup.File_inactive gpa)
             gpas;
           Hostmm.vio_read t.host ~aligned:(draw_aligned t) ~guest:t.gid
             ~block0:block ~gpas (fun () ->
@@ -511,7 +512,7 @@ let write_file t f ~idx k =
       gpa_alloc t (fun gpa ->
           t.kinds.(gpa) <- K_cache block;
           Hashtbl.replace t.cache block gpa;
-          Cgroup.insert t.lru Cgroup.File_inactive t.nodes.(gpa);
+          Cgroup.insert t.lru Cgroup.File_inactive gpa;
           overwrite gpa)
 
 let fsync_file t f k =
@@ -552,7 +553,7 @@ let map_anon t r ~idx k =
       r.slots.(idx) <- S_mapped gpa;
       t.kinds.(gpa) <- K_anon (r, idx);
       set_ref t gpa;
-      Cgroup.insert t.lru Cgroup.Anon_active t.nodes.(gpa);
+      Cgroup.insert t.lru Cgroup.Anon_active gpa;
       Hostmm.rep_write t.host ~guest:t.gid ~gpa ~content:Content.Zero (fun () ->
           after t t.cfg.guest_fault_us (fun () -> k gpa)))
 
@@ -597,7 +598,7 @@ let swap_in t r ~idx ~slot k =
                 t.kinds.(gpas.(j)) <- K_anon (r', idx');
                 Cgroup.insert t.lru
                   (if j = 0 then Cgroup.Anon_active else Cgroup.Anon_inactive)
-                  t.nodes.(gpas.(j));
+                  gpas.(j);
                 if j = 0 then set_ref t gpas.(j)
             | Some _ | None ->
                 (* Slot was released mid-read; return the spare page. *)
@@ -646,7 +647,7 @@ let rec overwrite_page t r ~idx k =
           r.slots.(idx) <- S_mapped gpa;
           t.kinds.(gpa) <- K_anon (r, idx);
           set_ref t gpa;
-          Cgroup.insert t.lru Cgroup.Anon_active t.nodes.(gpa);
+          Cgroup.insert t.lru Cgroup.Anon_active gpa;
           Hostmm.rep_write t.host ~guest:t.gid ~gpa
             ~content:(Content.fresh_anon ()) k)
   | S_swapped slot ->
@@ -675,7 +676,7 @@ let rec memcpy_page t r ~idx k =
           r.slots.(idx) <- S_mapped gpa;
           t.kinds.(gpa) <- K_anon (r, idx);
           set_ref t gpa;
-          Cgroup.insert t.lru Cgroup.Anon_active t.nodes.(gpa);
+          Cgroup.insert t.lru Cgroup.Anon_active gpa;
           let rec go j =
             if j >= nchunks then k () else store gpa j (fun () -> go (j + 1))
           in
@@ -690,8 +691,8 @@ let free_region t r =
         match st with
         | S_unmapped -> ()
         | S_mapped gpa ->
-            if Mem.Lru.in_some_list t.nodes.(gpa) then
-              Cgroup.remove t.lru t.nodes.(gpa);
+            if Mem.Flru.in_some_list t.arena gpa then
+              Cgroup.remove t.lru gpa;
             free_gpa t gpa
         | S_swapped slot ->
             Hashtbl.remove t.swap_rev slot;

@@ -1,20 +1,20 @@
 type list_id = Anon_active | Anon_inactive | File_active | File_inactive
 
 type t = {
-  anon_active : int Mem.Lru.t;
-  anon_inactive : int Mem.Lru.t;
-  file_active : int Mem.Lru.t;
-  file_inactive : int Mem.Lru.t;
+  anon_active : Mem.Flru.t;
+  anon_inactive : Mem.Flru.t;
+  file_active : Mem.Flru.t;
+  file_inactive : Mem.Flru.t;
   mutable limit : int option;
   mutable resident : int;
 }
 
-let create ~limit_frames =
+let create ~arena ~limit_frames =
   {
-    anon_active = Mem.Lru.create ();
-    anon_inactive = Mem.Lru.create ();
-    file_active = Mem.Lru.create ();
-    file_inactive = Mem.Lru.create ();
+    anon_active = Mem.Flru.list arena;
+    anon_inactive = Mem.Flru.list arena;
+    file_active = Mem.Flru.list arena;
+    file_inactive = Mem.Flru.list arena;
     limit = limit_frames;
     resident = 0;
   }
@@ -33,13 +33,13 @@ let over_limit t =
   match t.limit with None -> 0 | Some l -> max 0 (t.resident - l)
 
 let insert t id node =
-  Mem.Lru.push_front (list t id) node;
+  Mem.Flru.push_front (list t id) node;
   t.resident <- t.resident + 1
 
 let remove_from_any t node =
   let try_list l =
-    if Mem.Lru.mem l node then begin
-      Mem.Lru.remove l node;
+    if Mem.Flru.mem l node then begin
+      Mem.Flru.remove l node;
       true
     end
     else false
@@ -56,11 +56,11 @@ let remove t node =
 
 let move t id node =
   remove_from_any t node;
-  Mem.Lru.push_front (list t id) node
+  Mem.Flru.push_front (list t id) node
 
-let tail t id = Option.map Mem.Lru.value (Mem.Lru.peek_back (list t id))
-let pop t id = Option.map Mem.Lru.value (Mem.Lru.pop_back (list t id))
-let length t id = Mem.Lru.length (list t id)
+let tail t id = Mem.Flru.peek_back (list t id)
+let pop t id = Mem.Flru.pop_back (list t id)
+let length t id = Mem.Flru.length (list t id)
 
 let inactive_low t ~file =
   let active, inactive =
@@ -69,4 +69,4 @@ let inactive_low t ~file =
   in
   (* Keep roughly a 1:1 active:inactive balance, like Linux does for
      small memory sizes. *)
-  Mem.Lru.length inactive < Mem.Lru.length active
+  Mem.Flru.length inactive < Mem.Flru.length active

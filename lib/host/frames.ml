@@ -1,75 +1,166 @@
+(* Flat struct-of-arrays frame table.  All per-frame state lives in
+   packed int arrays / flag bytes indexed by the frame number, and the
+   LRU links are slots of a shared {!Mem.Flru} arena keyed by the same
+   frame number — so the whole metadata plane for a frame is a handful
+   of unboxed loads, and churning a frame through fault-in/evict cycles
+   allocates nothing.
+
+   Packing:
+   - [flags] byte: bit0 named, bit1 referenced, bits2-3 owner tag
+     (0 free / 1 guest page / 2 hv page), bits4-5 content tag
+     (0 zero / 1 anon / 2 block).
+   - [owner_data]: [guest lsl owner_bits lor payload] where payload is
+     the gpa (guest page) or the hv-page index.
+   - [c_main]: anon generation, or the block number of block content.
+   - [c_disk] / [c_version]: the remaining block-content fields.
+   - [backing]: swap-cache slot, or -1 for none. *)
+
 type owner =
   | Free
   | Guest_page of { guest : int; gpa : int }
   | Hv_page of { guest : int; idx : int }
 
+let owner_bits = 40
+let owner_mask = (1 lsl owner_bits) - 1
+
+(* flag-byte layout *)
+let f_named = 0x01
+let f_referenced = 0x02
+let tag_free = 0x00
+let tag_guest = 0x04
+let tag_hv = 0x08
+let otag_mask = 0x0c
+let ctag_zero = 0x00
+let ctag_anon = 0x10
+let ctag_block = 0x20
+let ctag_mask = 0x30
+
 type t = {
-  owners : owner array;
-  contents : Storage.Content.t array;
-  named_flags : Bytes.t;
-  referenced_flags : Bytes.t;
-  nodes : int Mem.Lru.node array;
-  swap_backings : int option array;
-  mutable free_list : int list;
+  flags : Bytes.t;
+  owner_data : int array;
+  c_main : int array;
+  c_disk : int array;
+  c_version : int array;
+  backing : int array;
+  arena : Mem.Flru.arena;
+  free_stack : int array;
   mutable nfree : int;
 }
 
 let create ~nframes =
   if nframes <= 0 then invalid_arg "Frames.create: nframes must be positive";
-  let free_list = List.init nframes (fun i -> i) in
+  (* Stack ordered so the first pops return frames 0, 1, 2, ... —
+     the same allocation order as the original list-based free list. *)
+  let free_stack = Array.init nframes (fun i -> nframes - 1 - i) in
   {
-    owners = Array.make nframes Free;
-    contents = Array.make nframes Storage.Content.Zero;
-    named_flags = Bytes.make nframes '\000';
-    referenced_flags = Bytes.make nframes '\000';
-    nodes = Array.init nframes Mem.Lru.node;
-    swap_backings = Array.make nframes None;
-    free_list;
+    flags = Bytes.make nframes '\000';
+    owner_data = Array.make nframes 0;
+    c_main = Array.make nframes 0;
+    c_disk = Array.make nframes 0;
+    c_version = Array.make nframes 0;
+    backing = Array.make nframes (-1);
+    arena = Mem.Flru.arena ~nodes:nframes ();
+    free_stack;
     nfree = nframes;
   }
 
-let nframes t = Array.length t.owners
+let nframes t = Bytes.length t.flags
 let nfree t = t.nfree
+let arena t = t.arena
+let flag_byte t f = Char.code (Bytes.unsafe_get t.flags f)
+
+let set_flag_bits t f ~mask bits =
+  Bytes.unsafe_set t.flags f
+    (Char.unsafe_chr (flag_byte t f land lnot mask lor bits))
 
 let alloc t =
-  match t.free_list with
-  | [] -> None
-  | f :: rest ->
-      t.free_list <- rest;
-      t.nfree <- t.nfree - 1;
-      Some f
+  if t.nfree = 0 then None
+  else begin
+    t.nfree <- t.nfree - 1;
+    Some t.free_stack.(t.nfree)
+  end
+
+let is_free t f = flag_byte t f land otag_mask = tag_free
 
 let release t f =
-  (match t.owners.(f) with
-  | Free -> invalid_arg (Printf.sprintf "Frames.release: frame %d is free" f)
-  | Guest_page _ | Hv_page _ -> ());
-  t.owners.(f) <- Free;
-  t.contents.(f) <- Storage.Content.Zero;
-  t.swap_backings.(f) <- None;
-  Bytes.set t.named_flags f '\000';
-  Bytes.set t.referenced_flags f '\000';
-  t.free_list <- f :: t.free_list;
+  if is_free t f then
+    invalid_arg (Printf.sprintf "Frames.release: frame %d is free" f);
+  Bytes.unsafe_set t.flags f '\000';
+  t.backing.(f) <- -1;
+  t.free_stack.(t.nfree) <- f;
   t.nfree <- t.nfree + 1
 
 let put_back t f =
-  (match t.owners.(f) with
-  | Free -> ()
-  | Guest_page _ | Hv_page _ ->
-      invalid_arg (Printf.sprintf "Frames.put_back: frame %d is installed" f));
-  t.free_list <- f :: t.free_list;
+  if not (is_free t f) then
+    invalid_arg (Printf.sprintf "Frames.put_back: frame %d is installed" f);
+  t.free_stack.(t.nfree) <- f;
   t.nfree <- t.nfree + 1
 
-let owner t f = t.owners.(f)
-let set_owner t f o = t.owners.(f) <- o
-let content t f = t.contents.(f)
-let set_content t f c = t.contents.(f) <- c
-let named t f = Bytes.get t.named_flags f <> '\000'
-let set_named t f b = Bytes.set t.named_flags f (if b then '\001' else '\000')
-let referenced t f = Bytes.get t.referenced_flags f <> '\000'
+(* Boxed views, for callers off the hot path. *)
+let owner t f =
+  let d = t.owner_data.(f) in
+  match flag_byte t f land otag_mask with
+  | 0x04 -> Guest_page { guest = d lsr owner_bits; gpa = d land owner_mask }
+  | 0x08 -> Hv_page { guest = d lsr owner_bits; idx = d land owner_mask }
+  | _ -> Free
+
+let set_owner t f o =
+  match o with
+  | Free -> set_flag_bits t f ~mask:otag_mask tag_free
+  | Guest_page { guest; gpa } ->
+      set_flag_bits t f ~mask:otag_mask tag_guest;
+      t.owner_data.(f) <- (guest lsl owner_bits) lor gpa
+  | Hv_page { guest; idx } ->
+      set_flag_bits t f ~mask:otag_mask tag_hv;
+      t.owner_data.(f) <- (guest lsl owner_bits) lor idx
+
+(* Unboxed owner views: kind 0 = free, 1 = guest page, 2 = hv page. *)
+let owner_kind t f = (flag_byte t f land otag_mask) lsr 2
+let owner_guest t f = t.owner_data.(f) lsr owner_bits
+let owner_payload t f = t.owner_data.(f) land owner_mask
+
+let set_guest_owner t f ~guest ~gpa =
+  set_flag_bits t f ~mask:otag_mask tag_guest;
+  t.owner_data.(f) <- (guest lsl owner_bits) lor gpa
+
+let set_hv_owner t f ~guest ~idx =
+  set_flag_bits t f ~mask:otag_mask tag_hv;
+  t.owner_data.(f) <- (guest lsl owner_bits) lor idx
+
+let content t f =
+  match flag_byte t f land ctag_mask with
+  | 0x10 -> Storage.Content.Anon t.c_main.(f)
+  | 0x20 ->
+      Storage.Content.Block
+        { disk = t.c_disk.(f); block = t.c_main.(f); version = t.c_version.(f) }
+  | _ -> Storage.Content.Zero
+
+let set_content t f c =
+  match c with
+  | Storage.Content.Zero -> set_flag_bits t f ~mask:ctag_mask ctag_zero
+  | Storage.Content.Anon g ->
+      set_flag_bits t f ~mask:ctag_mask ctag_anon;
+      t.c_main.(f) <- g
+  | Storage.Content.Block { disk; block; version } ->
+      set_flag_bits t f ~mask:ctag_mask ctag_block;
+      t.c_main.(f) <- block;
+      t.c_disk.(f) <- disk;
+      t.c_version.(f) <- version
+
+let named t f = flag_byte t f land f_named <> 0
+
+let set_named t f b =
+  set_flag_bits t f ~mask:f_named (if b then f_named else 0)
+
+let referenced t f = flag_byte t f land f_referenced <> 0
 
 let set_referenced t f b =
-  Bytes.set t.referenced_flags f (if b then '\001' else '\000')
+  set_flag_bits t f ~mask:f_referenced (if b then f_referenced else 0)
 
-let swap_backing t f = t.swap_backings.(f)
-let set_swap_backing t f b = t.swap_backings.(f) <- b
-let node t f = t.nodes.(f)
+let swap_backing t f = if t.backing.(f) < 0 then None else Some t.backing.(f)
+
+let set_swap_backing t f b =
+  t.backing.(f) <- (match b with None -> -1 | Some s -> s)
+
+let backing_slot t f = t.backing.(f)
+let set_backing_slot t f s = t.backing.(f) <- s

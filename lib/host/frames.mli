@@ -1,9 +1,12 @@
-(** Host physical frame table.
+(** Host physical frame table, stored struct-of-arrays.
 
     Each frame records who owns it, what it logically contains, whether
-    the host considers it file-backed ("named") and its referenced bit.
-    LRU placement is managed by {!Cgroup}; the per-frame LRU node lives
-    here so a frame can move between lists in O(1). *)
+    the host considers it file-backed ("named") and its referenced bit —
+    all bit-packed into flat int arrays and a flag byte indexed by the
+    frame number, so the fault and reclaim paths never allocate to read
+    or update frame metadata.  LRU placement is managed by {!Cgroup};
+    the LRU links live in a shared {!Mem.Flru} arena whose node ids are
+    the frame numbers themselves. *)
 
 type owner =
   | Free
@@ -17,13 +20,17 @@ val create : nframes:int -> t
 val nframes : t -> int
 val nfree : t -> int
 
+(** The shared LRU arena; {!Cgroup.create} lists draw nodes from it. *)
+val arena : t -> Mem.Flru.arena
+
 (** [alloc t] takes a frame off the free list.  The caller must have
     ensured free frames exist (reclaim is the caller's job).  The frame
     comes back with [owner = Free] still set; callers fill it in. *)
 val alloc : t -> int option
 
-(** [release t f] detaches [f] from any LRU list and returns it to the
-    free list.  The frame must not be [Free] already. *)
+(** [release t f] resets [f]'s metadata and returns it to the free
+    list.  The frame must not be [Free] already (and the caller must
+    have detached it from any LRU list). *)
 val release : t -> int -> unit
 
 (** [put_back t f] returns a frame obtained from [alloc] but never
@@ -32,7 +39,27 @@ val release : t -> int -> unit
 val put_back : t -> int -> unit
 
 val owner : t -> int -> owner
+(** Boxed view of the owner; allocates for non-free frames — hot paths
+    use {!owner_kind}/{!owner_guest}/{!owner_payload} instead. *)
+
 val set_owner : t -> int -> owner -> unit
+
+val owner_kind : t -> int -> int
+(** 0 = free, 1 = guest page, 2 = hv page; allocation-free. *)
+
+val owner_guest : t -> int -> int
+(** Owning guest id; meaningful only when [owner_kind] is non-zero. *)
+
+val owner_payload : t -> int -> int
+(** The gpa (guest page) or hv-page index; meaningful only when
+    [owner_kind] is non-zero. *)
+
+val set_guest_owner : t -> int -> guest:int -> gpa:int -> unit
+(** Unboxed [set_owner (Guest_page _)]. *)
+
+val set_hv_owner : t -> int -> guest:int -> idx:int -> unit
+(** Unboxed [set_owner (Hv_page _)]. *)
+
 val content : t -> int -> Storage.Content.t
 val set_content : t -> int -> Storage.Content.t -> unit
 val named : t -> int -> bool
@@ -47,5 +74,8 @@ val swap_backing : t -> int -> int option
 
 val set_swap_backing : t -> int -> int option -> unit
 
-(** [node t f] is the frame's LRU node (carries the frame id). *)
-val node : t -> int -> int Mem.Lru.node
+val backing_slot : t -> int -> int
+(** Unboxed {!swap_backing}: the slot, or -1 for none. *)
+
+val set_backing_slot : t -> int -> int -> unit
+(** Unboxed {!set_swap_backing}; -1 clears. *)

@@ -1,30 +1,43 @@
 module Content = Storage.Content
 module Mapper = Vswapper.Mapper
 module Preventer = Vswapper.Preventer
+module Itbl = Mem.Itbl
 
 type guest_id = int
 
 type page_state = Not_backed | Present | In_swap | In_image | Ballooned
 
-type epte =
-  | E_not_backed
-  | E_present of int  (* frame *)
-  | E_in_swap of int  (* host swap slot *)
-  | E_in_image of int  (* block of the guest's own vdisk *)
-  | E_ballooned
+(* EPT entries are packed ints — tag in the low 3 bits, payload (frame
+   number, swap slot or image block) above — so a million-page guest's
+   page table is one flat [int array] instead of a million boxed
+   variants, and every fault-path dispatch is a mask and a shift:
+
+     0 = not backed   1 = ballooned       2 = present (frame)
+     3 = in swap (slot)   4 = in image (block)
+
+   Tag values appear as literal patterns in matches below; the
+   constructors keep construction sites readable. *)
+let e_not_backed = 0
+let e_ballooned = 1
+let e_present frame = (frame lsl 3) lor 2
+let e_in_swap slot = (slot lsl 3) lor 3
+let e_in_image block = (block lsl 3) lor 4
+let e_arg e = e lsr 3
 
 type guest = {
   gid : int;
   vdisk : Storage.Vdisk.t;
-  ept : epte array;
+  ept : int array;  (* packed entries; see above *)
   cgroup : Cgroup.t;
   mapper : Mapper.t;
   preventer : Preventer.t;
-  hv_frames : int option array;
+  hv_frames : int array;  (* frame backing hv page idx, or -1 *)
   mutable hv_rr : int;
   mutable timer : Sim.Engine.event option;
-  (* gpa -> write generation of the currently buffered (Preventer) write *)
-  pending_gen : (int, int) Hashtbl.t;
+  (* gpa -> write generation of the currently buffered (Preventer)
+     write; generations are drawn from [Content.fresh_gen] and thus
+     nonzero, so 0 is the table's absent value. *)
+  pending_gen : Itbl.t;
   mutable killed : bool;  (* torn down by the host; holds no resources *)
   mutable error_budget : int;  (* remaining I/O retries before giving up *)
   mutable inflight_faults : int;  (* target faults currently on the disk *)
@@ -43,12 +56,17 @@ type t = {
   swap : Storage.Swap_area.t;
   hv_base_sector : int;
   frames : Frames.t;
-  guests : (int, guest) Hashtbl.t;
+  mutable guests : guest option array;  (* dense gids index directly *)
   mutable guest_ids : int array;  (* growable; first [nguests] are live *)
   mutable nguests : int;
-  slot_owner : (int, int) Hashtbl.t;  (* swap slot -> packed (guest, gpa) *)
-  (* packed (guest, gpa) -> continuations waiting for an in-flight fault *)
-  inflight : (int, (unit -> unit) list ref) Hashtbl.t;
+  slot_owner : Itbl.t;  (* swap slot -> packed (guest, gpa) *)
+  (* packed (guest, gpa) -> waiter-list index: continuations waiting for
+     an in-flight fault live in [inflight_ws] at the index the slab
+     assigned; the flat index table makes the per-fault existence checks
+     allocation-free. *)
+  inflight_idx : Itbl.t;
+  mutable inflight_ws : (unit -> unit) list array;
+  inflight_slab : Itbl.Slab.t;
   mutable inflight_targets : int;  (* machine-wide gauge, for the highwater *)
   mutable reclaim_toggle : bool;  (* fairness when named_preference is off *)
   mutable global_rr : int;  (* round-robin cursor for global reclaim *)
@@ -57,8 +75,8 @@ type t = {
 
 let page_sectors = Storage.Geom.sectors_per_page
 
-(* (guest, gpa) pairs are packed into one int so the per-fault hashtable
-   lookups ([slot_owner], [inflight]) hash and compare an immediate
+(* (guest, gpa) pairs are packed into one int so the per-fault table
+   lookups ([slot_owner], [inflight_idx]) hash and compare an immediate
    instead of allocating a tuple per probe.  40 bits of gpa covers a
    four-petabyte guest; gids are bounded by the guest table. *)
 let owner_gpa_bits = 40
@@ -92,11 +110,13 @@ let create ~engine ~disk ?tiers ~stats ~config ~vsconfig ~swap ~hv_base_sector
     swap;
     hv_base_sector;
     frames = Frames.create ~nframes:config.Hconfig.total_frames;
-    guests = Hashtbl.create 16;
+    guests = Array.make 8 None;
     guest_ids = Array.make 8 0;
     nguests = 0;
-    slot_owner = Hashtbl.create 4096;
-    inflight = Hashtbl.create 64;
+    slot_owner = Itbl.create ~capacity:4096 ();
+    inflight_idx = Itbl.create ~capacity:64 ();
+    inflight_ws = Array.make 64 [];
+    inflight_slab = Itbl.Slab.create ();
     inflight_targets = 0;
     reclaim_toggle = false;
     global_rr = 0;
@@ -106,28 +126,35 @@ let create ~engine ~disk ?tiers ~stats ~config ~vsconfig ~swap ~hv_base_sector
 let set_kill_handler t f = t.kill_handler <- f
 
 let register_guest t ~vdisk ~gpa_pages ~resident_limit =
-  let gid = Hashtbl.length t.guests in
+  let gid = t.nguests in
   let g =
     {
       gid;
       vdisk;
-      ept = Array.make gpa_pages E_not_backed;
-      cgroup = Cgroup.create ~limit_frames:resident_limit;
+      ept = Array.make gpa_pages e_not_backed;
+      cgroup =
+        Cgroup.create ~arena:(Frames.arena t.frames)
+          ~limit_frames:resident_limit;
       mapper = Mapper.create ~stats:t.stats ();
       preventer =
         Preventer.create ~stats:t.stats ~window:t.vs.preventer_window
           ~max_buffers:t.vs.preventer_max_buffers;
-      hv_frames = Array.make t.config.hv_pages_per_guest None;
+      hv_frames = Array.make t.config.hv_pages_per_guest (-1);
       hv_rr = 0;
       timer = None;
-      pending_gen = Hashtbl.create 64;
+      pending_gen = Itbl.create ~capacity:64 ();
       killed = false;
       error_budget = t.config.io_error_budget;
       inflight_faults = 0;
       pending_faults = Queue.create ();
     }
   in
-  Hashtbl.replace t.guests gid g;
+  if t.nguests = Array.length t.guests then begin
+    let bigger = Array.make (2 * t.nguests) None in
+    Array.blit t.guests 0 bigger 0 t.nguests;
+    t.guests <- bigger
+  end;
+  t.guests.(gid) <- Some g;
   if t.nguests = Array.length t.guest_ids then begin
     let bigger = Array.make (2 * t.nguests) 0 in
     Array.blit t.guest_ids 0 bigger 0 t.nguests;
@@ -138,7 +165,7 @@ let register_guest t ~vdisk ~gpa_pages ~resident_limit =
   gid
 
 let guest t gid =
-  match Hashtbl.find_opt t.guests gid with
+  match if gid >= 0 && gid < t.nguests then t.guests.(gid) else None with
   | Some g -> g
   | None -> invalid_arg (Printf.sprintf "Hostmm: unknown guest %d" gid)
 
@@ -159,6 +186,29 @@ let join t n k =
       decr remaining;
       if !remaining = 0 then k ()
   end
+
+(* In-flight fault registry helpers.  [inflight_add] registers a key and
+   returns its waiter-list index; [inflight_take] unregisters it and
+   hands back the accumulated waiters. *)
+let inflight_mem t key = Itbl.mem t.inflight_idx key
+
+let inflight_add t key =
+  let idx = Itbl.Slab.alloc t.inflight_slab in
+  if idx >= Array.length t.inflight_ws then begin
+    let bigger = Array.make (2 * Array.length t.inflight_ws) [] in
+    Array.blit t.inflight_ws 0 bigger 0 (Array.length t.inflight_ws);
+    t.inflight_ws <- bigger
+  end;
+  t.inflight_ws.(idx) <- [];
+  Itbl.set t.inflight_idx key idx;
+  idx
+
+let inflight_take t key idx =
+  Itbl.remove t.inflight_idx key;
+  let ws = t.inflight_ws.(idx) in
+  t.inflight_ws.(idx) <- [];
+  Itbl.Slab.release t.inflight_slab idx;
+  ws
 
 (* ------------------------------------------------------------------ *)
 (* Reclaim                                                             *)
@@ -183,65 +233,78 @@ let is_silent_write g content =
    need a swap slot and the swap area is full; callers must then skip
    this frame rather than abort. *)
 let evict_frame t frame =
-  match Frames.owner t.frames frame with
-  | Frames.Free -> assert false
-  | Frames.Hv_page { guest = gid; idx } ->
+  match Frames.owner_kind t.frames frame with
+  | 0 (* free *) -> assert false
+  | 2 (* hv page *) ->
+      let gid = Frames.owner_guest t.frames frame in
+      let idx = Frames.owner_payload t.frames frame in
       let g = guest t gid in
-      g.hv_frames.(idx) <- None;
-      Cgroup.remove g.cgroup (Frames.node t.frames frame);
+      g.hv_frames.(idx) <- -1;
+      Cgroup.remove g.cgroup frame;
       Frames.release t.frames frame;
       true
-  | Frames.Guest_page { guest = gid; gpa } ->
+  | _ (* guest page *) ->
+      let gid = Frames.owner_guest t.frames frame in
+      let gpa = Frames.owner_payload t.frames frame in
       let g = guest t gid in
-      let content = Frames.content t.frames frame in
       let evicted =
         if Frames.named t.frames frame then begin
-          match Mapper.lookup g.mapper ~gpa with
-          | Some b ->
-              assert (Storage.Vdisk.version g.vdisk b.block = b.version);
-              g.ept.(gpa) <- E_in_image b.block;
-              t.stats.mapper_discards <- t.stats.mapper_discards + 1;
-              true
-          | None -> assert false
+          let block = Mapper.tracked_block g.mapper ~gpa in
+          if block >= 0 then begin
+            assert (
+              Storage.Vdisk.version g.vdisk block
+              = Mapper.tracked_version g.mapper ~gpa);
+            g.ept.(gpa) <- e_in_image block;
+            t.stats.mapper_discards <- t.stats.mapper_discards + 1;
+            true
+          end
+          else assert false
         end
-        else
-          match Frames.swap_backing t.frames frame with
-          | Some slot ->
-              (* Swap cache hit: an identical copy already sits in the
-                 slot; drop the frame without any I/O. *)
-              assert (
-                Hashtbl.find_opt t.slot_owner slot = Some (owner_key ~gid ~gpa));
-              assert
-                (Content.equal content (Storage.Swap_area.content t.swap slot));
-              g.ept.(gpa) <- E_in_swap slot;
-              true
-          | None -> (
-              match Storage.Swap_area.alloc t.swap content with
-              | None ->
-                  (* Swap area full: this page cannot be evicted.  The
-                     caller degrades (skips anon, prefers named discard)
-                     instead of the old fatal failure. *)
-                  t.stats.swap_full_fallbacks <-
-                    t.stats.swap_full_fallbacks + 1;
-                  false
-              | Some slot ->
-                  !debug_evict_hook gpa slot;
-                  Hashtbl.replace t.slot_owner slot (owner_key ~gid ~gpa);
-                  g.ept.(gpa) <- E_in_swap slot;
-                  t.stats.host_swapouts <- t.stats.host_swapouts + 1;
-                  t.stats.swap_sectors_written <-
-                    t.stats.swap_sectors_written + page_sectors;
-                  if is_silent_write g content then
-                    t.stats.silent_swap_writes <-
-                      t.stats.silent_swap_writes + 1;
-                  (* Fire-and-forget: nobody awaits the swap-out ack, so
-                     skip the completion event entirely.  The tier
-                     composite picks where the page lands. *)
-                  Storage.Tiers.swap_out t.tiers ~slot ~queue:0;
-                  true)
+        else begin
+          let bslot = Frames.backing_slot t.frames frame in
+          if bslot >= 0 then begin
+            (* Swap cache hit: an identical copy already sits in the
+               slot; drop the frame without any I/O. *)
+            assert (
+              Itbl.find t.slot_owner bslot ~default:(-1)
+              = owner_key ~gid ~gpa);
+            assert (
+              Content.equal
+                (Frames.content t.frames frame)
+                (Storage.Swap_area.content t.swap bslot));
+            g.ept.(gpa) <- e_in_swap bslot;
+            true
+          end
+          else begin
+            let content = Frames.content t.frames frame in
+            match Storage.Swap_area.alloc t.swap content with
+            | None ->
+                (* Swap area full: this page cannot be evicted.  The
+                   caller degrades (skips anon, prefers named discard)
+                   instead of the old fatal failure. *)
+                t.stats.swap_full_fallbacks <-
+                  t.stats.swap_full_fallbacks + 1;
+                false
+            | Some slot ->
+                !debug_evict_hook gpa slot;
+                Itbl.set t.slot_owner slot (owner_key ~gid ~gpa);
+                g.ept.(gpa) <- e_in_swap slot;
+                t.stats.host_swapouts <- t.stats.host_swapouts + 1;
+                t.stats.swap_sectors_written <-
+                  t.stats.swap_sectors_written + page_sectors;
+                if is_silent_write g content then
+                  t.stats.silent_swap_writes <-
+                    t.stats.silent_swap_writes + 1;
+                (* Fire-and-forget: nobody awaits the swap-out ack, so
+                   skip the completion event entirely.  The tier
+                   composite picks where the page lands. *)
+                Storage.Tiers.swap_out t.tiers ~slot ~queue:0;
+                true
+          end
+        end
       in
       if evicted then begin
-        Cgroup.remove g.cgroup (Frames.node t.frames frame);
+        Cgroup.remove g.cgroup frame;
         Frames.release t.frames frame
       end;
       evicted
@@ -263,7 +326,7 @@ let refill_inactive t g ~file ~scanned =
         incr scanned;
         incr moved;
         Frames.set_referenced t.frames frame false;
-        Cgroup.move g.cgroup inactive (Frames.node t.frames frame)
+        Cgroup.move g.cgroup inactive frame
   done
 
 (* Shrink one cgroup by up to [target] frames; returns (freed, scanned). *)
@@ -315,14 +378,14 @@ let shrink_cgroup t g ~target =
         if Frames.referenced t.frames frame && not forced then begin
           (* Second chance: promote to the active list of its type. *)
           Frames.set_referenced t.frames frame false;
-          Cgroup.move g.cgroup active_of_list (Frames.node t.frames frame)
+          Cgroup.move g.cgroup active_of_list frame
         end
         else if evict_frame t frame then incr freed
         else begin
           (* Unevictable right now (swap area full): park the page on
              its active list so the scan moves past it; once even
              forced eviction fails there is nothing left to free. *)
-          Cgroup.move g.cgroup active_of_list (Frames.node t.frames frame);
+          Cgroup.move g.cgroup active_of_list frame;
           if forced then continue_ := false
         end
   done;
@@ -374,36 +437,39 @@ let ensure_frames t g ~need =
    whenever the frame's content is about to change, so the stale copy in
    the swap area is never resurrected. *)
 let drop_swap_backing t frame =
-  match Frames.swap_backing t.frames frame with
-  | None -> ()
-  | Some slot ->
-      Frames.set_swap_backing t.frames frame None;
-      Hashtbl.remove t.slot_owner slot;
-      if Storage.Swap_area.is_allocated t.swap slot then
-        Storage.Swap_area.free t.swap slot
+  let slot = Frames.backing_slot t.frames frame in
+  if slot >= 0 then begin
+    Frames.set_backing_slot t.frames frame (-1);
+    Itbl.remove t.slot_owner slot;
+    if Storage.Swap_area.is_allocated t.swap slot then
+      Storage.Swap_area.free t.swap slot
+  end
 
 (* Drop whatever backs [gpa] — present frame, swap slot, image mapping,
-   pending Preventer buffer — leaving the page [E_not_backed].  Used when
+   pending Preventer buffer — leaving the page [e_not_backed].  Used when
    the old content is dead (DMA overwrite, Preventer remap, balloon). *)
 let discard_backing t g ~gpa =
   if t.vs.preventer then Preventer.abandon g.preventer ~gpa;
-  Hashtbl.remove g.pending_gen gpa;
-  (match g.ept.(gpa) with
-  | E_present frame ->
-      Mapper.untrack g.mapper ~gpa;
-      drop_swap_backing t frame;
-      Cgroup.remove g.cgroup (Frames.node t.frames frame);
-      Frames.release t.frames frame
-  | E_in_swap slot -> (
-      match Hashtbl.find_opt t.slot_owner slot with
-      | Some key when key = owner_key ~gid:g.gid ~gpa ->
-          Hashtbl.remove t.slot_owner slot;
-          Storage.Swap_area.free t.swap slot
-      | Some _ | None -> ())
-  | E_in_image _ -> Mapper.untrack g.mapper ~gpa
-  | E_not_backed -> ()
-  | E_ballooned -> invalid_arg "Hostmm.discard_backing: ballooned page");
-  g.ept.(gpa) <- E_not_backed
+  Itbl.remove g.pending_gen gpa;
+  (let e = g.ept.(gpa) in
+   match e land 7 with
+   | 2 (* present *) ->
+       let frame = e_arg e in
+       Mapper.untrack g.mapper ~gpa;
+       drop_swap_backing t frame;
+       Cgroup.remove g.cgroup frame;
+       Frames.release t.frames frame
+   | 3 (* in swap *) ->
+       let slot = e_arg e in
+       if Itbl.find t.slot_owner slot ~default:(-1) = owner_key ~gid:g.gid ~gpa
+       then begin
+         Itbl.remove t.slot_owner slot;
+         Storage.Swap_area.free t.swap slot
+       end
+   | 4 (* in image *) -> Mapper.untrack g.mapper ~gpa
+   | 0 (* not backed *) -> ()
+   | _ -> invalid_arg "Hostmm.discard_backing: ballooned page");
+  g.ept.(gpa) <- e_not_backed
 
 (* ------------------------------------------------------------------ *)
 (* Guest teardown and emergency reclaim                                 *)
@@ -425,22 +491,20 @@ let kill_guest t gid =
     | None -> ());
     Array.iteri
       (fun gpa e ->
-        match e with
-        | E_not_backed -> ()
-        | E_ballooned -> g.ept.(gpa) <- E_not_backed
-        | E_present _ | E_in_swap _ | E_in_image _ ->
-            discard_backing t g ~gpa)
+        match e land 7 with
+        | 0 (* not backed *) -> ()
+        | 1 (* ballooned *) -> g.ept.(gpa) <- e_not_backed
+        | _ -> discard_backing t g ~gpa)
       g.ept;
     Array.iteri
-      (fun idx f ->
-        match f with
-        | None -> ()
-        | Some frame ->
-            g.hv_frames.(idx) <- None;
-            Cgroup.remove g.cgroup (Frames.node t.frames frame);
-            Frames.release t.frames frame)
+      (fun idx frame ->
+        if frame >= 0 then begin
+          g.hv_frames.(idx) <- -1;
+          Cgroup.remove g.cgroup frame;
+          Frames.release t.frames frame
+        end)
       g.hv_frames;
-    Hashtbl.reset g.pending_gen;
+    Itbl.clear g.pending_gen;
     (* Parked fault starters must not strand their continuations: each
        re-enters the fault path, sees [killed], and resolves inertly.
        Transfer first so a starter cannot mutate the queue mid-drain. *)
@@ -462,15 +526,15 @@ let emergency_reclaim t ~requester ~need =
   let nframes = Frames.nframes t.frames in
   let frame = ref 0 in
   while Frames.nfree t.frames < need && !frame < nframes do
-    (match Frames.owner t.frames !frame with
-    | Frames.Free -> ()
-    | Frames.Hv_page _ ->
+    (match Frames.owner_kind t.frames !frame with
+    | 0 (* free *) -> ()
+    | 2 (* hv page *) ->
         if evict_frame t !frame then
           t.stats.emergency_steals <- t.stats.emergency_steals + 1
-    | Frames.Guest_page _ ->
+    | _ (* guest page *) ->
         let droppable =
           Frames.named t.frames !frame
-          || Frames.swap_backing t.frames !frame <> None
+          || Frames.backing_slot t.frames !frame >= 0
         in
         if droppable && evict_frame t !frame then
           t.stats.emergency_steals <- t.stats.emergency_steals + 1);
@@ -533,7 +597,7 @@ let alloc_frame t g ~gpa ~content ~named ~active ~referenced =
     (-1, cost)
   end
   else begin
-    Frames.set_owner t.frames frame (Frames.Guest_page { guest = g.gid; gpa });
+    Frames.set_guest_owner t.frames frame ~guest:g.gid ~gpa;
     Frames.set_content t.frames frame content;
     Frames.set_named t.frames frame named;
     Frames.set_referenced t.frames frame referenced;
@@ -544,8 +608,8 @@ let alloc_frame t g ~gpa ~content ~named ~active ~referenced =
       | false, true -> Cgroup.Anon_active
       | false, false -> Cgroup.Anon_inactive
     in
-    Cgroup.insert g.cgroup id (Frames.node t.frames frame);
-    g.ept.(gpa) <- E_present frame;
+    Cgroup.insert g.cgroup id frame;
+    g.ept.(gpa) <- e_present frame;
     (frame, cost)
   end
 
@@ -560,34 +624,33 @@ let hv_touch t g n =
   for _ = 1 to n do
     let idx = g.hv_rr mod t.config.hv_pages_per_guest in
     g.hv_rr <- g.hv_rr + 1;
-    match g.hv_frames.(idx) with
-    | Some frame -> Frames.set_referenced t.frames frame true
-    | None -> (
-        t.stats.host_context_faults <- t.stats.host_context_faults + 1;
-        t.stats.hypervisor_code_faults <- t.stats.hypervisor_code_faults + 1;
-        cost := !cost + t.config.hv_refault_us + ensure_frames t g ~need:1;
-        let frame =
-          match Frames.alloc t.frames with
-          | Some frame -> Some frame
-          | None ->
-              emergency_reclaim t ~requester:g.gid ~need:1;
-              Frames.alloc t.frames
-        in
-        match frame with
-        | None -> failwith "Hostmm: out of host memory (no frames configured)"
-        | Some frame when g.killed ->
-            (* Emergency reclaim OOM-killed this guest mid-touch: its
-               hv_frames were already torn down, so don't repopulate. *)
-            Frames.put_back t.frames frame
-        | Some frame ->
-            Frames.set_owner t.frames frame
-              (Frames.Hv_page { guest = g.gid; idx });
-            Frames.set_content t.frames frame Content.Zero;
-            Frames.set_named t.frames frame true;
-            Frames.set_referenced t.frames frame true;
-            Cgroup.insert g.cgroup Cgroup.File_inactive
-              (Frames.node t.frames frame);
-            g.hv_frames.(idx) <- Some frame)
+    let hv_frame = g.hv_frames.(idx) in
+    if hv_frame >= 0 then Frames.set_referenced t.frames hv_frame true
+    else begin
+      t.stats.host_context_faults <- t.stats.host_context_faults + 1;
+      t.stats.hypervisor_code_faults <- t.stats.hypervisor_code_faults + 1;
+      cost := !cost + t.config.hv_refault_us + ensure_frames t g ~need:1;
+      let frame =
+        match Frames.alloc t.frames with
+        | Some frame -> Some frame
+        | None ->
+            emergency_reclaim t ~requester:g.gid ~need:1;
+            Frames.alloc t.frames
+      in
+      match frame with
+      | None -> failwith "Hostmm: out of host memory (no frames configured)"
+      | Some frame when g.killed ->
+          (* Emergency reclaim OOM-killed this guest mid-touch: its
+             hv_frames were already torn down, so don't repopulate. *)
+          Frames.put_back t.frames frame
+      | Some frame ->
+          Frames.set_hv_owner t.frames frame ~guest:g.gid ~idx;
+          Frames.set_content t.frames frame Content.Zero;
+          Frames.set_named t.frames frame true;
+          Frames.set_referenced t.frames frame true;
+          Cgroup.insert g.cgroup Cgroup.File_inactive frame;
+          g.hv_frames.(idx) <- frame
+    end
   done;
   !cost
 
@@ -631,8 +694,10 @@ let install_from_swap t ~slot ~owner ~target =
   let g = guest t gid in
   let still_valid =
     Storage.Swap_area.is_allocated t.swap slot
-    && Hashtbl.find_opt t.slot_owner slot = Some owner
-    && match g.ept.(gpa) with E_in_swap s -> s = slot | _ -> false
+    && Itbl.find t.slot_owner slot ~default:(-1) = owner
+    &&
+    let e = g.ept.(gpa) in
+    e land 7 = 3 && e_arg e = slot
   in
   if still_valid then begin
     let content = Storage.Swap_area.content t.swap slot in
@@ -655,9 +720,9 @@ let install_from_swap t ~slot ~owner ~target =
          theirs, so unused prefetch never relocates anything. *)
       if target && vm_swap_full then begin
         Storage.Swap_area.free t.swap slot;
-        Hashtbl.remove t.slot_owner slot
+        Itbl.remove t.slot_owner slot
       end
-      else Frames.set_swap_backing t.frames frame (Some slot);
+      else Frames.set_backing_slot t.frames frame slot;
       t.stats.host_swapins <- t.stats.host_swapins + 1
     end
   end
@@ -665,18 +730,19 @@ let install_from_swap t ~slot ~owner ~target =
 (* Install a Mapper-tracked page re-read from the disk image. *)
 let install_from_image t g ~gpa ~block ~target =
   let still_valid =
-    match g.ept.(gpa) with E_in_image b -> b = block | _ -> false
+    let e = g.ept.(gpa) in
+    e land 7 = 4 && e_arg e = block
   in
-  if still_valid then
-    match Mapper.lookup g.mapper ~gpa with
-    | Some b when b.block = block ->
-        assert (b.version = Storage.Vdisk.version g.vdisk block);
-        let content = Storage.Vdisk.content g.vdisk block in
-        ignore
-          (alloc_frame t g ~gpa ~content ~named:true ~active:target
-             ~referenced:target);
-        t.stats.mapper_refetches <- t.stats.mapper_refetches + 1
-    | Some _ | None -> ()
+  if still_valid && Mapper.tracked_block g.mapper ~gpa = block then begin
+    assert (
+      Mapper.tracked_version g.mapper ~gpa
+      = Storage.Vdisk.version g.vdisk block);
+    let content = Storage.Vdisk.content g.vdisk block in
+    ignore
+      (alloc_frame t g ~gpa ~content ~named:true ~active:target
+         ~referenced:target);
+    t.stats.mapper_refetches <- t.stats.mapper_refetches + 1
+  end
 
 (* [fault_in t g ~gpa ~host_context k]: make [gpa] present, charging all
    latencies, then run [k].  [k] itself re-checks presence (the page can
@@ -693,24 +759,27 @@ let install_from_image t g ~gpa ~block ~target =
 let rec fault_in t g ~gpa ~host_context k =
   if g.killed then after t 0 k
   else
-  match g.ept.(gpa) with
-  | E_present _ -> after t 0 k
-  | E_ballooned -> invalid_arg "Hostmm.fault_in: ballooned page"
-  | E_not_backed ->
-      let _, cost =
-        alloc_frame t g ~gpa ~content:Content.Zero ~named:false ~active:true
-          ~referenced:true
-      in
-      after t (t.config.minor_fault_us + cost) k
-  | E_in_swap _ | E_in_image _ -> (
-      let key = owner_key ~gid:g.gid ~gpa in
-      match Hashtbl.find_opt t.inflight key with
-      | Some waiters ->
+    match g.ept.(gpa) land 7 with
+    | 2 (* present *) -> after t 0 k
+    | 1 (* ballooned *) -> invalid_arg "Hostmm.fault_in: ballooned page"
+    | 0 (* not backed *) ->
+        let _, cost =
+          alloc_frame t g ~gpa ~content:Content.Zero ~named:false ~active:true
+            ~referenced:true
+        in
+        after t (t.config.minor_fault_us + cost) k
+    | _ (* in swap / in image *) ->
+        let key = owner_key ~gid:g.gid ~gpa in
+        let widx = Itbl.find t.inflight_idx key ~default:(-1) in
+        if widx >= 0 then begin
           (* Piggyback: when the in-flight read lands, try again (the
              retry will hit the fast path if the install succeeded). *)
           t.stats.async_waiter_merges <- t.stats.async_waiter_merges + 1;
-          waiters := (fun () -> fault_in t g ~gpa ~host_context k) :: !waiters
-      | None ->
+          t.inflight_ws.(widx) <-
+            (fun () -> fault_in t g ~gpa ~host_context k)
+            :: t.inflight_ws.(widx)
+        end
+        else begin
           let bound = t.config.max_inflight_faults in
           if bound > 0 && g.inflight_faults >= bound then begin
             (* At the in-flight bound: park the start.  The starter
@@ -723,13 +792,13 @@ let rec fault_in t g ~gpa ~host_context k =
               (fun () -> fault_in t g ~gpa ~host_context k)
               g.pending_faults
           end
-          else start_fault t g ~gpa ~host_context k)
+          else start_fault t g ~gpa ~host_context k
+        end
 
 (* Issue the disk read for a target fault that holds an in-flight slot. *)
 and start_fault t g ~gpa ~host_context k =
   let key = owner_key ~gid:g.gid ~gpa in
-  let waiters = ref [] in
-  Hashtbl.replace t.inflight key waiters;
+  let widx = inflight_add t key in
   g.inflight_faults <- g.inflight_faults + 1;
   t.inflight_targets <- t.inflight_targets + 1;
   if t.inflight_targets > t.stats.async_inflight_highwater then
@@ -737,13 +806,11 @@ and start_fault t g ~gpa ~host_context k =
   (* Handling a major fault runs hypervisor code. *)
   let hv_cost = hv_touch t g t.config.hv_touch_per_fault in
   let finish0 () =
-    Hashtbl.remove t.inflight key;
+    let ws = inflight_take t key widx in
     g.inflight_faults <- g.inflight_faults - 1;
     t.inflight_targets <- t.inflight_targets - 1;
-    let ws = !waiters in
-    waiters := [];
-    (match g.ept.(gpa) with
-    | E_present _ -> k ()
+    (match g.ept.(gpa) land 7 with
+    | 2 (* present *) -> k ()
     | _ -> fault_in t g ~gpa ~host_context k);
     List.iter (fun w -> w ()) ws;
     (* The freed slot may admit parked starts (of this guest). *)
@@ -752,11 +819,13 @@ and start_fault t g ~gpa ~host_context k =
   let finish () =
     if hv_cost = 0 then finish0 () else after t hv_cost finish0
   in
-  (match g.ept.(gpa) with
-  | E_in_swap slot -> swapin_cluster t g ~gpa ~slot ~host_context finish
-  | E_in_image block ->
-      refetch_image t g ~gpa ~block ~host_context finish
-  | E_present _ | E_not_backed | E_ballooned -> assert false)
+  let e = g.ept.(gpa) in
+  match e land 7 with
+  | 3 (* in swap *) ->
+      swapin_cluster t g ~gpa ~slot:(e_arg e) ~host_context finish
+  | 4 (* in image *) ->
+      refetch_image t g ~gpa ~block:(e_arg e) ~host_context finish
+  | _ -> assert false
 
 (* Release parked fault starts while in-flight capacity lasts.  A popped
    starter that resolves without occupying a slot (page became present,
@@ -782,17 +851,20 @@ and swapin_cluster t g ~gpa ~slot ~host_context k =
   let s_end = min (s0 + cluster) (Storage.Swap_area.nslots t.swap) in
   let neighbours = ref [] in
   for s = s_end - 1 downto s0 do
-    if s <> slot then
-      match Hashtbl.find_opt t.slot_owner s with
-      | Some owner
-        when (not (Hashtbl.mem t.inflight owner))
-             (* One request has one latency model: readahead never spans
-                backend tiers (constant-true in passthrough mode). *)
-             && Storage.Tiers.same_tier t.tiers slot s -> (
-          match (guest t (owner_gid owner)).ept.(owner_gpa owner) with
-          | E_in_swap s' when s' = s -> neighbours := (s, owner) :: !neighbours
-          | _ -> ())
-      | Some _ | None -> ()
+    if s <> slot then begin
+      let owner = Itbl.find t.slot_owner s ~default:(-1) in
+      if
+        owner >= 0
+        && (not (inflight_mem t owner))
+        (* One request has one latency model: readahead never spans
+           backend tiers (constant-true in passthrough mode). *)
+        && Storage.Tiers.same_tier t.tiers slot s
+      then begin
+        let e = (guest t (owner_gid owner)).ept.(owner_gpa owner) in
+        if e land 7 = 3 && e_arg e = s then
+          neighbours := (s, owner) :: !neighbours
+      end
+    end
   done;
   (* Prefetch at most the free-frame headroom beyond the target page. *)
   let headroom = max 0 (Frames.nfree t.frames - 1) in
@@ -802,12 +874,7 @@ and swapin_cluster t g ~gpa ~slot ~host_context k =
   in
   let neighbours = take headroom !neighbours in
   let marked =
-    List.map
-      (fun (s, owner) ->
-        let ws = ref [] in
-        Hashtbl.replace t.inflight owner ws;
-        (s, owner, ws))
-      neighbours
+    List.map (fun (s, owner) -> (s, owner, inflight_add t owner)) neighbours
   in
   let slots = slot :: List.map (fun (s, _) -> s) neighbours in
   let smin = List.fold_left min slot slots in
@@ -818,11 +885,9 @@ and swapin_cluster t g ~gpa ~slot ~host_context k =
     t.stats.swap_sectors_read + (List.length slots * page_sectors);
   let finish_neighbours ~install =
     List.iter
-      (fun (s, owner, ws) ->
+      (fun (s, owner, widx) ->
         if install then install_from_swap t ~slot:s ~owner ~target:false;
-        Hashtbl.remove t.inflight owner;
-        let waiters = !ws in
-        ws := [];
+        let waiters = inflight_take t owner widx in
         List.iter (fun w -> w ()) waiters)
       marked
   in
@@ -877,17 +942,18 @@ and refetch_image t g ~gpa ~block ~host_context k =
     (fun (b, gpas) ->
       List.iter
         (fun p ->
-          if p <> gpa && !headroom > 0 then
-            match g.ept.(p) with
-            | E_in_image bb
-              when bb = b
-                   && not (Hashtbl.mem t.inflight (owner_key ~gid:g.gid ~gpa:p))
-              ->
-                decr headroom;
-                let ws = ref [] in
-                Hashtbl.replace t.inflight (owner_key ~gid:g.gid ~gpa:p) ws;
-                installs := (b, p, ws) :: !installs
-            | _ -> ())
+          if p <> gpa && !headroom > 0 then begin
+            let e = g.ept.(p) in
+            if
+              e land 7 = 4
+              && e_arg e = b
+              && not (inflight_mem t (owner_key ~gid:g.gid ~gpa:p))
+            then begin
+              decr headroom;
+              let widx = inflight_add t (owner_key ~gid:g.gid ~gpa:p) in
+              installs := (b, p, widx) :: !installs
+            end
+          end)
         gpas)
     window;
   let installs = List.rev !installs in
@@ -898,11 +964,9 @@ and refetch_image t g ~gpa ~block ~host_context k =
   let sector = Storage.Vdisk.sector_of_block g.vdisk block in
   let finish_readahead ~install =
     List.iter
-      (fun (b, p, ws) ->
+      (fun (b, p, widx) ->
         if install then install_from_image t g ~gpa:p ~block:b ~target:false;
-        Hashtbl.remove t.inflight (owner_key ~gid:g.gid ~gpa:p);
-        let waiters = !ws in
-        ws := [];
+        let waiters = inflight_take t (owner_key ~gid:g.gid ~gpa:p) widx in
         List.iter (fun w -> w ()) waiters)
       installs
   in
@@ -942,52 +1006,60 @@ and refetch_image t g ~gpa ~block ~host_context k =
 (* Apply a CPU store to a present page: private-mapping COW semantics
    break the Mapper association and retype the page anonymous. *)
 let apply_write_present t g ~gpa ~full ~gen =
-  match g.ept.(gpa) with
-  | E_present frame ->
-      let base = Frames.content t.frames frame in
-      let c =
-        if full then Content.Anon gen else Content.combine base gen
-      in
-      let cost =
-        if Frames.named t.frames frame then begin
-          Mapper.untrack g.mapper ~gpa;
-          Frames.set_named t.frames frame false;
-          Cgroup.move g.cgroup Cgroup.Anon_active (Frames.node t.frames frame);
-          t.config.cow_exit_us
-        end
-        else 0
-      in
-      drop_swap_backing t frame;
-      Frames.set_content t.frames frame c;
-      Frames.set_referenced t.frames frame true;
-      cost
-  | _ -> assert false
+  let e = g.ept.(gpa) in
+  if e land 7 <> 2 then assert false
+  else begin
+    let frame = e_arg e in
+    let base = Frames.content t.frames frame in
+    let c = if full then Content.Anon gen else Content.combine base gen in
+    let cost =
+      if Frames.named t.frames frame then begin
+        Mapper.untrack g.mapper ~gpa;
+        Frames.set_named t.frames frame false;
+        Cgroup.move g.cgroup Cgroup.Anon_active frame;
+        t.config.cow_exit_us
+      end
+      else 0
+    in
+    drop_swap_backing t frame;
+    Frames.set_content t.frames frame c;
+    Frames.set_referenced t.frames frame true;
+    cost
+  end
 
 (* Merge a (possibly expired/abandoned) Preventer buffer with the page's
    old content: fault the old bytes in, then overlay generation [gen]. *)
 let rec apply_merge t g ~gpa ~gen ~host_context k =
-  match g.ept.(gpa) with
-  | E_present frame ->
+  let e = g.ept.(gpa) in
+  match e land 7 with
+  | 2 (* present *) ->
+      let frame = e_arg e in
       let base = Frames.content t.frames frame in
       if Frames.named t.frames frame then begin
         Mapper.untrack g.mapper ~gpa;
         Frames.set_named t.frames frame false;
-        Cgroup.move g.cgroup Cgroup.Anon_active (Frames.node t.frames frame)
+        Cgroup.move g.cgroup Cgroup.Anon_active frame
       end;
       drop_swap_backing t frame;
       Frames.set_content t.frames frame (Content.combine base gen);
       Frames.set_referenced t.frames frame true;
       after t 0 k
-  | E_in_swap _ | E_in_image _ ->
+  | 3 (* in swap *) | 4 (* in image *) ->
       fault_in t g ~gpa ~host_context (fun () ->
           apply_merge t g ~gpa ~gen ~host_context k)
-  | E_not_backed ->
+  | 0 (* not backed *) ->
       ignore
         (alloc_frame t g ~gpa
            ~content:(Content.combine Content.Zero gen)
            ~named:false ~active:true ~referenced:true);
       after t 0 k
-  | E_ballooned -> after t 0 k
+  | _ (* ballooned *) -> after t 0 k
+
+(* Fetch-or-mint the pending write generation for [gpa]; generations are
+   nonzero, so 0 reads as absent. *)
+let pending_gen_of g gpa =
+  let gen = Itbl.find g.pending_gen gpa ~default:0 in
+  if gen = 0 then Content.fresh_gen () else gen
 
 (* Expiry timer for Preventer buffers. *)
 let rec arm_timer t g =
@@ -1009,12 +1081,8 @@ let rec arm_timer t g =
                in
                List.iter
                  (fun gpa ->
-                   let gen =
-                     match Hashtbl.find_opt g.pending_gen gpa with
-                     | Some gen -> gen
-                     | None -> Content.fresh_gen ()
-                   in
-                   Hashtbl.remove g.pending_gen gpa;
+                   let gen = pending_gen_of g gpa in
+                   Itbl.remove g.pending_gen gpa;
                    apply_merge t g ~gpa ~gen ~host_context:true (fun () -> ()))
                  gone;
                arm_timer t g))
@@ -1024,47 +1092,41 @@ let touch_read t ~guest:gid ~gpa k =
   let rec attempt () =
     if g.killed then after t 0 (fun () -> k Content.Zero)
     else
-    match g.ept.(gpa) with
-    | E_present frame ->
-        Frames.set_referenced t.frames frame true;
-        let c = Frames.content t.frames frame in
-        after t 0 (fun () -> k c)
-    | E_ballooned -> invalid_arg "Hostmm.touch_read: ballooned page"
-    | E_not_backed ->
-        let _, cost =
-          alloc_frame t g ~gpa ~content:Content.Zero ~named:false ~active:true
-            ~referenced:true
-        in
-        after t (t.config.minor_fault_us + cost) (fun () -> k Content.Zero)
-    | E_in_swap _ | E_in_image _ ->
-        if t.vs.preventer && Preventer.is_buffered g.preventer ~gpa then begin
-          (* Guest reads a page under write emulation.  Whole-page reads
-             are never fully covered by a partial buffer, so this is the
-             suspend-and-merge path. *)
-          match
-            Preventer.on_read g.preventer ~gpa ~offset:0
-              ~len:Storage.Geom.page_bytes
-          with
-          | Preventer.Served_from_buffer ->
-              let gen =
-                match Hashtbl.find_opt g.pending_gen gpa with
-                | Some gen -> gen
-                | None -> Content.fresh_gen ()
-              in
-              after t t.config.emulated_write_us (fun () ->
-                  k (Content.Anon gen))
-          | Preventer.Suspend ->
-              Preventer.abandon g.preventer ~gpa;
-              t.stats.preventer_merges <- t.stats.preventer_merges + 1;
-              let gen =
-                match Hashtbl.find_opt g.pending_gen gpa with
-                | Some gen -> gen
-                | None -> Content.fresh_gen ()
-              in
-              Hashtbl.remove g.pending_gen gpa;
-              apply_merge t g ~gpa ~gen ~host_context:false attempt
-        end
-        else fault_in t g ~gpa ~host_context:false attempt
+      let e = g.ept.(gpa) in
+      match e land 7 with
+      | 2 (* present *) ->
+          let frame = e_arg e in
+          Frames.set_referenced t.frames frame true;
+          let c = Frames.content t.frames frame in
+          after t 0 (fun () -> k c)
+      | 1 (* ballooned *) -> invalid_arg "Hostmm.touch_read: ballooned page"
+      | 0 (* not backed *) ->
+          let _, cost =
+            alloc_frame t g ~gpa ~content:Content.Zero ~named:false
+              ~active:true ~referenced:true
+          in
+          after t (t.config.minor_fault_us + cost) (fun () -> k Content.Zero)
+      | _ (* in swap / in image *) ->
+          if t.vs.preventer && Preventer.is_buffered g.preventer ~gpa then begin
+            (* Guest reads a page under write emulation.  Whole-page reads
+               are never fully covered by a partial buffer, so this is the
+               suspend-and-merge path. *)
+            match
+              Preventer.on_read g.preventer ~gpa ~offset:0
+                ~len:Storage.Geom.page_bytes
+            with
+            | Preventer.Served_from_buffer ->
+                let gen = pending_gen_of g gpa in
+                after t t.config.emulated_write_us (fun () ->
+                    k (Content.Anon gen))
+            | Preventer.Suspend ->
+                Preventer.abandon g.preventer ~gpa;
+                t.stats.preventer_merges <- t.stats.preventer_merges + 1;
+                let gen = pending_gen_of g gpa in
+                Itbl.remove g.pending_gen gpa;
+                apply_merge t g ~gpa ~gen ~host_context:false attempt
+          end
+          else fault_in t g ~gpa ~host_context:false attempt
   in
   attempt ()
 
@@ -1075,42 +1137,42 @@ let touch_write t ~guest:gid ~gpa ~offset ~len ~gen ~intent_full_page k =
   let rec attempt () =
     if g.killed then after t 0 k
     else
-    match g.ept.(gpa) with
-    | E_present _ ->
-        let cost = apply_write_present t g ~gpa ~full ~gen in
-        after t cost k
-    | E_ballooned -> invalid_arg "Hostmm.touch_write: ballooned page"
-    | E_not_backed ->
-        let content =
-          if full then Content.Anon gen else Content.combine Content.Zero gen
-        in
-        let _, cost =
-          alloc_frame t g ~gpa ~content ~named:false ~active:true
-            ~referenced:true
-        in
-        after t (t.config.minor_fault_us + cost) k
-    | E_in_swap _ | E_in_image _ ->
-        if t.vs.preventer then
-          match
-            Preventer.on_write g.preventer ~now:(Sim.Engine.now t.engine) ~gpa
-              ~offset ~len
-          with
-          | Preventer.Completed ->
-              discard_backing t g ~gpa;
-              let _, cost =
-                alloc_frame t g ~gpa ~content:(Content.Anon gen) ~named:false
-                  ~active:true ~referenced:true
-              in
-              after t (t.config.emulated_write_us + cost) k
-          | Preventer.Buffered { first_write } ->
-              Hashtbl.replace g.pending_gen gpa gen;
-              if first_write then arm_timer t g;
-              after t t.config.emulated_write_us k
-          | Preventer.Needs_merge ->
-              Hashtbl.remove g.pending_gen gpa;
-              apply_merge t g ~gpa ~gen ~host_context:false k
-          | Preventer.Rejected -> baseline ()
-        else baseline ()
+      match g.ept.(gpa) land 7 with
+      | 2 (* present *) ->
+          let cost = apply_write_present t g ~gpa ~full ~gen in
+          after t cost k
+      | 1 (* ballooned *) -> invalid_arg "Hostmm.touch_write: ballooned page"
+      | 0 (* not backed *) ->
+          let content =
+            if full then Content.Anon gen else Content.combine Content.Zero gen
+          in
+          let _, cost =
+            alloc_frame t g ~gpa ~content ~named:false ~active:true
+              ~referenced:true
+          in
+          after t (t.config.minor_fault_us + cost) k
+      | _ (* in swap / in image *) ->
+          if t.vs.preventer then
+            match
+              Preventer.on_write g.preventer ~now:(Sim.Engine.now t.engine)
+                ~gpa ~offset ~len
+            with
+            | Preventer.Completed ->
+                discard_backing t g ~gpa;
+                let _, cost =
+                  alloc_frame t g ~gpa ~content:(Content.Anon gen) ~named:false
+                    ~active:true ~referenced:true
+                in
+                after t (t.config.emulated_write_us + cost) k
+            | Preventer.Buffered { first_write } ->
+                Itbl.set g.pending_gen gpa gen;
+                if first_write then arm_timer t g;
+                after t t.config.emulated_write_us k
+            | Preventer.Needs_merge ->
+                Itbl.remove g.pending_gen gpa;
+                apply_merge t g ~gpa ~gen ~host_context:false k
+            | Preventer.Rejected -> baseline ()
+          else baseline ()
   and baseline () =
     if intent_full_page && not !false_read_counted then begin
       false_read_counted := true;
@@ -1126,49 +1188,50 @@ let rep_write t ~guest:gid ~gpa ~content k =
   let rec attempt () =
     if g.killed then after t 0 k
     else
-    match g.ept.(gpa) with
-    | E_present frame ->
-        let cost =
-          if Frames.named t.frames frame then begin
-            Mapper.untrack g.mapper ~gpa;
-            Frames.set_named t.frames frame false;
-            Cgroup.move g.cgroup Cgroup.Anon_active
-              (Frames.node t.frames frame);
-            t.config.cow_exit_us
-          end
-          else 0
-        in
-        drop_swap_backing t frame;
-        Frames.set_content t.frames frame content;
-        Frames.set_referenced t.frames frame true;
-        after t cost k
-    | E_ballooned -> invalid_arg "Hostmm.rep_write: ballooned page"
-    | E_not_backed ->
-        let _, cost =
-          alloc_frame t g ~gpa ~content ~named:false ~active:true
-            ~referenced:true
-        in
-        after t (t.config.minor_fault_us + cost) k
-    | E_in_swap _ | E_in_image _ ->
-        if t.vs.preventer then begin
-          (* REP-prefixed whole-page store: recognized outright; the old
-             content is never read (paper Section 4.2, last paragraph). *)
-          Preventer.on_rep_write g.preventer ~gpa;
-          Hashtbl.remove g.pending_gen gpa;
-          discard_backing t g ~gpa;
+      let e = g.ept.(gpa) in
+      match e land 7 with
+      | 2 (* present *) ->
+          let frame = e_arg e in
+          let cost =
+            if Frames.named t.frames frame then begin
+              Mapper.untrack g.mapper ~gpa;
+              Frames.set_named t.frames frame false;
+              Cgroup.move g.cgroup Cgroup.Anon_active frame;
+              t.config.cow_exit_us
+            end
+            else 0
+          in
+          drop_swap_backing t frame;
+          Frames.set_content t.frames frame content;
+          Frames.set_referenced t.frames frame true;
+          after t cost k
+      | 1 (* ballooned *) -> invalid_arg "Hostmm.rep_write: ballooned page"
+      | 0 (* not backed *) ->
           let _, cost =
             alloc_frame t g ~gpa ~content ~named:false ~active:true
               ~referenced:true
           in
-          after t (t.config.emulated_write_us + cost) k
-        end
-        else begin
-          if not !false_read_counted then begin
-            false_read_counted := true;
-            t.stats.false_reads <- t.stats.false_reads + 1
-          end;
-          fault_in t g ~gpa ~host_context:false attempt
-        end
+          after t (t.config.minor_fault_us + cost) k
+      | _ (* in swap / in image *) ->
+          if t.vs.preventer then begin
+            (* REP-prefixed whole-page store: recognized outright; the old
+               content is never read (paper Section 4.2, last paragraph). *)
+            Preventer.on_rep_write g.preventer ~gpa;
+            Itbl.remove g.pending_gen gpa;
+            discard_backing t g ~gpa;
+            let _, cost =
+              alloc_frame t g ~gpa ~content ~named:false ~active:true
+                ~referenced:true
+            in
+            after t (t.config.emulated_write_us + cost) k
+          end
+          else begin
+            if not !false_read_counted then begin
+              false_read_counted := true;
+              t.stats.false_reads <- t.stats.false_reads + 1
+            end;
+            fault_in t g ~gpa ~host_context:false attempt
+          end
   in
   attempt ()
 
@@ -1182,39 +1245,41 @@ let install_file_page t g ~gpa ~block =
   let v = Storage.Vdisk.version g.vdisk block in
   let content = Storage.Vdisk.content g.vdisk block in
   let cost = ref 0 in
-  (match g.ept.(gpa) with
-  | E_present frame ->
-      drop_swap_backing t frame;
-      Frames.set_content t.frames frame content;
-      if not (Frames.named t.frames frame) then begin
-        Frames.set_named t.frames frame true;
-        Cgroup.move g.cgroup Cgroup.File_inactive (Frames.node t.frames frame)
-      end
-  | E_ballooned -> ()
-  | E_not_backed | E_in_swap _ | E_in_image _ ->
-      discard_backing t g ~gpa;
-      let _, c =
-        alloc_frame t g ~gpa ~content ~named:true ~active:false
-          ~referenced:false
-      in
-      cost := c);
-  (match g.ept.(gpa) with
-  | E_present _ ->
-      Mapper.track g.mapper ~gpa ~disk:(Storage.Vdisk.id g.vdisk) ~block
-        ~version:v
-  | _ -> ());
+  (let e = g.ept.(gpa) in
+   match e land 7 with
+   | 2 (* present *) ->
+       let frame = e_arg e in
+       drop_swap_backing t frame;
+       Frames.set_content t.frames frame content;
+       if not (Frames.named t.frames frame) then begin
+         Frames.set_named t.frames frame true;
+         Cgroup.move g.cgroup Cgroup.File_inactive frame
+       end
+   | 1 (* ballooned *) -> ()
+   | _ (* not backed / in swap / in image *) ->
+       discard_backing t g ~gpa;
+       let _, c =
+         alloc_frame t g ~gpa ~content ~named:true ~active:false
+           ~referenced:false
+       in
+       cost := c);
+  if g.ept.(gpa) land 7 = 2 then
+    Mapper.track g.mapper ~gpa ~disk:(Storage.Vdisk.id g.vdisk) ~block
+      ~version:v;
   !cost + t.config.mapper_map_page_us
 
 (* Baseline DMA landing: overwrite the (pinned) destination page. *)
 let force_dma_install t g ~gpa ~block =
   let content = Storage.Vdisk.content g.vdisk block in
-  match g.ept.(gpa) with
-  | E_present frame ->
+  let e = g.ept.(gpa) in
+  match e land 7 with
+  | 2 (* present *) ->
+      let frame = e_arg e in
       drop_swap_backing t frame;
       Frames.set_content t.frames frame content;
       Frames.set_referenced t.frames frame true
-  | E_ballooned -> ()
-  | E_not_backed | E_in_swap _ | E_in_image _ ->
+  | 1 (* ballooned *) -> ()
+  | _ (* not backed / in swap / in image *) ->
       discard_backing t g ~gpa;
       ignore
         (alloc_frame t g ~gpa ~content ~named:false ~active:false
@@ -1225,7 +1290,9 @@ let vio_read t ?(aligned = true) ~guest:gid ~block0 ~gpas k =
   let n = Array.length gpas in
   if n = 0 || g.killed then after t 0 k
   else begin
-    let base_cost = t.config.vio_overhead_us + hv_touch t g t.config.hv_touch_per_vio in
+    let base_cost =
+      t.config.vio_overhead_us + hv_touch t g t.config.hv_touch_per_vio
+    in
     let sector = Storage.Vdisk.sector_of_block g.vdisk block0 in
     let mapper_path = t.vs.mapper && t.vs.report_4k_sectors && aligned in
     if mapper_path then begin
@@ -1279,24 +1346,26 @@ let vio_read t ?(aligned = true) ~guest:gid ~block0 ~gpas k =
       let faults = ref [] in
       Array.iter
         (fun gpa ->
-          match g.ept.(gpa) with
-          | E_present frame -> Frames.set_referenced t.frames frame true
-          | E_not_backed ->
+          let e = g.ept.(gpa) in
+          match e land 7 with
+          | 2 (* present *) -> Frames.set_referenced t.frames (e_arg e) true
+          | 0 (* not backed *) ->
               let _, c =
                 alloc_frame t g ~gpa ~content:Content.Zero ~named:false
                   ~active:false ~referenced:true
               in
               cost := !cost + t.config.minor_fault_us + c
-          | E_in_swap _ ->
+          | 3 (* in swap *) ->
               t.stats.stale_reads <- t.stats.stale_reads + 1;
               faults := gpa :: !faults
-          | E_in_image _ ->
+          | 4 (* in image *) ->
               (* A misaligned request while the Mapper is active: the
                  discarded page must be faulted back in just to be
                  DMA-overwritten — still a stale read. *)
               t.stats.stale_reads <- t.stats.stale_reads + 1;
               faults := gpa :: !faults
-          | E_ballooned -> invalid_arg "Hostmm.vio_read: ballooned page")
+          | _ (* ballooned *) ->
+              invalid_arg "Hostmm.vio_read: ballooned page")
         gpas;
       let done_one = join t (List.length !faults) submit in
       List.iter
@@ -1310,32 +1379,34 @@ let vio_read t ?(aligned = true) ~guest:gid ~block0 ~gpas k =
    read the backing store directly — in reality the page would have been
    pinned for the duration of the I/O. *)
 let source_content t g gpa =
-  match g.ept.(gpa) with
-  | E_present frame -> Frames.content t.frames frame
-  | E_in_swap slot -> Storage.Swap_area.content t.swap slot
-  | E_in_image block -> Storage.Vdisk.content g.vdisk block
-  | E_not_backed -> Content.Zero
-  | E_ballooned -> Content.Zero
+  let e = g.ept.(gpa) in
+  match e land 7 with
+  | 2 (* present *) -> Frames.content t.frames (e_arg e)
+  | 3 (* in swap *) -> Storage.Swap_area.content t.swap (e_arg e)
+  | 4 (* in image *) -> Storage.Vdisk.content g.vdisk (e_arg e)
+  | _ (* not backed / ballooned *) -> Content.Zero
 
 (* Preserve-and-untrack one page whose backing block is about to be
    overwritten: the Mapper's data-consistency protocol (Section 4.1).
    A discarded page must be faulted back in before the block changes. *)
 let rec preserve_victim t g ~gpa k =
-  match g.ept.(gpa) with
-  | E_present frame ->
+  let e = g.ept.(gpa) in
+  match e land 7 with
+  | 2 (* present *) ->
+      let frame = e_arg e in
       Mapper.untrack g.mapper ~gpa;
       if Frames.named t.frames frame then begin
         Frames.set_named t.frames frame false;
-        Cgroup.move g.cgroup Cgroup.Anon_active (Frames.node t.frames frame)
+        Cgroup.move g.cgroup Cgroup.Anon_active frame
       end;
       after t 0 k
-  | E_in_image _ ->
+  | 4 (* in image *) ->
       fault_in t g ~gpa ~host_context:true (fun () ->
           preserve_victim t g ~gpa k)
-  | E_in_swap _ ->
+  | 3 (* in swap *) ->
       (* Tracked pages are never in swap; the mapping must be gone. *)
       after t 0 k
-  | E_not_backed | E_ballooned ->
+  | _ (* not backed / ballooned *) ->
       Mapper.untrack g.mapper ~gpa;
       after t 0 k
 
@@ -1344,7 +1415,9 @@ let vio_write t ?(aligned = true) ~guest:gid ~block0 ~gpas k =
   let n = Array.length gpas in
   if n = 0 || g.killed then after t 0 k
   else begin
-    let base_cost = t.config.vio_overhead_us + hv_touch t g t.config.hv_touch_per_vio in
+    let base_cost =
+      t.config.vio_overhead_us + hv_touch t g t.config.hv_touch_per_vio
+    in
     let disk_id = Storage.Vdisk.id g.vdisk in
     let sector = Storage.Vdisk.sector_of_block g.vdisk block0 in
     let track_path = t.vs.mapper && t.vs.report_4k_sectors && aligned in
@@ -1352,27 +1425,27 @@ let vio_write t ?(aligned = true) ~guest:gid ~block0 ~gpas k =
     let phase3 () =
       if g.killed then after t 0 k
       else begin
-      Array.iteri
-        (fun i gpa ->
-          let block = block0 + i in
-          let content = source_content t g gpa in
-          let version = Storage.Vdisk.write g.vdisk block content in
-          if track_path then begin
-            (* Write-then-map: the page now mirrors the block. *)
-            match g.ept.(gpa) with
-            | E_present frame ->
+        Array.iteri
+          (fun i gpa ->
+            let block = block0 + i in
+            let content = source_content t g gpa in
+            let version = Storage.Vdisk.write g.vdisk block content in
+            if track_path then begin
+              (* Write-then-map: the page now mirrors the block. *)
+              let e = g.ept.(gpa) in
+              if e land 7 = 2 then begin
+                let frame = e_arg e in
                 Mapper.track g.mapper ~gpa ~disk:disk_id ~block ~version;
                 if not (Frames.named t.frames frame) then begin
                   Frames.set_named t.frames frame true;
-                  Cgroup.move g.cgroup Cgroup.File_inactive
-                    (Frames.node t.frames frame)
+                  Cgroup.move g.cgroup Cgroup.File_inactive frame
                 end;
                 Frames.set_referenced t.frames frame true
-            | _ -> ()
-          end)
-        gpas;
-      Storage.Disk.submit t.disk ~sector ~nsectors:(n * page_sectors)
-        ~kind:Storage.Disk.Write (fun _ -> after t base_cost k)
+              end
+            end)
+          gpas;
+        Storage.Disk.submit t.disk ~sector ~nsectors:(n * page_sectors)
+          ~kind:Storage.Disk.Write (fun _ -> after t base_cost k)
       end
     in
     (* Phase 2: consistency protocol for every overwritten block. *)
@@ -1397,14 +1470,15 @@ let vio_write t ?(aligned = true) ~guest:gid ~block0 ~gpas k =
     let faults = ref [] in
     Array.iter
       (fun gpa ->
-        match g.ept.(gpa) with
-        | E_present frame -> Frames.set_referenced t.frames frame true
-        | E_not_backed ->
+        let e = g.ept.(gpa) in
+        match e land 7 with
+        | 2 (* present *) -> Frames.set_referenced t.frames (e_arg e) true
+        | 0 (* not backed *) ->
             ignore
               (alloc_frame t g ~gpa ~content:Content.Zero ~named:false
                  ~active:false ~referenced:true)
-        | E_in_swap _ | E_in_image _ -> faults := gpa :: !faults
-        | E_ballooned -> invalid_arg "Hostmm.vio_write: ballooned page")
+        | 3 (* in swap *) | 4 (* in image *) -> faults := gpa :: !faults
+        | _ (* ballooned *) -> invalid_arg "Hostmm.vio_write: ballooned page")
       gpas;
     let done_one = join t (List.length !faults) phase2 in
     List.iter (fun gpa -> fault_in t g ~gpa ~host_context:true done_one) !faults
@@ -1416,20 +1490,19 @@ let vio_write t ?(aligned = true) ~guest:gid ~block0 ~gpas k =
 
 let balloon_steal t ~guest:gid ~gpa =
   let g = guest t gid in
-  (match g.ept.(gpa) with
-  | E_ballooned -> invalid_arg "Hostmm.balloon_steal: already ballooned"
-  | E_not_backed | E_present _ | E_in_swap _ | E_in_image _ ->
-      discard_backing t g ~gpa);
-  g.ept.(gpa) <- E_ballooned;
+  if g.ept.(gpa) = e_ballooned then
+    invalid_arg "Hostmm.balloon_steal: already ballooned"
+  else discard_backing t g ~gpa;
+  g.ept.(gpa) <- e_ballooned;
   t.stats.balloon_inflated_pages <- t.stats.balloon_inflated_pages + 1
 
 let balloon_return t ~guest:gid ~gpa =
   let g = guest t gid in
-  match g.ept.(gpa) with
-  | E_ballooned ->
-      g.ept.(gpa) <- E_not_backed;
-      t.stats.balloon_deflated_pages <- t.stats.balloon_deflated_pages + 1
-  | _ -> invalid_arg "Hostmm.balloon_return: page is not ballooned"
+  if g.ept.(gpa) = e_ballooned then begin
+    g.ept.(gpa) <- e_not_backed;
+    t.stats.balloon_deflated_pages <- t.stats.balloon_deflated_pages + 1
+  end
+  else invalid_arg "Hostmm.balloon_return: page is not ballooned"
 
 (* ------------------------------------------------------------------ *)
 (* Introspection                                                       *)
@@ -1441,18 +1514,17 @@ let resident t gid = Cgroup.resident (guest t gid).cgroup
 let mapper_tracked t gid = Mapper.tracked (guest t gid).mapper
 
 let page_state t ~guest:gid ~gpa =
-  match (guest t gid).ept.(gpa) with
-  | E_not_backed -> Not_backed
-  | E_present _ -> Present
-  | E_in_swap _ -> In_swap
-  | E_in_image _ -> In_image
-  | E_ballooned -> Ballooned
+  match (guest t gid).ept.(gpa) land 7 with
+  | 0 -> Not_backed
+  | 2 -> Present
+  | 3 -> In_swap
+  | 4 -> In_image
+  | _ -> Ballooned
 
 let frame_content t ~guest:gid ~gpa =
   let g = guest t gid in
-  match g.ept.(gpa) with
-  | E_present frame -> Some (Frames.content t.frames frame)
-  | _ -> None
+  let e = g.ept.(gpa) in
+  if e land 7 = 2 then Some (Frames.content t.frames (e_arg e)) else None
 
 let vdisk t gid = (guest t gid).vdisk
 
@@ -1468,79 +1540,90 @@ type page_view =
 
 let page_view t ~guest:gid ~gpa =
   let g = guest t gid in
-  match g.ept.(gpa) with
-  | E_not_backed | E_ballooned -> V_unbacked
-  | E_present frame ->
+  let e = g.ept.(gpa) in
+  match e land 7 with
+  | 2 ->
       V_present
         {
-          content = Frames.content t.frames frame;
-          named = Frames.named t.frames frame;
+          content = Frames.content t.frames (e_arg e);
+          named = Frames.named t.frames (e_arg e);
           backing_block =
             Option.map
               (fun (b : Mapper.backing) -> b.block)
               (Mapper.lookup g.mapper ~gpa);
         }
-  | E_in_swap slot -> V_in_swap { slot }
-  | E_in_image block -> V_in_image { block }
+  | 3 -> V_in_swap { slot = e_arg e }
+  | 4 -> V_in_image { block = e_arg e }
+  | _ -> V_unbacked
 
 let swap_slot_sector t slot = Storage.Swap_area.sector_of_slot t.swap slot
 let disk t = t.disk
 
 let check_invariants t =
   let fail fmt = Printf.ksprintf failwith fmt in
-  Hashtbl.iter
-    (fun gid g ->
-      Array.iteri
-        (fun gpa epte ->
-          match epte with
-          | E_not_backed | E_ballooned -> ()
-          | E_present frame -> (
-              (match Frames.owner t.frames frame with
-              | Frames.Guest_page { guest = og; gpa = op }
-                when og = gid && op = gpa ->
-                  ()
-              | _ -> fail "guest %d gpa %d: frame %d owner mismatch" gid gpa frame);
-              (match Frames.swap_backing t.frames frame with
-              | None -> ()
-              | Some slot ->
-                  if not (Storage.Swap_area.is_allocated t.swap slot) then
-                    fail "guest %d gpa %d: backing slot %d free" gid gpa slot;
-                  if
-                    Hashtbl.find_opt t.slot_owner slot
-                    <> Some (owner_key ~gid ~gpa)
-                  then
-                    fail "guest %d gpa %d: backing slot %d owner" gid gpa slot;
-                  if
-                    not
-                      (Content.equal
-                         (Frames.content t.frames frame)
-                         (Storage.Swap_area.content t.swap slot))
-                  then fail "guest %d gpa %d: backing content diverged" gid gpa);
-              if Frames.named t.frames frame then
-                match Mapper.lookup g.mapper ~gpa with
-                | None -> fail "guest %d gpa %d: named but untracked" gid gpa
-                | Some b ->
-                    if Storage.Vdisk.version g.vdisk b.block <> b.version then
-                      fail "guest %d gpa %d: tracked version stale" gid gpa;
+  for gid = 0 to t.nguests - 1 do
+    match t.guests.(gid) with
+    | None -> ()
+    | Some g ->
+        Array.iteri
+          (fun gpa e ->
+            match e land 7 with
+            | 0 (* not backed *) | 1 (* ballooned *) -> ()
+            | 2 (* present *) -> (
+                let frame = e_arg e in
+                if
+                  not
+                    (Frames.owner_kind t.frames frame = 1
+                    && Frames.owner_guest t.frames frame = gid
+                    && Frames.owner_payload t.frames frame = gpa)
+                then
+                  fail "guest %d gpa %d: frame %d owner mismatch" gid gpa frame;
+                (match Frames.swap_backing t.frames frame with
+                | None -> ()
+                | Some slot ->
+                    if not (Storage.Swap_area.is_allocated t.swap slot) then
+                      fail "guest %d gpa %d: backing slot %d free" gid gpa slot;
+                    if
+                      Itbl.find t.slot_owner slot ~default:(-1)
+                      <> owner_key ~gid ~gpa
+                    then
+                      fail "guest %d gpa %d: backing slot %d owner" gid gpa slot;
                     if
                       not
                         (Content.equal
                            (Frames.content t.frames frame)
-                           (Storage.Vdisk.content g.vdisk b.block))
-                    then
-                      fail "guest %d gpa %d: tracked content diverged" gid gpa)
-          | E_in_swap slot ->
-              if not (Storage.Swap_area.is_allocated t.swap slot) then
-                fail "guest %d gpa %d: swap slot %d not allocated" gid gpa slot;
-              if
-                Hashtbl.find_opt t.slot_owner slot <> Some (owner_key ~gid ~gpa)
-              then
-                fail "guest %d gpa %d: swap slot %d owner mismatch" gid gpa slot
-          | E_in_image block -> (
-              match Mapper.lookup g.mapper ~gpa with
-              | Some b when b.block = block ->
-                  if Storage.Vdisk.version g.vdisk block <> b.version then
-                    fail "guest %d gpa %d: in-image version stale" gid gpa
-              | _ -> fail "guest %d gpa %d: in-image but untracked" gid gpa))
-        g.ept)
-    t.guests
+                           (Storage.Swap_area.content t.swap slot))
+                    then fail "guest %d gpa %d: backing content diverged" gid gpa);
+                if Frames.named t.frames frame then
+                  match Mapper.lookup g.mapper ~gpa with
+                  | None -> fail "guest %d gpa %d: named but untracked" gid gpa
+                  | Some b ->
+                      if Storage.Vdisk.version g.vdisk b.block <> b.version then
+                        fail "guest %d gpa %d: tracked version stale" gid gpa;
+                      if
+                        not
+                          (Content.equal
+                             (Frames.content t.frames frame)
+                             (Storage.Vdisk.content g.vdisk b.block))
+                      then
+                        fail "guest %d gpa %d: tracked content diverged" gid gpa)
+            | 3 (* in swap *) ->
+                let slot = e_arg e in
+                if not (Storage.Swap_area.is_allocated t.swap slot) then
+                  fail "guest %d gpa %d: swap slot %d not allocated" gid gpa
+                    slot;
+                if
+                  Itbl.find t.slot_owner slot ~default:(-1)
+                  <> owner_key ~gid ~gpa
+                then
+                  fail "guest %d gpa %d: swap slot %d owner mismatch" gid gpa
+                    slot
+            | _ (* in image *) -> (
+                let block = e_arg e in
+                match Mapper.lookup g.mapper ~gpa with
+                | Some b when b.block = block ->
+                    if Storage.Vdisk.version g.vdisk block <> b.version then
+                      fail "guest %d gpa %d: in-image version stale" gid gpa
+                | _ -> fail "guest %d gpa %d: in-image but untracked" gid gpa))
+          g.ept
+  done

@@ -20,14 +20,21 @@ let anon_counter = Atomic.make 0
 let fresh_anon () = Anon (Atomic.fetch_and_add anon_counter 1 + 1)
 let fresh_gen () = Atomic.fetch_and_add anon_counter 1 + 1
 
+(* Deterministic tag derivation without boxing: instead of building a
+   tuple for [Hashtbl.hash], fold the constructor tag and fields through
+   the SplitMix mix one packed int at a time.  Behaviour elsewhere
+   depends only on tag (in)equality, so any injective-in-practice mix
+   works; chaining the finalizer keeps it collision-resistant. *)
 let combine base gen =
-  let base_key =
+  let mix = Faults.Plan.mix_int in
+  let h =
     match base with
-    | Zero -> (0, 0, 0, 0)
-    | Anon g -> (1, g, 0, 0)
-    | Block { disk; block; version } -> (2, disk, block, version)
+    | Zero -> mix 0
+    | Anon g -> mix (mix 1 lxor g)
+    | Block { disk; block; version } ->
+        mix (mix (mix (mix 2 lxor disk) lxor block) lxor version)
   in
-  Anon (Hashtbl.hash (base_key, gen))
+  Anon (mix (h lxor gen))
 
 let reset_anon_counter () = Atomic.set anon_counter 0
 

@@ -11,10 +11,11 @@ let registry_complete () =
       Alcotest.(check bool) (id ^ " registered") true (List.mem id ids))
     [ "fig3"; "fig4"; "fig5"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13";
       "fig14"; "fig15"; "tab1"; "tab2" ];
-  check Alcotest.int "twelve paper artifacts + extensions" 18
+  check Alcotest.int "twelve paper artifacts + extensions" 19
     (List.length ids);
   Alcotest.(check bool) "scalability registered" true
     (List.mem "scalability" ids);
+  Alcotest.(check bool) "memscale registered" true (List.mem "memscale" ids);
   Alcotest.(check bool) "tiering registered" true (List.mem "tiering" ids);
   Alcotest.(check bool) "migration registered" true (List.mem "mig" ids);
   Alcotest.(check bool) "resilience registered" true
