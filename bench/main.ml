@@ -218,6 +218,22 @@ let write_json ~file ~scale r =
     tt.Experiments.Exp.writeback_sectors tt.Experiments.Exp.fast_swapins
     tt.Experiments.Exp.slow_swapins tt.Experiments.Exp.fast_swapin_us
     tt.Experiments.Exp.slow_swapin_us;
+  let r2 = Experiments.Exp.resilience2_totals () in
+  out
+    "  \"resilience2\": {\"scrub_scans\": %d, \"scrub_verify_reads\": %d, \
+     \"scrub_media_found\": %d, \"scrub_relocations\": %d, \
+     \"scrub_reloc_failed\": %d, \"qos_throttled\": %d, \
+     \"qos_throttle_wait_us\": %d, \"tier_degraded\": %d, \
+     \"tier_recovered\": %d, \"tier_failover_routes\": %d, \
+     \"media_reads\": %d, \"pages_lost\": %d},\n"
+    r2.Experiments.Exp.scrub_scans r2.Experiments.Exp.scrub_verify_reads
+    r2.Experiments.Exp.scrub_media_found r2.Experiments.Exp.scrub_relocations
+    r2.Experiments.Exp.scrub_reloc_failed r2.Experiments.Exp.qos_throttled
+    r2.Experiments.Exp.qos_throttle_wait_us
+    r2.Experiments.Exp.tier_degraded_events
+    r2.Experiments.Exp.tier_recovered_events
+    r2.Experiments.Exp.tier_failover_routes r2.Experiments.Exp.media_reads
+    r2.Experiments.Exp.pages_lost;
   (* Engine section: lifetime totals of the event engine's hot path, a
      schedule+cancel churn microbench on both backends (so every summary
      records the wheel-vs-heap throughput on this machine), and fired
@@ -574,7 +590,8 @@ let run_micro ~record () =
            (fun e ->
              (* The multi-guest sweeps are too heavy to iterate. *)
              not
-               (List.mem e.Experiments.Exp.id [ "fig4"; "fig14"; "memscale" ]))
+               (List.mem e.Experiments.Exp.id
+                  [ "fig4"; "fig14"; "memscale"; "degradation" ]))
            Experiments.Registry.all)
   in
   let instances = Instance.[ monotonic_clock ] in

@@ -169,6 +169,67 @@ let tier_totals () =
     slow_swapin_us = Atomic.get acc_tier_slow_us;
   }
 
+(* Degraded-media survival totals (scrubber, QoS, tier failover), same
+   atomic discipline.  All zero when no run armed the scrubber, the QoS
+   layer, or a fault-injecting tier pair. *)
+type resilience2_totals = {
+  scrub_scans : int;
+  scrub_verify_reads : int;
+  scrub_media_found : int;
+  scrub_relocations : int;
+  scrub_reloc_failed : int;
+  qos_throttled : int;
+  qos_throttle_wait_us : int;
+  tier_degraded_events : int;
+  tier_recovered_events : int;
+  tier_failover_routes : int;
+  media_reads : int;
+  pages_lost : int;
+}
+
+let acc_scrub_scans = Atomic.make 0
+let acc_scrub_verify = Atomic.make 0
+let acc_scrub_found = Atomic.make 0
+let acc_scrub_reloc = Atomic.make 0
+let acc_scrub_reloc_failed = Atomic.make 0
+let acc_qos_throttled = Atomic.make 0
+let acc_qos_wait_us = Atomic.make 0
+let acc_tier_degraded = Atomic.make 0
+let acc_tier_recovered = Atomic.make 0
+let acc_tier_failover = Atomic.make 0
+let acc_media_reads = Atomic.make 0
+let acc_pages_lost = Atomic.make 0
+
+let reset_resilience2_totals () =
+  Atomic.set acc_scrub_scans 0;
+  Atomic.set acc_scrub_verify 0;
+  Atomic.set acc_scrub_found 0;
+  Atomic.set acc_scrub_reloc 0;
+  Atomic.set acc_scrub_reloc_failed 0;
+  Atomic.set acc_qos_throttled 0;
+  Atomic.set acc_qos_wait_us 0;
+  Atomic.set acc_tier_degraded 0;
+  Atomic.set acc_tier_recovered 0;
+  Atomic.set acc_tier_failover 0;
+  Atomic.set acc_media_reads 0;
+  Atomic.set acc_pages_lost 0
+
+let resilience2_totals () =
+  {
+    scrub_scans = Atomic.get acc_scrub_scans;
+    scrub_verify_reads = Atomic.get acc_scrub_verify;
+    scrub_media_found = Atomic.get acc_scrub_found;
+    scrub_relocations = Atomic.get acc_scrub_reloc;
+    scrub_reloc_failed = Atomic.get acc_scrub_reloc_failed;
+    qos_throttled = Atomic.get acc_qos_throttled;
+    qos_throttle_wait_us = Atomic.get acc_qos_wait_us;
+    tier_degraded_events = Atomic.get acc_tier_degraded;
+    tier_recovered_events = Atomic.get acc_tier_recovered;
+    tier_failover_routes = Atomic.get acc_tier_failover;
+    media_reads = Atomic.get acc_media_reads;
+    pages_lost = Atomic.get acc_pages_lost;
+  }
+
 (* Engine telemetry totals, same atomic discipline.  Per-experiment
    attribution rides on a domain-local tag: the registry tags the job
    running an experiment, and [shard] re-establishes the submitting
@@ -314,6 +375,32 @@ let record_disk_stats (s : Metrics.Stats.t) =
     (Atomic.fetch_and_add acc_tier_fast_us s.Metrics.Stats.tier_fast_swapin_us);
   ignore
     (Atomic.fetch_and_add acc_tier_slow_us s.Metrics.Stats.tier_slow_swapin_us);
+  ignore (Atomic.fetch_and_add acc_scrub_scans s.Metrics.Stats.scrub_scans);
+  ignore
+    (Atomic.fetch_and_add acc_scrub_verify s.Metrics.Stats.scrub_verify_reads);
+  ignore
+    (Atomic.fetch_and_add acc_scrub_found s.Metrics.Stats.scrub_media_found);
+  ignore
+    (Atomic.fetch_and_add acc_scrub_reloc s.Metrics.Stats.scrub_relocations);
+  ignore
+    (Atomic.fetch_and_add acc_scrub_reloc_failed
+       s.Metrics.Stats.scrub_reloc_failed);
+  ignore (Atomic.fetch_and_add acc_qos_throttled s.Metrics.Stats.qos_throttled);
+  ignore
+    (Atomic.fetch_and_add acc_qos_wait_us s.Metrics.Stats.qos_throttle_wait_us);
+  ignore
+    (Atomic.fetch_and_add acc_tier_degraded
+       s.Metrics.Stats.tier_degraded_events);
+  ignore
+    (Atomic.fetch_and_add acc_tier_recovered
+       s.Metrics.Stats.tier_recovered_events);
+  ignore
+    (Atomic.fetch_and_add acc_tier_failover
+       s.Metrics.Stats.tier_failover_routes);
+  ignore
+    (Atomic.fetch_and_add acc_media_reads s.Metrics.Stats.fault_media_reads);
+  ignore
+    (Atomic.fetch_and_add acc_pages_lost s.Metrics.Stats.fault_pages_lost);
   ignore
     (Atomic.fetch_and_add acc_engine_fired s.Metrics.Stats.engine_events_fired);
   ignore

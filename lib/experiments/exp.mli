@@ -105,6 +105,29 @@ type tier_totals = {
 val reset_tier_totals : unit -> unit
 val tier_totals : unit -> tier_totals
 
+(** Degraded-media survival totals (background scrubber, per-guest I/O
+    QoS, tier failover) summed over every [run_machine] since the last
+    [reset_resilience2_totals], with the same atomic accumulation
+    discipline as {!disk_totals}.  All zero when no run armed the
+    scrubber, the QoS layer, or a fault-injecting tier pair. *)
+type resilience2_totals = {
+  scrub_scans : int;  (** complete scrub passes over the swap area *)
+  scrub_verify_reads : int;  (** low-priority verify reads issued *)
+  scrub_media_found : int;  (** latent media errors the scrubber hit first *)
+  scrub_relocations : int;  (** damaged live slots moved to healthy ones *)
+  scrub_reloc_failed : int;  (** repairs skipped (budget / stale slot) *)
+  qos_throttled : int;  (** swap-in faults parked by admission control *)
+  qos_throttle_wait_us : int;  (** summed park time of released faults *)
+  tier_degraded_events : int;  (** fast-tier trips into the degraded state *)
+  tier_recovered_events : int;  (** successful probes back to healthy *)
+  tier_failover_routes : int;  (** admissions re-routed off a degraded tier *)
+  media_reads : int;  (** guest swap-in reads that hit a media error *)
+  pages_lost : int;  (** swapped pages torn down with their killed guest *)
+}
+
+val reset_resilience2_totals : unit -> unit
+val resilience2_totals : unit -> resilience2_totals
+
 (** Event-engine telemetry totals summed over every [run_machine] since
     the last [reset_engine_totals], with the same atomic accumulation
     discipline as {!disk_totals}. *)

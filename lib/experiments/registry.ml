@@ -19,6 +19,7 @@ let all =
     Scalability.exp;
     Tiering.exp;
     Memscale.exp;
+    Degradation.exp;
   ]
 
 let find id = List.find_opt (fun e -> e.Exp.id = id) all

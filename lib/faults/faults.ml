@@ -11,6 +11,7 @@ module Config = struct
     transient_rate : float;
     degraded_rate : float;
     degraded_mult : float;
+    czram_rate : float;
   }
 
   let none =
@@ -20,14 +21,23 @@ module Config = struct
       transient_rate = 0.0;
       degraded_rate = 0.0;
       degraded_mult = 1.0;
+      czram_rate = 0.0;
     }
 
   let is_none c =
     c.media_rate = 0.0 && c.transient_rate = 0.0 && c.degraded_rate = 0.0
+    && c.czram_rate = 0.0
 
+  (* [czram_rate] follows [media_rate] unless given explicitly: a
+     config that corrodes the disk corrodes the compressed pool at the
+     same rate, but an experiment can corrupt just one domain. *)
   let make ?(seed = 0) ?(media_rate = 0.0) ?(transient_rate = 0.0)
-      ?(degraded_rate = 0.0) ?(degraded_mult = 4.0) () =
-    { seed; media_rate; transient_rate; degraded_rate; degraded_mult }
+      ?(degraded_rate = 0.0) ?(degraded_mult = 4.0) ?czram_rate () =
+    let czram_rate =
+      match czram_rate with Some r -> r | None -> media_rate
+    in
+    { seed; media_rate; transient_rate; degraded_rate; degraded_mult;
+      czram_rate }
 end
 
 module Plan = struct
@@ -38,6 +48,8 @@ module Plan = struct
     degraded_key : int64;
     destage_media_key : int64;
     destage_transient_key : int64;
+    czram_key : int64;
+    remote_key : int64;
     none : bool;
   }
 
@@ -83,6 +95,11 @@ module Plan = struct
        given seed untouched. *)
     let destage_media_key = Sim.Rng.next_int64 rng in
     let destage_transient_key = Sim.Rng.next_int64 rng in
+    (* Per-tier keys come last, same discipline: the czram/remote error
+       domains were added after the destage streams, so older seeds keep
+       their exact disk-fault patterns. *)
+    let czram_key = Sim.Rng.next_int64 rng in
+    let remote_key = Sim.Rng.next_int64 rng in
     {
       cfg;
       media_key;
@@ -90,6 +107,8 @@ module Plan = struct
       degraded_key;
       destage_media_key;
       destage_transient_key;
+      czram_key;
+      remote_key;
       none = Config.is_none cfg;
     }
 
@@ -129,6 +148,26 @@ module Plan = struct
       else if
         cfg.transient_rate > 0.0
         && hash01 t.destage_transient_key sector attempt < cfg.transient_rate
+      then Some Error.Transient
+      else None
+    end
+
+  let czram_error t ~page =
+    if t.none then None
+    else begin
+      let cfg = t.cfg in
+      if cfg.czram_rate > 0.0 && hash01 t.czram_key page 0 < cfg.czram_rate
+      then Some Error.Media
+      else None
+    end
+
+  let remote_error t ~sector ~attempt =
+    if t.none then None
+    else begin
+      let cfg = t.cfg in
+      if
+        cfg.transient_rate > 0.0
+        && hash01 t.remote_key sector attempt < cfg.transient_rate
       then Some Error.Transient
       else None
     end

@@ -25,6 +25,10 @@ module Config : sig
     degraded_rate : float;
         (** per-batch probability of a degraded (slow) service *)
     degraded_mult : float;  (** latency multiplier for degraded service *)
+    czram_rate : float;
+        (** per-page probability of compressed-pool corruption; [make]
+            defaults it to [media_rate], so a config that corrodes the
+            disk corrodes the pool too unless told otherwise *)
   }
 
   val none : t
@@ -38,6 +42,7 @@ module Config : sig
     ?transient_rate:float ->
     ?degraded_rate:float ->
     ?degraded_mult:float ->
+    ?czram_rate:float ->
     unit ->
     t
 end
@@ -69,6 +74,19 @@ module Plan : sig
       does not reshuffle where read faults land for a given seed.  Media
       errors depend only on the sector (they persist); transient errors
       also hash the attempt, so a re-destage can succeed. *)
+
+  val czram_error : t -> page:int -> Error.t option
+  (** Fault decision for decompressing one page out of the compressed-RAM
+      pool: pool corruption, modelled as a {!Error.Media} error keyed on
+      the page number alone (it persists across attempts).  Fires with
+      probability [czram_rate] from a stream independent of the disk's,
+      so enabling czram faults does not move where disk faults land. *)
+
+  val remote_error : t -> sector:int -> attempt:int -> Error.t option
+  (** Fault decision for fetching one swap slot over the remote-memory
+      link: a link timeout, modelled as {!Error.Transient} keyed on
+      (sector, attempt) so a retry can succeed.  Fires with probability
+      [transient_rate] from its own stream, independent of the disk's. *)
 
   val degraded_mult : t -> sector:int -> float option
   (** [Some m] when service starting at [sector] should be slowed by

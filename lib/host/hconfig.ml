@@ -23,6 +23,10 @@ type t = {
   io_retry_base_us : int;
   io_error_budget : int;
   max_inflight_faults : int;
+  scrub_rate_pages_s : int;
+  scrub_repair_budget : int;
+  qos_rate : int;
+  qos_burst : int;
 }
 
 let default =
@@ -51,6 +55,10 @@ let default =
     io_retry_base_us = 500;
     io_error_budget = 256;
     max_inflight_faults = 0;
+    scrub_rate_pages_s = 0;
+    scrub_repair_budget = 8;
+    qos_rate = 0;
+    qos_burst = 32;
   }
 
 let with_memory_mb t mb =

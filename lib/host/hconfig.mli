@@ -50,6 +50,19 @@ type t = {
       (** per-guest bound on concurrently in-flight target faults; starts
           beyond it are queued and released as completions drain.  0 means
           unbounded (the default).  Prefetch markers never count. *)
+  (* Degraded-media survival layer (robustness PR). *)
+  scrub_rate_pages_s : int;
+      (** background scrubber scan rate in allocated slots verified per
+          simulated second; 0 disables the scrubber (the default) *)
+  scrub_repair_budget : int;
+      (** relocations the scrubber may perform per full pass over the
+          swap area, so repair traffic cannot starve foreground I/O *)
+  qos_rate : int;
+      (** per-guest token-bucket refill rate, swap-in faults per
+          simulated second; 0 disables QoS admission (the default) *)
+  qos_burst : int;
+      (** token-bucket depth: faults a guest may issue back-to-back
+          before the rate limit bites *)
 }
 
 (** Defaults sized for experiments that cap a guest at a few hundred MB;

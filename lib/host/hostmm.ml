@@ -71,6 +71,9 @@ type t = {
   mutable reclaim_toggle : bool;  (* fairness when named_preference is off *)
   mutable global_rr : int;  (* round-robin cursor for global reclaim *)
   mutable kill_handler : guest_id -> unit;  (* VMM notification on kill *)
+  qos : Qos.t option;  (* per-guest swap-in admission; None = disabled *)
+  mutable swapin_probe : (gid:int -> us:int -> unit) option;
+      (* observer of per-guest swap-in fault latency (QoS wait included) *)
 }
 
 let page_sectors = Storage.Geom.sectors_per_page
@@ -121,6 +124,13 @@ let create ~engine ~disk ?tiers ~stats ~config ~vsconfig ~swap ~hv_base_sector
     reclaim_toggle = false;
     global_rr = 0;
     kill_handler = ignore;
+    qos =
+      (if config.Hconfig.qos_rate > 0 then
+         Some
+           (Qos.create ~engine ~stats ~rate:config.Hconfig.qos_rate
+              ~burst:config.Hconfig.qos_burst)
+       else None);
+    swapin_probe = None;
   }
 
 let set_kill_handler t f = t.kill_handler <- f
@@ -484,6 +494,14 @@ let kill_guest t gid =
   if not g.killed then begin
     g.killed <- true;
     t.stats.fault_guest_kills <- t.stats.fault_guest_kills + 1;
+    (* Swapped-out pages die with the guest — count them before the
+       teardown loop frees their slots (the scrubber's "pages lost"
+       panel; everything still present or refetchable is not lost). *)
+    Array.iter
+      (fun e ->
+        if e land 7 = 3 then
+          t.stats.fault_pages_lost <- t.stats.fault_pages_lost + 1)
+      g.ept;
     (match g.timer with
     | Some ev ->
         Sim.Engine.cancel t.engine ev;
@@ -667,8 +685,10 @@ let count_fault t ~host_context =
    with exponential backoff while attempts and the guest's error budget
    last; media errors and exhausted retries kill the guest (the host
    cannot fabricate the lost bytes) and then run [give_up] so the
-   in-flight fault unwinds instead of hanging its waiters. *)
-let handle_read_error t g ~err ~attempt ~retry ~give_up =
+   in-flight fault unwinds instead of hanging its waiters.  [swap_read]
+   scopes the media-fault counter to swap-area reads — the only region
+   the scrubber patrols, so the catch-rate denominator stays honest. *)
+let handle_read_error t g ~swap_read ~err ~attempt ~retry ~give_up =
   match (err : Storage.Disk.error) with
   | Transient
     when attempt < t.config.io_retry_limit
@@ -683,6 +703,10 @@ let handle_read_error t g ~err ~attempt ~retry ~give_up =
       kill_guest t g.gid;
       after t 0 give_up
   | Media ->
+      (* A guest fault landed on a latent media error: the scrubber's
+         miss (it relocates what it finds first). *)
+      if swap_read then
+        t.stats.fault_media_reads <- t.stats.fault_media_reads + 1;
       kill_guest t g.gid;
       after t 0 give_up
 
@@ -805,7 +829,15 @@ and start_fault t g ~gpa ~host_context k =
     t.stats.async_inflight_highwater <- t.inflight_targets;
   (* Handling a major fault runs hypervisor code. *)
   let hv_cost = hv_touch t g t.config.hv_touch_per_fault in
+  let t0 = Sim.Time.to_us (Sim.Engine.now t.engine) in
+  let tag0 = g.ept.(gpa) land 7 in
   let finish0 () =
+    (match t.swapin_probe with
+    | Some probe when tag0 = 3 ->
+        (* End-to-end swap-in fault latency, QoS park time included —
+           what the guest's thread actually waited. *)
+        probe ~gid:g.gid ~us:(Sim.Time.to_us (Sim.Engine.now t.engine) - t0)
+    | _ -> ());
     let ws = inflight_take t key widx in
     g.inflight_faults <- g.inflight_faults - 1;
     t.inflight_targets <- t.inflight_targets - 1;
@@ -819,13 +851,27 @@ and start_fault t g ~gpa ~host_context k =
   let finish () =
     if hv_cost = 0 then finish0 () else after t hv_cost finish0
   in
-  let e = g.ept.(gpa) in
-  match e land 7 with
-  | 3 (* in swap *) ->
-      swapin_cluster t g ~gpa ~slot:(e_arg e) ~host_context finish
-  | 4 (* in image *) ->
-      refetch_image t g ~gpa ~block:(e_arg e) ~host_context finish
-  | _ -> assert false
+  let issue () =
+    (* Re-read the entry: a QoS-parked fault can find the world changed
+       by the time it is released (slot discarded by a DMA overwrite,
+       guest killed).  [finish] re-dispatches through [fault_in], which
+       handles every state. *)
+    if g.killed then finish ()
+    else
+      let e = g.ept.(gpa) in
+      match e land 7 with
+      | 3 (* in swap *) ->
+          swapin_cluster t g ~gpa ~slot:(e_arg e) ~host_context finish
+      | 4 (* in image *) ->
+          refetch_image t g ~gpa ~block:(e_arg e) ~host_context finish
+      | _ -> finish ()
+  in
+  match t.qos with
+  | Some qos when tag0 = 3 ->
+      (* Token-bucket admission applies to swap-in faults: the traffic
+         that competes for the (possibly degraded) swap backends. *)
+      Qos.admit qos ~gid:g.gid issue
+  | _ -> issue ()
 
 (* Release parked fault starts while in-flight capacity lasts.  A popped
    starter that resolves without occupying a slot (page became present,
@@ -904,7 +950,9 @@ and swapin_cluster t g ~gpa ~slot ~host_context k =
       (fun (reply : Storage.Disk.reply) ->
         match reply.result with
         | Ok () -> install_target ()
-        | Error err -> handle_read_error t g ~err ~attempt ~retry ~give_up:k)
+        | Error err ->
+            handle_read_error t g ~swap_read:true ~err ~attempt ~retry
+              ~give_up:k)
   in
   Storage.Tiers.swap_in t.tiers ~slot ~sector ~nsectors ~queue:g.gid ~attempt:0
     (fun (reply : Storage.Disk.reply) ->
@@ -919,7 +967,8 @@ and swapin_cluster t g ~gpa ~slot ~host_context k =
           finish_neighbours ~install:false;
           if nsectors = page_sectors then
             (* The cluster was just the target page; the error is its. *)
-            handle_read_error t g ~err ~attempt:0 ~retry ~give_up:k
+            handle_read_error t g ~swap_read:true ~err ~attempt:0 ~retry
+              ~give_up:k
           else
             (* The failing sector may belong to a prefetched neighbour;
                narrow to the target page before charging the guest a
@@ -980,7 +1029,9 @@ and refetch_image t g ~gpa ~block ~host_context k =
         | Ok () ->
             install_from_image t g ~gpa ~block ~target:true;
             after t (t.config.major_fault_us + t.config.mapper_map_page_us) k
-        | Error err -> handle_read_error t g ~err ~attempt ~retry ~give_up:k)
+        | Error err ->
+            handle_read_error t g ~swap_read:false ~err ~attempt ~retry
+              ~give_up:k)
   in
   Storage.Disk.submit t.disk ~sector ~nsectors:(nblocks * page_sectors)
     ~kind:Storage.Disk.Read ~queue:g.gid
@@ -996,7 +1047,8 @@ and refetch_image t g ~gpa ~block ~host_context k =
       | Error err ->
           finish_readahead ~install:false;
           if nblocks = 1 then
-            handle_read_error t g ~err ~attempt:0 ~retry ~give_up:k
+            handle_read_error t g ~swap_read:false ~err ~attempt:0 ~retry
+              ~give_up:k
           else retry ~attempt:0)
 
 (* ------------------------------------------------------------------ *)
@@ -1313,7 +1365,7 @@ let vio_read t ?(aligned = true) ~guest:gid ~block0 ~gpas k =
                   gpas;
                 after t !cost k
             | Error err ->
-                handle_read_error t g ~err ~attempt
+                handle_read_error t g ~swap_read:false ~err ~attempt
                   ~retry:(fun ~attempt -> submit ~attempt)
                   ~give_up:k)
       in
@@ -1337,7 +1389,7 @@ let vio_read t ?(aligned = true) ~guest:gid ~block0 ~gpas k =
                     gpas;
                   after t !cost k
               | Error err ->
-                  handle_read_error t g ~err ~attempt
+                  handle_read_error t g ~swap_read:false ~err ~attempt
                     ~retry:(fun ~attempt -> go ~attempt)
                     ~give_up:k)
         in
@@ -1558,6 +1610,69 @@ let page_view t ~guest:gid ~gpa =
 
 let swap_slot_sector t slot = Storage.Swap_area.sector_of_slot t.swap slot
 let disk t = t.disk
+let tiers t = t.tiers
+let swap_area t = t.swap
+let set_swapin_probe t probe = t.swapin_probe <- probe
+
+(* ------------------------------------------------------------------ *)
+(* Scrubber repair: slot relocation                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Move the live page of [slot] to a freshly allocated slot — the
+   scrubber's repair action when verify finds latent media damage.  The
+   three views of the slot (swap area, slot-owner table, the owner's
+   EPT entry or swap-cache backing pointer) are updated together, with
+   no intervening event, so no fault can observe a half-moved slot; the
+   content travels by reference (the surviving copy) and the new slot
+   is written out through the ordinary tier write-back path.  Returns
+   false — changing nothing — when the slot is not live, its read is in
+   flight, its guest is gone, or the area has no free slot. *)
+let relocate_slot t slot =
+  let owner = Itbl.find t.slot_owner slot ~default:(-1) in
+  if owner < 0 || not (Storage.Swap_area.is_allocated t.swap slot) then false
+  else if inflight_mem t owner then false
+  else begin
+    let gid = owner_gid owner and gpa = owner_gpa owner in
+    let g = guest t gid in
+    if g.killed then false
+    else begin
+      let content = Storage.Swap_area.content t.swap slot in
+      match Storage.Swap_area.alloc t.swap content with
+      | None -> false
+      | Some nslot ->
+          let e = g.ept.(gpa) in
+          let rewired =
+            if e land 7 = 3 && e_arg e = slot then begin
+              g.ept.(gpa) <- e_in_swap nslot;
+              true
+            end
+            else if e land 7 = 2 then begin
+              (* Swap-cache resident: the frame keeps a clean copy; only
+                 the backing pointer moves. *)
+              let frame = e_arg e in
+              if Frames.backing_slot t.frames frame = slot then begin
+                Frames.set_backing_slot t.frames frame nslot;
+                true
+              end
+              else false
+            end
+            else false
+          in
+          if not rewired then begin
+            (* Owner table and EPT disagree — the slot is being torn
+               down concurrently; undo the allocation and walk away. *)
+            Storage.Swap_area.free t.swap nslot;
+            false
+          end
+          else begin
+            Itbl.remove t.slot_owner slot;
+            Itbl.set t.slot_owner nslot owner;
+            Storage.Swap_area.free t.swap slot;
+            Storage.Tiers.swap_out t.tiers ~slot:nslot ~queue:0;
+            true
+          end
+    end
+  end
 
 let check_invariants t =
   let fail fmt = Printf.ksprintf failwith fmt in

@@ -178,6 +178,34 @@ val swap_slot_sector : t -> int -> int
 
 val disk : t -> Storage.Disk.t
 
+(** The tier composite routing this host's swap traffic (the internal
+    passthrough when none was passed to {!create}). *)
+val tiers : t -> Storage.Tiers.t
+
+(** The host swap area (the region the background scrubber patrols). *)
+val swap_area : t -> Storage.Swap_area.t
+
+(** [set_swapin_probe t (Some f)] installs an observer called once per
+    completed swap-in target fault with the faulting guest and the
+    end-to-end latency in microseconds — QoS park time included, since
+    that is what the guest's thread waited.  Used by experiments to
+    build per-guest latency distributions; [None] (the default) costs
+    nothing. *)
+val set_swapin_probe : t -> (gid:guest_id -> us:int -> unit) option -> unit
+
+(** {2 Scrubber repair} *)
+
+(** [relocate_slot t slot] moves the live page stored in swap [slot] to
+    a freshly allocated slot: the content is carried over, the
+    slot-owner table and the owning guest's EPT entry (or swap-cache
+    backing pointer) are rewired in the same event, the old slot is
+    freed, and the new slot is written out through the tier write-back
+    path.  Returns [false] — changing nothing — if the slot is not
+    live, its read is currently in flight, its guest is gone, or the
+    swap area has no free slot.  [check_invariants] holds afterwards
+    either way. *)
+val relocate_slot : t -> int -> bool
+
 (** [check_invariants t] walks all guests asserting internal consistency
     (EPT <-> frame-owner agreement, Mapper version freshness, swap-slot
     ownership).  Raises [Failure] with a description on violation; meant

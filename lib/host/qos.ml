@@ -1,0 +1,134 @@
+(* Per-guest swap-in admission control: a token bucket per guest in
+   front of the disk queues, drained deficit-round-robin.
+
+   Tokens are kept in integer micro-tokens (one fault = [token] = 1e6)
+   so refill is exact integer arithmetic in virtual microseconds:
+   [rate] faults per simulated second is exactly [rate] micro-tokens
+   per microsecond.  Everything runs in virtual time off the engine, so
+   admission decisions are a pure function of the event order and the
+   schedule stays byte-identical at any [--jobs] width. *)
+
+let token = 1_000_000
+
+type bucket = {
+  mutable utokens : int;  (* micro-tokens available; the DRR deficit *)
+  mutable last_us : int;  (* virtual time of the last refill *)
+  q : (int * (unit -> unit)) Queue.t;  (* (enqueue µs, parked fault) *)
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  stats : Metrics.Stats.t;
+  rate : int;  (* faults per simulated second, > 0 *)
+  burst_utokens : int;
+  mutable buckets : bucket array;  (* grows as guests register *)
+  mutable rr : int;  (* round-robin start position, rotates per drain *)
+  mutable timer_armed : bool;
+}
+
+(* Buckets start full: a guest's first [burst] faults pass untouched,
+   which is also what keeps a workload slower than the rate limit
+   entirely unaffected.  [last_us = 0] is safe — the first refill finds
+   the bucket already at its cap. *)
+let mk_bucket burst_utokens =
+  { utokens = burst_utokens; last_us = 0; q = Queue.create () }
+
+let create ~engine ~stats ~rate ~burst =
+  {
+    engine;
+    stats;
+    rate = max 1 rate;
+    burst_utokens = max token (burst * token);
+    buckets = [||];
+    rr = 0;
+    timer_armed = false;
+  }
+
+(* Guests register after the host is built, so the bucket array grows on
+   first sight of a gid; growth is driven by admissions in virtual time
+   and therefore deterministic. *)
+let bucket t gid =
+  let n = Array.length t.buckets in
+  if gid >= n then begin
+    let m = max 8 (max (gid + 1) (2 * n)) in
+    t.buckets <-
+      Array.init m (fun i ->
+          if i < n then t.buckets.(i) else mk_bucket t.burst_utokens)
+  end;
+  t.buckets.(gid)
+
+let now_us t = Sim.Time.to_us (Sim.Engine.now t.engine)
+
+let refill t b now =
+  if now > b.last_us then begin
+    b.utokens <- min t.burst_utokens (b.utokens + ((now - b.last_us) * t.rate));
+    b.last_us <- now
+  end
+
+(* Arm (or re-arm) the drain timer for the earliest instant any guest
+   with parked work holds a full token. *)
+let rec rearm t =
+  let next = ref max_int in
+  Array.iter
+    (fun b ->
+      if not (Queue.is_empty b.q) then begin
+        let need = token - b.utokens in
+        let wait = if need <= 0 then 1 else (need + t.rate - 1) / t.rate in
+        if wait < !next then next := wait
+      end)
+    t.buckets;
+  if !next = max_int then t.timer_armed <- false
+  else begin
+    t.timer_armed <- true;
+    Sim.Engine.run_after t.engine (Sim.Time.us !next) (fun () -> drain t)
+  end
+
+(* Deficit round robin, quantum one token: sweep the guests from the
+   rotating start position, each releasing one parked fault per sweep
+   while it holds a full token — so when several starved guests gain
+   tokens at once, release interleaves instead of letting the
+   lowest-numbered guest burst first. *)
+and drain t =
+  let n = Array.length t.buckets in
+  let now = now_us t in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    for i = 0 to n - 1 do
+      let b = t.buckets.((t.rr + i) mod n) in
+      if not (Queue.is_empty b.q) then begin
+        refill t b now;
+        if b.utokens >= token then begin
+          b.utokens <- b.utokens - token;
+          let t_enq, thunk = Queue.pop b.q in
+          t.stats.Metrics.Stats.qos_throttle_wait_us <-
+            t.stats.Metrics.Stats.qos_throttle_wait_us + (now - t_enq);
+          thunk ();
+          progress := true
+        end
+      end
+    done
+  done;
+  t.rr <- (t.rr + 1) mod n;
+  rearm t
+
+let admit t ~gid thunk =
+  let b = bucket t gid in
+  let now = now_us t in
+  refill t b now;
+  if Queue.is_empty b.q && b.utokens >= token then begin
+    b.utokens <- b.utokens - token;
+    thunk ()
+  end
+  else begin
+    (* Park behind the guest's earlier faults (FIFO per guest even when
+       a token frees up mid-queue — reordering a guest against itself
+       would invert its swap-in completion order). *)
+    Queue.push (now, thunk) b.q;
+    t.stats.Metrics.Stats.qos_throttled <-
+      t.stats.Metrics.Stats.qos_throttled + 1;
+    if not t.timer_armed then rearm t
+  end
+
+let tokens t ~gid = (bucket t gid).utokens / token
+let queued t ~gid = Queue.length (bucket t gid).q

@@ -1,0 +1,42 @@
+(** Per-guest swap-in I/O QoS: token-bucket admission in front of the
+    disk queues, drained deficit-round-robin across guests.
+
+    Each guest holds a bucket of [burst] tokens refilled at [rate]
+    tokens per simulated second (integer micro-token arithmetic, exact
+    in virtual microseconds).  A fault that finds a token — and no
+    earlier parked fault of the same guest — runs immediately;
+    otherwise it parks on the guest's FIFO and is released by an
+    engine-timer drain that sweeps the guests round-robin, one token's
+    worth each, from a rotating start position.  One guest thrashing a
+    degraded region therefore exhausts its own bucket and queues on
+    itself, while its neighbours' faults keep passing at full speed.
+
+    All state advances in virtual time, so the admission schedule is
+    deterministic at any [--jobs] width. *)
+
+type t
+
+(** [create ~engine ~stats ~rate ~burst] builds the admission layer;
+    buckets materialize per guest on first sight, initially full
+    ([burst] tokens), refilling at [rate] tokens per simulated second.
+    Callers gate on [rate > 0] themselves — a disabled QoS layer should
+    be no layer at all. *)
+val create :
+  engine:Sim.Engine.t ->
+  stats:Metrics.Stats.t ->
+  rate:int ->
+  burst:int ->
+  t
+
+(** [admit t ~gid thunk] runs [thunk] now if guest [gid] holds a token
+    and has nothing parked, else parks it (counted in [qos_throttled];
+    the park duration accumulates into [qos_throttle_wait_us] when it
+    is released). *)
+val admit : t -> gid:int -> (unit -> unit) -> unit
+
+(** Whole tokens currently in [gid]'s bucket (after any pending refill
+    is accounted at the next admission — reads do not refill). *)
+val tokens : t -> gid:int -> int
+
+(** Parked faults on [gid]'s queue. *)
+val queued : t -> gid:int -> int

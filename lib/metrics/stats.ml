@@ -58,6 +58,18 @@ type t = {
   mutable tier_slow_swapins : int;
   mutable tier_fast_swapin_us : int;
   mutable tier_slow_swapin_us : int;
+  mutable scrub_scans : int;
+  mutable scrub_verify_reads : int;
+  mutable scrub_media_found : int;
+  mutable scrub_relocations : int;
+  mutable scrub_reloc_failed : int;
+  mutable qos_throttled : int;
+  mutable qos_throttle_wait_us : int;
+  mutable tier_degraded_events : int;
+  mutable tier_recovered_events : int;
+  mutable tier_failover_routes : int;
+  mutable fault_media_reads : int;
+  mutable fault_pages_lost : int;
 }
 
 let create () =
@@ -121,6 +133,18 @@ let create () =
     tier_slow_swapins = 0;
     tier_fast_swapin_us = 0;
     tier_slow_swapin_us = 0;
+    scrub_scans = 0;
+    scrub_verify_reads = 0;
+    scrub_media_found = 0;
+    scrub_relocations = 0;
+    scrub_reloc_failed = 0;
+    qos_throttled = 0;
+    qos_throttle_wait_us = 0;
+    tier_degraded_events = 0;
+    tier_recovered_events = 0;
+    tier_failover_routes = 0;
+    fault_media_reads = 0;
+    fault_pages_lost = 0;
   }
 
 let copy t = { t with disk_ops = t.disk_ops }
@@ -196,6 +220,18 @@ let diff a b =
     tier_slow_swapins = a.tier_slow_swapins - b.tier_slow_swapins;
     tier_fast_swapin_us = a.tier_fast_swapin_us - b.tier_fast_swapin_us;
     tier_slow_swapin_us = a.tier_slow_swapin_us - b.tier_slow_swapin_us;
+    scrub_scans = a.scrub_scans - b.scrub_scans;
+    scrub_verify_reads = a.scrub_verify_reads - b.scrub_verify_reads;
+    scrub_media_found = a.scrub_media_found - b.scrub_media_found;
+    scrub_relocations = a.scrub_relocations - b.scrub_relocations;
+    scrub_reloc_failed = a.scrub_reloc_failed - b.scrub_reloc_failed;
+    qos_throttled = a.qos_throttled - b.qos_throttled;
+    qos_throttle_wait_us = a.qos_throttle_wait_us - b.qos_throttle_wait_us;
+    tier_degraded_events = a.tier_degraded_events - b.tier_degraded_events;
+    tier_recovered_events = a.tier_recovered_events - b.tier_recovered_events;
+    tier_failover_routes = a.tier_failover_routes - b.tier_failover_routes;
+    fault_media_reads = a.fault_media_reads - b.fault_media_reads;
+    fault_pages_lost = a.fault_pages_lost - b.fault_pages_lost;
   }
 
 let fields t =
@@ -259,6 +295,18 @@ let fields t =
     ("tier_slow_swapins", t.tier_slow_swapins);
     ("tier_fast_swapin_us", t.tier_fast_swapin_us);
     ("tier_slow_swapin_us", t.tier_slow_swapin_us);
+    ("scrub_scans", t.scrub_scans);
+    ("scrub_verify_reads", t.scrub_verify_reads);
+    ("scrub_media_found", t.scrub_media_found);
+    ("scrub_relocations", t.scrub_relocations);
+    ("scrub_reloc_failed", t.scrub_reloc_failed);
+    ("qos_throttled", t.qos_throttled);
+    ("qos_throttle_wait_us", t.qos_throttle_wait_us);
+    ("tier_degraded_events", t.tier_degraded_events);
+    ("tier_recovered_events", t.tier_recovered_events);
+    ("tier_failover_routes", t.tier_failover_routes);
+    ("fault_media_reads", t.fault_media_reads);
+    ("fault_pages_lost", t.fault_pages_lost);
   ]
 
 let pp fmt t =

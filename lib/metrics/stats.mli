@@ -115,6 +115,35 @@ type t = {
       (** summed service time of fast-tier swap-ins (mean = /count) *)
   mutable tier_slow_swapin_us : int;
       (** summed service time of slow-tier swap-ins (mean = /count) *)
+  (* Degraded-media survival layer (all 0 with scrubber/QoS/failover
+     disabled — the default). *)
+  mutable scrub_scans : int;  (** full passes the scrubber completed *)
+  mutable scrub_verify_reads : int;
+      (** low-priority verify reads issued over allocated slots *)
+  mutable scrub_media_found : int;
+      (** latent media errors the scrubber detected before any guest
+          faulted on the slot *)
+  mutable scrub_relocations : int;
+      (** live slots moved to a healthy sector (content preserved) *)
+  mutable scrub_reloc_failed : int;
+      (** relocations abandoned (no free slot, raced with a fault, or
+          the per-pass repair budget was exhausted) *)
+  mutable qos_throttled : int;
+      (** swap-in faults parked by a guest's token bucket *)
+  mutable qos_throttle_wait_us : int;
+      (** summed park time of throttled faults (mean = /throttled) *)
+  mutable tier_degraded_events : int;
+      (** fast-tier trips of the error budget (Healthy -> Degraded) *)
+  mutable tier_recovered_events : int;
+      (** successful probes back to Healthy *)
+  mutable tier_failover_routes : int;
+      (** swap-outs routed to the slow tier because the fast tier was
+          degraded (counted on top of [tier_rejects]) *)
+  mutable fault_media_reads : int;
+      (** guest faults that hit a permanent media error (the scrubber's
+          misses; catch rate = scrub_media_found / (found + these)) *)
+  mutable fault_pages_lost : int;
+      (** swapped-out pages irrecoverable when their guest was killed *)
 }
 
 val create : unit -> t

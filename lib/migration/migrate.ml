@@ -27,13 +27,17 @@ type outcome = Completed of report | Aborted of abort
 
 let mapping_record_bytes = 32
 
-(* Plan the transfer: classify every guest page, collecting the disk
-   sectors the source must read back before it can send them. *)
+(* Plan the transfer: classify every guest page, collecting the reads
+   the source must perform before it can send them.  Swapped pages
+   carry their slot so the read is routed through the tier composite —
+   a page resident in the compressed or remote tier must be fetched
+   from that tier, not from the disk sector it would have occupied. *)
 type plan = {
   mutable copy_pages : int;
   mutable mappings : int;
   mutable skipped : int;
-  mutable reads : (int * int) list;  (* (sector, nsectors) *)
+  mutable reads : (int * int * int option) list;
+      (* (sector, nsectors, swap slot if any) *)
 }
 
 let classify ~host ~gid ~vdisk strategy plan ~gpa =
@@ -51,7 +55,8 @@ let classify ~host ~gid ~vdisk strategy plan ~gpa =
   | H.V_in_swap { slot } ->
       (* Swapped anonymous data must be read back and copied either way. *)
       plan.reads <-
-        (H.swap_slot_sector host slot, Storage.Geom.sectors_per_page)
+        (H.swap_slot_sector host slot, Storage.Geom.sectors_per_page,
+         Some slot)
         :: plan.reads;
       plan.copy_pages <- plan.copy_pages + 1
   | H.V_in_image { block } -> (
@@ -60,7 +65,7 @@ let classify ~host ~gid ~vdisk strategy plan ~gpa =
       | Full_copy ->
           plan.reads <-
             (Storage.Vdisk.sector_of_block vdisk block,
-             Storage.Geom.sectors_per_page)
+             Storage.Geom.sectors_per_page, None)
             :: plan.reads;
           plan.copy_pages <- plan.copy_pages + 1)
 
@@ -69,6 +74,7 @@ let migrate ?(retry_limit = 4) ?(retry_base_us = 500) ~machine ~guest link
   let engine = Vmm.Machine.engine machine in
   let host = Vmm.Machine.host machine in
   let disk = Vmm.Machine.disk machine in
+  let tiers = H.tiers host in
   let os = Vmm.Machine.os machine guest in
   let gid = Guest.Guestos.gid os in
   let vdisk = H.vdisk host gid in
@@ -91,12 +97,15 @@ let migrate ?(retry_limit = 4) ?(retry_base_us = 500) ~machine ~guest link
   let n_reads = List.length reads in
   (* Typed-error discipline for the source's read-back traffic: a
      transient error is resubmitted with exponential backoff (the
-     attempt number keys the fault hash, so a retry can succeed); a
-     media error — or an exhausted retry budget — abandons the whole
-     migration, since the source cannot fabricate the lost page.  The
-     first fatal failure wins; reads already on the disk are drained
-     before the abort is reported, so the outcome and its ordering stay
-     deterministic. *)
+     attempt number keys the fault hash, so a retry can succeed — for
+     the disk and for a flapping remote tier alike); a media error — or
+     an exhausted retry budget — abandons the whole migration, since
+     the source cannot fabricate the lost page.  Swapped pages read
+     through the tier composite (the page lives wherever its slot's
+     tier keeps it, possibly degraded mid-migration); image blocks read
+     straight off the disk.  The first fatal failure wins; reads
+     already in flight are drained before the abort is reported, so the
+     outcome and its ordering stay deterministic. *)
   let retries_total = ref 0 in
   let aborted = ref None in
   let finish_disk disk_done =
@@ -107,30 +116,37 @@ let migrate ?(retry_limit = 4) ?(retry_base_us = 500) ~machine ~guest link
         decr remaining;
         if !remaining = 0 then disk_done ()
       in
-      let rec issue ~attempt sector nsectors =
-        Storage.Disk.submit disk ~sector ~nsectors ~kind:Storage.Disk.Read
-          ~attempt
-          (fun (reply : Storage.Disk.reply) ->
-            match reply.result with
-            | Ok () -> one_done ()
-            | Error Storage.Disk.Transient
-              when attempt < retry_limit && !aborted = None ->
-                incr retries_total;
-                Sim.Engine.run_after engine
-                  (Sim.Time.us (retry_base_us lsl attempt))
-                  (fun () -> issue ~attempt:(attempt + 1) sector nsectors)
-            | Error error ->
-                if !aborted = None then
-                  aborted :=
-                    Some
-                      {
-                        error;
-                        failed_sector = sector;
-                        retries_before_abort = !retries_total;
-                      };
-                one_done ())
+      let rec issue ~attempt sector nsectors slot =
+        let complete (reply : Storage.Disk.reply) =
+          match reply.result with
+          | Ok () -> one_done ()
+          | Error Storage.Disk.Transient
+            when attempt < retry_limit && !aborted = None ->
+              incr retries_total;
+              Sim.Engine.run_after engine
+                (Sim.Time.us (retry_base_us lsl attempt))
+                (fun () -> issue ~attempt:(attempt + 1) sector nsectors slot)
+          | Error error ->
+              if !aborted = None then
+                aborted :=
+                  Some
+                    {
+                      error;
+                      failed_sector = sector;
+                      retries_before_abort = !retries_total;
+                    };
+              one_done ()
+        in
+        match slot with
+        | Some slot ->
+            Storage.Tiers.swap_in tiers ~slot ~sector ~nsectors ~queue:0
+              ~attempt complete
+        | None ->
+            Storage.Disk.submit disk ~sector ~nsectors
+              ~kind:Storage.Disk.Read ~attempt complete
       in
-      List.iter (fun (sector, nsectors) -> issue ~attempt:0 sector nsectors)
+      List.iter
+        (fun (sector, nsectors, slot) -> issue ~attempt:0 sector nsectors slot)
         reads
     end
   in

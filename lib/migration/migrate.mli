@@ -62,7 +62,11 @@ type outcome = Completed of report | Aborted of abort
     microseconds; a [Media] failure (or an exhausted retry budget)
     aborts the migration — the source cannot fabricate a page its disk
     has lost — after all outstanding reads drain, reporting [Aborted]
-    with the first fatal error. *)
+    with the first fatal error.  Swapped pages are read back through
+    the host's {!Storage.Tiers} composite — a page resident in the
+    compressed or remote tier is fetched from that tier — so tier-level
+    failures (a flapping remote link, a degraded fast tier) flow
+    through the same retry/abort discipline as raw disk errors. *)
 val migrate :
   ?retry_limit:int ->
   ?retry_base_us:int ->

@@ -65,7 +65,8 @@ let of_disk disk =
    incompressible, like zswap refusing pages that compress badly. *)
 let czram_ratio key page = 0.15 +. (1.10 *. Faults.Plan.hash01 key page 0)
 
-let czram ~engine ~seed ~admit_ratio ~pool_bytes ~compress_us ~decompress_us =
+let czram ?(faults = Faults.Plan.none) ~engine ~seed ~admit_ratio ~pool_bytes
+    ~compress_us ~decompress_us () =
   let key = Sim.Rng.next_int64 (Sim.Rng.of_int (0x5a + seed)) in
   let used = ref 0 in
   (* The (de)compressor is one CPU: requests serialize on this cursor
@@ -91,12 +92,20 @@ let czram ~engine ~seed ~admit_ratio ~pool_bytes ~compress_us ~decompress_us =
     name = "czram";
     capacity_sectors = max_int;
     read =
-      (fun ~sector:_ ~nsectors ~queue:_ ~attempt:_ k ->
+      (fun ~sector ~nsectors ~queue:_ ~attempt:_ k ->
         let now = Sim.Time.to_us (Sim.Engine.now engine) in
         let finish = occupy_cpu (decompress_us * npages nsectors) in
         let dt = Sim.Time.us (finish - now) in
-        Sim.Engine.run_after engine dt (fun () ->
-            k { result = Ok (); service = dt }));
+        (* Pool corruption: a Media error keyed on the page alone, so it
+           persists across attempts.  The decompressor CPU is charged
+           either way — the failure is discovered at the end of the
+           decompress, not before it. *)
+        let result =
+          match Faults.Plan.czram_error faults ~page:(page_of sector) with
+          | Some e -> Error e
+          | None -> Ok ()
+        in
+        Sim.Engine.run_after engine dt (fun () -> k { result; service = dt }));
     write =
       (fun ~queue:_ ~sector ~nsectors ->
         (* Fire-and-forget like a buffered disk write; compression still
@@ -124,7 +133,7 @@ let czram ~engine ~seed ~admit_ratio ~pool_bytes ~compress_us ~decompress_us =
    [link_free_at] cursor is a degenerate token bucket (capacity = one
    transfer): concurrent swap-ins queue on it exactly as they would on
    a saturated NIC, while the RTT is paid in parallel by every request. *)
-let remote ~engine ~rtt_us ~bytes_per_us =
+let remote ?(faults = Faults.Plan.none) ~engine ~rtt_us ~bytes_per_us () =
   let link_free_at_us = ref 0 in
   let transfer_us nsectors =
     max 1
@@ -142,11 +151,18 @@ let remote ~engine ~rtt_us ~bytes_per_us =
     name = "remote";
     capacity_sectors = max_int;
     read =
-      (fun ~sector:_ ~nsectors ~queue:_ ~attempt:_ k ->
+      (fun ~sector ~nsectors ~queue:_ ~attempt k ->
         let now = Sim.Time.to_us (Sim.Engine.now engine) in
         let dt = Sim.Time.us (occupy_link nsectors + rtt_us - now) in
-        Sim.Engine.run_after engine dt (fun () ->
-            k { result = Ok (); service = dt }));
+        (* Link timeout: Transient keyed on (sector, attempt), so a
+           retry re-hashes and can succeed.  The full RTT + transfer is
+           paid before the timeout is noticed, like a real timeout. *)
+        let result =
+          match Faults.Plan.remote_error faults ~sector ~attempt with
+          | Some e -> Error e
+          | None -> Ok ()
+        in
+        Sim.Engine.run_after engine dt (fun () -> k { result; service = dt }));
     write =
       (fun ~queue:_ ~sector:_ ~nsectors ->
         (* Outbound pages consume the same link; nobody awaits the ack. *)

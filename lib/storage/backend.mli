@@ -29,10 +29,11 @@ val name : t -> string
 val capacity_sectors : t -> int
 
 (** [read t ~sector ~nsectors ~queue ~attempt k] fetches sectors and
-    calls [k] at the virtual completion time.  [queue] and [attempt]
-    are meaningful for the disk backend (submission-queue steering and
-    transient-fault retry keying) and ignored by the others, whose
-    reads never fail. *)
+    calls [k] at the virtual completion time.  [queue] is meaningful
+    for the disk backend (submission-queue steering); [attempt] keys
+    transient-fault retries on the disk and remote backends.  The
+    compressed and remote tiers fail only when built with a fault
+    plan (pool corruption / link timeouts). *)
 val read :
   t ->
   sector:int ->
@@ -71,18 +72,30 @@ val of_disk : Disk.t -> t
     in [0.15, 1.25); pages with ratio above [admit_ratio] — or that
     would push the pool past [pool_bytes] — are rejected.  Service is
     CPU time, [compress_us]/[decompress_us] per page, serialized on one
-    compressor cursor: no seek, but concurrent requests queue. *)
+    compressor cursor: no seek, but concurrent requests queue.  When a
+    [faults] plan is given, reads consult {!Faults.Plan.czram_error} —
+    pool corruption, a persistent [Media] error keyed on the page. *)
 val czram :
+  ?faults:Faults.Plan.t ->
   engine:Sim.Engine.t ->
   seed:int ->
   admit_ratio:float ->
   pool_bytes:int ->
   compress_us:int ->
   decompress_us:int ->
+  unit ->
   t
 
-(** [remote ~engine ~rtt_us ~bytes_per_us] is a far-memory tier: every
-    request pays a fixed [rtt_us] round-trip, and payloads serialize on
-    a link of [bytes_per_us] bandwidth (a one-transfer token bucket),
-    so concurrent swap-ins queue on link capacity. *)
-val remote : engine:Sim.Engine.t -> rtt_us:int -> bytes_per_us:float -> t
+(** [remote ~engine ~rtt_us ~bytes_per_us ()] is a far-memory tier:
+    every request pays a fixed [rtt_us] round-trip, and payloads
+    serialize on a link of [bytes_per_us] bandwidth (a one-transfer
+    token bucket), so concurrent swap-ins queue on link capacity.  When
+    a [faults] plan is given, reads consult {!Faults.Plan.remote_error}
+    — link timeouts, [Transient] errors that a retry can clear. *)
+val remote :
+  ?faults:Faults.Plan.t ->
+  engine:Sim.Engine.t ->
+  rtt_us:int ->
+  bytes_per_us:float ->
+  unit ->
+  t

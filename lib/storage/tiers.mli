@@ -33,6 +33,11 @@ type config = {
       (** idle age beyond which a fast-tier slot is demotion-cold *)
   writeback_batch : int;
       (** clock-hand slots swept per swap-out *)
+  tier_error_budget : int;
+      (** fast-tier read errors tolerated before the tier is marked
+          degraded (failover); 0 disables health tracking entirely *)
+  tier_probe_us : int;
+      (** interval between probes of a degraded fast tier *)
 }
 
 (** Both tiers on the disk: the passthrough default. *)
@@ -55,8 +60,12 @@ type t
 (** [create ~engine ~stats ~disk ~swap cfg] builds the composite and —
     unless [cfg] is the passthrough pair — installs a
     {!Swap_area.set_on_free} hook that returns per-slot tier resources
-    on every free. *)
+    on every free.  The [faults] plan feeds the czram/remote backends'
+    per-tier error streams and the failover probe; omitting it (or
+    passing {!Faults.Plan.none}) makes those tiers error-free, exactly
+    the pre-fault-injection behaviour. *)
 val create :
+  ?faults:Faults.Plan.t ->
   engine:Sim.Engine.t ->
   stats:Metrics.Stats.t ->
   disk:Disk.t ->
@@ -84,12 +93,34 @@ val swap_in :
   (Backend.reply -> unit) ->
   unit
 
+(** [verify_read t ~slot ~queue ~attempt k] is the scrubber's
+    low-priority read of one allocated slot: served by the slot's tier
+    like a swap-in, but it neither refreshes the slot's last-access
+    time nor promotes it — a scrub pass over the whole area must not
+    look like every page turning hot.  Errors count in the fault stats
+    and feed the fast tier's failover budget. *)
+val verify_read :
+  t -> slot:int -> queue:int -> attempt:int -> (Backend.reply -> unit) -> unit
+
 (** [same_tier t a b] — whether slots [a] and [b] live on the same tier
     (always true in passthrough).  Readahead must not span tiers: one
     request has one latency model. *)
 val same_tier : t -> int -> int -> bool
 
 val is_passthrough : t -> bool
+
+(** Whether the fast tier is currently marked degraded.
+
+    With [tier_error_budget > 0] and a non-disk fast tier, read errors
+    beyond the budget trip the tier into a degraded state: new
+    admissions route to the slow tier ([tier_failover_routes]),
+    promotion stops, and resident slots drain back through the
+    writeback path in [writeback_batch] bursts.  A degraded tier is
+    probed every [tier_probe_us]: the remote link re-hashes its
+    transient stream per probe (the flap clears when the hash does), a
+    corrupted czram pool counts as reinitialized after one interval.
+    Recovery resets the error count and re-opens admission. *)
+val fast_degraded : t -> bool
 
 (** Current fast-tier slot count and its cap. *)
 val fast_slots : t -> int

@@ -21,6 +21,7 @@ type t = {
   time_limit : Sim.Time.t;
   seed : int;
   faults : Faults.Config.t;
+  epoch_faults : bool;
   async_faults : bool;
   tiers : Storage.Tiers.config;
 }
@@ -108,6 +109,19 @@ let default ~guests =
         | Some _ | None -> Host.Hconfig.default)
     | None -> Host.Hconfig.default
   in
+  (* Degraded-media knobs: both layers default off (rate 0), so runs
+     without these variables schedule no scrub ticks and no QoS layer. *)
+  let hbase =
+    {
+      hbase with
+      Host.Hconfig.scrub_rate_pages_s =
+        env_int "VSWAPPER_SCRUB_RATE" hbase.Host.Hconfig.scrub_rate_pages_s;
+      scrub_repair_budget =
+        env_int "VSWAPPER_SCRUB_BUDGET" hbase.Host.Hconfig.scrub_repair_budget;
+      qos_rate = env_int "VSWAPPER_QOS_RATE" hbase.Host.Hconfig.qos_rate;
+      qos_burst = env_int "VSWAPPER_QOS_BURST" hbase.Host.Hconfig.qos_burst;
+    }
+  in
   {
     host_mem_mb = 2048;
     vs = Vswapper.Vsconfig.baseline;
@@ -119,6 +133,7 @@ let default ~guests =
     time_limit = Sim.Time.sec 36_000;
     seed = 42;
     faults = Faults.Config.none;
+    epoch_faults = false;
     async_faults = env_flag "VSWAPPER_ASYNC" false;
     tiers = env_tiers ();
   }

@@ -36,6 +36,13 @@ type t = {
   faults : Faults.Config.t;
       (** deterministic disk fault injection; [Faults.Config.none]
           (the default) injects nothing *)
+  epoch_faults : bool;
+      (** install the disk fault plan at the workload epoch instead of
+          at build — the drive "ages" after boot, so the boot sequence's
+          image I/O cannot kill a guest before its workload even starts.
+          Tier backends (czram/remote) get the plan at build either way:
+          their error streams only fire on swap traffic, which is
+          post-epoch by construction.  Off by default. *)
   async_faults : bool;
       (** release a faulting VCPU at I/O issue instead of completion, so
           runnable sibling threads overlap the wait (async page faults).
@@ -57,7 +64,13 @@ val default_guest : workload:Workload.t -> guest_spec
     "czram+remote") picks the tier pair; [VSWAPPER_FAST_SHARE]
     (percent), [VSWAPPER_CZRAM_RATIO] (max admitted compression
     ratio), [VSWAPPER_REMOTE_RTT_US] and [VSWAPPER_REMOTE_GBPS]
-    refine it. *)
+    refine it.  Degraded-media knobs: [VSWAPPER_SCRUB_RATE] (swap
+    slots verified per simulated second; 0 = no scrubber) and
+    [VSWAPPER_SCRUB_BUDGET] (relocations per scrub pass) arm the
+    background scrubber; [VSWAPPER_QOS_RATE] (swap-in faults admitted
+    per guest per simulated second; 0 = no QoS) and
+    [VSWAPPER_QOS_BURST] (bucket depth) arm per-guest I/O admission
+    control. *)
 val default : guests:guest_spec list -> t
 
 (** [name_of_vs cfg] is the paper's name for a configuration:

@@ -30,6 +30,7 @@ type t = {
   disk : Storage.Disk.t;
   stats : Metrics.Stats.t;
   host : Host.Hostmm.t;
+  mutable scrub : Host.Scrub.t option;
   gruns : grun array;
   manager : Balloon.Manager.t option;
   mutable epoch : Sim.Time.t option;
@@ -49,7 +50,12 @@ let build (cfg : Config.t) =
   let engine = Sim.Engine.create () in
   let stats = Metrics.Stats.create () in
   let faults = Faults.Plan.create cfg.faults in
-  let disk = Storage.Disk.create ~engine ~stats ~faults cfg.disk in
+  (* With [epoch_faults] the disk starts clean and the plan is installed
+     when the workload epoch opens — boot-time image I/O never faults.
+     Tier backends keep the plan from build in both modes: their error
+     streams fire only on swap traffic, which is post-epoch anyway. *)
+  let disk_faults = if cfg.epoch_faults then Faults.Plan.none else faults in
+  let disk = Storage.Disk.create ~engine ~stats ~faults:disk_faults cfg.disk in
   (* Physical disk layout: [hv region | guest images ... | host swap]. *)
   let hv_base_sector = 0 in
   let cursor = ref (Storage.Geom.sectors_of_pages (Storage.Geom.pages_of_mb 64)) in
@@ -77,7 +83,9 @@ let build (cfg : Config.t) =
       ~nslots:(Storage.Geom.pages_of_mb cfg.host_swap_mb)
   in
   let hconfig = Host.Hconfig.with_memory_mb cfg.hbase cfg.host_mem_mb in
-  let tiers = Storage.Tiers.create ~engine ~stats ~disk ~swap cfg.tiers in
+  let tiers =
+    Storage.Tiers.create ~engine ~stats ~disk ~swap ~faults cfg.tiers
+  in
   let host =
     Host.Hostmm.create ~engine ~disk ~tiers ~stats ~config:hconfig
       ~vsconfig:cfg.vs ~swap ~hv_base_sector ()
@@ -125,6 +133,7 @@ let build (cfg : Config.t) =
     disk;
     stats;
     host;
+    scrub = None;
     gruns;
     manager;
     epoch = None;
@@ -134,6 +143,7 @@ let build (cfg : Config.t) =
 let engine (t : t) = t.engine
 let stats (t : t) = t.stats
 let host (t : t) = t.host
+let scrub (t : t) = t.scrub
 let disk (t : t) = t.disk
 let os (t : t) i = t.gruns.(i).os
 let n_guests (t : t) = Array.length t.gruns
@@ -245,10 +255,34 @@ let start_workload t g () =
 
 let all_ready t = Array.for_all (fun g -> g.ready_for_epoch) t.gruns
 
+(* The background scrubber is armed at the workload epoch, not at
+   build: its verify reads would otherwise keep the disk queue busy
+   during the boot sequence's disk-settle wait (which polls for an idle
+   queue) and the epoch would never open.  With the default rate of 0
+   nothing is scheduled and the run is event-for-event identical to a
+   scrubber-less build. *)
+let arm_scrub t =
+  let hconfig = Host.Hconfig.with_memory_mb t.cfg.hbase t.cfg.host_mem_mb in
+  if hconfig.Host.Hconfig.scrub_rate_pages_s > 0 then
+    match t.scrub with
+    | Some _ -> ()
+    | None ->
+        t.scrub <-
+          Some
+            (Host.Scrub.start ~engine:t.engine ~stats:t.stats
+               ~swap:(Host.Hostmm.swap_area t.host)
+               ~tiers:(Host.Hostmm.tiers t.host)
+               ~relocate:(fun slot -> Host.Hostmm.relocate_slot t.host slot)
+               ~rate:hconfig.Host.Hconfig.scrub_rate_pages_s
+               ~repair_budget:hconfig.Host.Hconfig.scrub_repair_budget)
+
 let open_epoch t =
   if t.epoch = None && all_ready t then begin
     let now = Sim.Engine.now t.engine in
     t.epoch <- Some now;
+    if t.cfg.epoch_faults then
+      Storage.Disk.set_faults t.disk (Faults.Plan.create t.cfg.faults);
+    arm_scrub t;
     (match t.manager with Some m -> Balloon.Manager.start m | None -> ());
     Array.iter
       (fun g ->

@@ -121,6 +121,75 @@ let degraded_mult_applies () =
   Alcotest.(check bool) "rate 0 never degrades" true
     (Faults.Plan.degraded_mult q ~sector:123 = None)
 
+let czram_stream_independent_and_persistent () =
+  (* The czram pool-corruption stream draws from its own key: enabling
+     it must not move where disk read faults land, and a corrupt page
+     stays corrupt (no attempt in the key). *)
+  let p = plan ~media:0.05 () in
+  let disk_faults =
+    List.init 500 (fun i ->
+        Faults.Plan.read_error p ~sector:(i * 8) ~nsectors:8 ~attempt:0)
+  in
+  let q = plan ~media:0.05 () in
+  let czram_faults = List.init 500 (fun page -> Faults.Plan.czram_error q ~page) in
+  let disk_faults' =
+    List.init 500 (fun i ->
+        Faults.Plan.read_error q ~sector:(i * 8) ~nsectors:8 ~attempt:0)
+  in
+  Alcotest.(check bool) "disk stream unmoved by czram draws" true
+    (disk_faults = disk_faults');
+  Alcotest.(check bool) "some pool corruption at 5%" true
+    (List.exists (fun e -> e <> None) czram_faults);
+  Alcotest.(check bool) "czram pattern differs from the disk's" true
+    (czram_faults <> disk_faults);
+  List.iteri
+    (fun page e ->
+      (match e with
+      | Some err ->
+          check Alcotest.string "corruption is a media error" "media"
+            (Faults.Error.to_string err)
+      | None -> ());
+      Alcotest.(check bool) "re-reading the pool re-finds it" true
+        (Faults.Plan.czram_error q ~page = e))
+    czram_faults;
+  Alcotest.(check bool) "none plan never corrupts" true
+    (List.for_all
+       (fun page -> Faults.Plan.czram_error Faults.Plan.none ~page = None)
+       (List.init 100 Fun.id))
+
+let remote_stream_transient_retryable () =
+  (* Link timeouts re-hash the attempt, so a retry can succeed; the
+     stream is independent of the disk's transient stream. *)
+  let p = plan ~transient:0.3 () in
+  let hit = ref 0 and recovered = ref 0 in
+  for sector = 0 to 499 do
+    match Faults.Plan.remote_error p ~sector ~attempt:0 with
+    | Some err ->
+        incr hit;
+        check Alcotest.string "timeouts are transient" "transient"
+          (Faults.Error.to_string err);
+        let rec retry attempt =
+          if attempt > 8 then ()
+          else if Faults.Plan.remote_error p ~sector ~attempt = None then
+            incr recovered
+          else retry (attempt + 1)
+        in
+        retry 1
+    | None -> ()
+  done;
+  Alcotest.(check bool) "some link timeouts at 30%" true (!hit > 0);
+  Alcotest.(check bool) "retries clear most flaps" true
+    (!recovered > !hit / 2);
+  let disk =
+    List.init 500 (fun s ->
+        Faults.Plan.read_error p ~sector:s ~nsectors:8 ~attempt:0)
+  in
+  let remote =
+    List.init 500 (fun s -> Faults.Plan.remote_error p ~sector:s ~attempt:0)
+  in
+  Alcotest.(check bool) "remote pattern differs from the disk's" true
+    (disk <> remote)
+
 let tests =
   [
     ( "faults:plan",
@@ -135,5 +204,9 @@ let tests =
           transient_errors_vary_by_attempt;
         Alcotest.test_case "media precedence" `Quick media_beats_transient;
         Alcotest.test_case "degraded mult" `Quick degraded_mult_applies;
+        Alcotest.test_case "czram stream" `Quick
+          czram_stream_independent_and_persistent;
+        Alcotest.test_case "remote stream" `Quick
+          remote_stream_transient_retryable;
       ] );
   ]

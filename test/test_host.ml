@@ -837,6 +837,140 @@ let async_parked_starts_survive_kill () =
     !resumed;
   H.check_invariants rig.host
 
+(* ------------------------------------------------------------------ *)
+(* Per-guest I/O QoS: token bucket + DRR drain                         *)
+(* ------------------------------------------------------------------ *)
+
+let mk_qos ~rate ~burst =
+  let engine = Sim.Engine.create () in
+  let stats = Metrics.Stats.create () in
+  (engine, stats, Host.Qos.create ~engine ~stats ~rate ~burst)
+
+let qos_burst_admits_inline_then_parks () =
+  let engine, stats, q = mk_qos ~rate:10 ~burst:4 in
+  let ran = ref 0 in
+  for _ = 1 to 4 do
+    Host.Qos.admit q ~gid:0 (fun () -> incr ran)
+  done;
+  check Alcotest.int "burst admits inline" 4 !ran;
+  check Alcotest.int "bucket spent" 0 (Host.Qos.tokens q ~gid:0);
+  check Alcotest.int "nothing throttled yet" 0
+    stats.Metrics.Stats.qos_throttled;
+  Host.Qos.admit q ~gid:0 (fun () -> incr ran);
+  check Alcotest.int "fifth parks" 4 !ran;
+  check Alcotest.int "park counted" 1 stats.Metrics.Stats.qos_throttled;
+  check Alcotest.int "queued" 1 (Host.Qos.queued q ~gid:0);
+  (* At 10 faults/s the next whole token lands exactly at t = 100 ms:
+     the drain must release then, not a tick earlier or later. *)
+  Test_util.drain engine;
+  check Alcotest.int "released on refill" 5 !ran;
+  check Alcotest.int "queue empty" 0 (Host.Qos.queued q ~gid:0);
+  check Alcotest.int "park duration accounted" 100_000
+    stats.Metrics.Stats.qos_throttle_wait_us;
+  check Alcotest.int "released at the refill instant" 100_000
+    (Sim.Time.to_us (Sim.Engine.now engine))
+
+let qos_refill_caps_at_burst () =
+  let engine, _, q = mk_qos ~rate:1000 ~burst:2 in
+  let ran = ref 0 in
+  Host.Qos.admit q ~gid:0 (fun () -> incr ran);
+  check Alcotest.int "one token left" 1 (Host.Qos.tokens q ~gid:0);
+  (* Ten idle seconds at 1000/s would bank 10k tokens; the cap keeps
+     the bucket at [burst], so the post-idle balance is burst - 1. *)
+  Sim.Engine.run_after engine (Sim.Time.us 10_000_000) (fun () ->
+      Host.Qos.admit q ~gid:0 (fun () -> incr ran));
+  Test_util.drain engine;
+  check Alcotest.int "both ran" 2 !ran;
+  check Alcotest.int "refill capped at burst" 1 (Host.Qos.tokens q ~gid:0)
+
+let qos_drr_interleaves_starved_guests () =
+  let engine, stats, q = mk_qos ~rate:5 ~burst:1 in
+  let order = ref [] in
+  let admit gid tag =
+    Host.Qos.admit q ~gid (fun () -> order := tag :: !order)
+  in
+  admit 0 "a0";
+  admit 1 "b0";
+  admit 0 "a1";
+  admit 0 "a2";
+  admit 1 "b1";
+  admit 1 "b2";
+  check Alcotest.int "four parked" 4 stats.Metrics.Stats.qos_throttled;
+  Test_util.drain engine;
+  (* Both guests regain a token at each 200 ms drain; the sweep
+     releases one fault per guest per pass and rotates its start, so
+     neither guest bursts ahead of the other. *)
+  check
+    (Alcotest.list Alcotest.string)
+    "interleaved, rotating start"
+    [ "a0"; "b0"; "a1"; "b1"; "b2"; "a2" ]
+    (List.rev !order);
+  check Alcotest.int "waits accumulated for all four parks"
+    (200_000 + 200_000 + 400_000 + 400_000)
+    stats.Metrics.Stats.qos_throttle_wait_us
+
+let qos_per_guest_isolation () =
+  let engine, _, q = mk_qos ~rate:10 ~burst:2 in
+  let hog = ref 0 and neighbour = ref 0 in
+  (* Guest 0 blows through its bucket... *)
+  for _ = 1 to 10 do
+    Host.Qos.admit q ~gid:0 (fun () -> incr hog)
+  done;
+  check Alcotest.int "hog throttled after its burst" 2 !hog;
+  (* ...while guest 1's faults keep passing at full speed. *)
+  Host.Qos.admit q ~gid:1 (fun () -> incr neighbour);
+  Host.Qos.admit q ~gid:1 (fun () -> incr neighbour);
+  check Alcotest.int "neighbour unaffected" 2 !neighbour;
+  check Alcotest.int "neighbour queue empty" 0 (Host.Qos.queued q ~gid:1);
+  Test_util.drain engine;
+  check Alcotest.int "hog's parked faults all drain eventually" 10 !hog
+
+(* ------------------------------------------------------------------ *)
+(* Scrubber repair: slot relocation                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Property: relocating random live swap slots never loses or
+   duplicates a page — the host invariants (slot-owner/EPT agreement,
+   no double backing) hold after every move, and each gpa reads back
+   exactly the content written before the shuffle. *)
+let scrub_relocation_preserves_pages =
+  QCheck.Test.make ~name:"host: slot relocation never loses or duplicates"
+    ~count:25
+    QCheck.(
+      pair (int_range 50 150) (list_of_size Gen.(int_range 1 30) small_nat))
+    (fun (npages, picks) ->
+      let rig = mk_rig ~limit:(Some 32) ~swap_slots:512 () in
+      let expected = Array.init npages (fun _ -> C.fresh_anon ()) in
+      Array.iteri (fun gpa c -> sync_rep_write rig ~gpa ~content:c) expected;
+      Test_util.drain rig.engine;
+      let swap = H.swap_area rig.host in
+      let live = ref [] in
+      for s = 0 to Storage.Swap_area.nslots swap - 1 do
+        if Storage.Swap_area.is_allocated swap s then live := s :: !live
+      done;
+      let live = Array.of_list !live in
+      if Array.length live = 0 then
+        QCheck.Test.fail_report "no pages swapped out";
+      let moved = ref 0 in
+      List.iter
+        (fun pick ->
+          (* Stale picks (slots freed by an earlier move) must be
+             rejected harmlessly, so draw from the original snapshot. *)
+          let slot = live.(pick mod Array.length live) in
+          if H.relocate_slot rig.host slot then incr moved;
+          Test_util.drain rig.engine;
+          H.check_invariants rig.host)
+        picks;
+      if !moved = 0 then QCheck.Test.fail_report "no relocation ever landed";
+      let ok = ref true in
+      Array.iteri
+        (fun gpa c ->
+          if not (C.equal (sync_read rig ~gpa) c) then ok := false)
+        expected;
+      Test_util.drain rig.engine;
+      H.check_invariants rig.host;
+      !ok)
+
 let tests =
   [
     ( "host:basics",
@@ -911,6 +1045,21 @@ let tests =
           async_kill_mid_fault_releases_waiters;
         Alcotest.test_case "parked starts survive kill" `Quick
           async_parked_starts_survive_kill;
+      ] );
+    ( "host:qos",
+      [
+        Alcotest.test_case "burst admits inline then parks" `Quick
+          qos_burst_admits_inline_then_parks;
+        Alcotest.test_case "refill caps at burst" `Quick
+          qos_refill_caps_at_burst;
+        Alcotest.test_case "DRR interleaves starved guests" `Quick
+          qos_drr_interleaves_starved_guests;
+        Alcotest.test_case "per-guest isolation" `Quick
+          qos_per_guest_isolation;
+      ] );
+    ( "host:scrub",
+      [
+        qcheck scrub_relocation_preserves_pages;
       ] );
     ( "host:shadow-model",
       [

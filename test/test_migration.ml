@@ -110,6 +110,66 @@ let transient_reads_retry_to_completion () =
       Alcotest.(check bool) "reads happened" true (r.M.source_disk_reads > 0);
       Alcotest.(check bool) "retries happened" true (r.M.retries > 0)
 
+(* Swapped pages are read back through the tier composite, not the raw
+   disk: on a czram+disk machine the migration's swap reads land on the
+   tier that holds each slot, and tier-level failures flow through the
+   same retry/abort discipline as disk ones. *)
+let tiny_tiered_machine ?(faults = Faults.Config.none) () =
+  let workload = Workloads.Sysbench.workload ~iterations:1 ~file_mb:24 () in
+  let guest =
+    {
+      (Vmm.Config.default_guest ~workload) with
+      mem_mb = 48;
+      resident_limit_mb = Some 24;
+      warm_all = true;
+      data_mb = 48;
+    }
+  in
+  let cfg =
+    {
+      (Vmm.Config.default ~guests:[ guest ]) with
+      vs = Vswapper.Vsconfig.vswapper;
+      host_mem_mb = 128;
+      host_swap_mb = 96;
+      tiers =
+        {
+          Storage.Tiers.disk_only with
+          Storage.Tiers.fast = Storage.Tiers.Czram;
+          czram_admit_ratio = 1.25;
+          fast_share_percent = 50;
+        };
+    }
+  in
+  let machine = Vmm.Machine.build cfg in
+  ignore (Vmm.Machine.run machine);
+  Storage.Disk.set_faults (Vmm.Machine.disk machine)
+    (Faults.Plan.create faults);
+  machine
+
+let tiered_swap_reads_route_through_tiers () =
+  let m = tiny_tiered_machine () in
+  let stats = Vmm.Machine.stats m in
+  let fast0 = stats.Metrics.Stats.tier_fast_swapins in
+  (match migrate_outcome m M.gbe M.Full_copy with
+  | M.Aborted _ -> Alcotest.fail "clean tiers must not abort"
+  | M.Completed r ->
+      Alcotest.(check bool) "swapped pages were read" true
+        (r.M.source_disk_reads > 0));
+  Alcotest.(check bool) "fast-tier slots served migration reads" true
+    (stats.Metrics.Stats.tier_fast_swapins > fast0)
+
+let tiered_slow_reads_still_abort_on_media () =
+  (* Disk faults installed after the run hit only the slow (disk) tier;
+     the abort surfaces through the composite exactly as on a flat
+     disk. *)
+  let faults = Faults.Config.make ~seed:7 ~media_rate:0.5 () in
+  let m = tiny_tiered_machine ~faults () in
+  match migrate_outcome m M.gbe M.Full_copy with
+  | M.Completed _ -> Alcotest.fail "media faults must abort the migration"
+  | M.Aborted a ->
+      Alcotest.(check bool) "typed as media" true
+        (a.M.error = Storage.Disk.Media)
+
 (* A media error is permanent for its sector no matter how often the
    read is retried, so the migration must abort and say why. *)
 let media_error_aborts () =
@@ -133,5 +193,9 @@ let tests =
         Alcotest.test_case "transient retries complete" `Quick
           transient_reads_retry_to_completion;
         Alcotest.test_case "media error aborts" `Quick media_error_aborts;
+        Alcotest.test_case "tiered reads route through tiers" `Quick
+          tiered_swap_reads_route_through_tiers;
+        Alcotest.test_case "tiered media abort" `Quick
+          tiered_slow_reads_still_abort_on_media;
       ] );
   ]

@@ -686,7 +686,7 @@ let czram_admission_latency_serialization () =
   let engine = Sim.Engine.create () in
   let b =
     Storage.Backend.czram ~engine ~seed:0 ~admit_ratio:0.6
-      ~pool_bytes:(1 lsl 30) ~compress_us:10 ~decompress_us:5
+      ~pool_bytes:(1 lsl 30) ~compress_us:10 ~decompress_us:5 ()
   in
   (* Admission is a pure per-page property: some pages compress well
      enough, others are rejected as incompressible. *)
@@ -723,7 +723,7 @@ let czram_pool_cap_rejects () =
   (* Pool of one page: the second write cannot be admitted. *)
   let b =
     Storage.Backend.czram ~engine ~seed:0 ~admit_ratio:1.25
-      ~pool_bytes:Storage.Geom.page_bytes ~compress_us:10 ~decompress_us:5
+      ~pool_bytes:Storage.Geom.page_bytes ~compress_us:10 ~decompress_us:5 ()
   in
   Alcotest.(check bool) "first fits" true (Storage.Backend.admit b ~sector:0);
   Storage.Backend.write b ~queue:0 ~sector:0 ~nsectors:8;
@@ -733,7 +733,7 @@ let czram_pool_cap_rejects () =
 let remote_rtt_and_link_queueing () =
   let engine = Sim.Engine.create () in
   (* 4 bytes/us: a 4 KiB page takes 1024 us on the link; RTT 100 us. *)
-  let b = Storage.Backend.remote ~engine ~rtt_us:100 ~bytes_per_us:4.0 in
+  let b = Storage.Backend.remote ~engine ~rtt_us:100 ~bytes_per_us:4.0 () in
   let s1 = ref 0 and s2 = ref 0 in
   Storage.Backend.read b ~sector:0 ~nsectors:8 ~queue:0 ~attempt:0 (fun r ->
       s1 := Sim.Time.to_us r.Storage.Backend.service);
@@ -763,12 +763,12 @@ let swap_area_tier_metadata () =
   let s2 = Option.get (Storage.Swap_area.alloc sa (Storage.Content.Anon 2)) in
   check Alcotest.int "tier reset on reuse" 0 (Storage.Swap_area.tier sa s2)
 
-let mk_tiers cfg =
+let mk_tiers ?faults cfg =
   let engine = Sim.Engine.create () in
   let stats = Metrics.Stats.create () in
   let disk = Storage.Disk.create ~engine ~stats Storage.Disk.default_config in
   let swap = Storage.Swap_area.create ~base_sector:0 ~nslots:256 in
-  let t = Storage.Tiers.create ~engine ~stats ~disk ~swap cfg in
+  let t = Storage.Tiers.create ?faults ~engine ~stats ~disk ~swap cfg in
   (engine, stats, swap, t)
 
 let tiers_routing_promotion_demotion () =
@@ -838,6 +838,138 @@ let tiers_routing_promotion_demotion () =
     stats.Metrics.Stats.tier_writeback_sectors;
   Alcotest.(check bool) "demotion made room for the admission" true
     (stats.Metrics.Stats.tier_admissions > 64)
+
+(* Failover lifecycle on a czram fast tier: pool corruption burns the
+   error budget, the tier trips, new admissions route slow, the drain
+   evacuates residents, and the first probe brings a reinitialized pool
+   back healthy. *)
+let tiers_failover_trip_drain_recover () =
+  let cfg =
+    {
+      Storage.Tiers.disk_only with
+      Storage.Tiers.fast = Storage.Tiers.Czram;
+      (* admit everything the pool can hold: compressibility must not
+         decide which slots participate in the failover drill *)
+      czram_admit_ratio = 1.25;
+      fast_share_percent = 50;
+      writeback_batch = 64;
+      tier_error_budget = 2;
+      tier_probe_us = 50_000;
+    }
+  in
+  (* media_rate 1.0 corrupts every pool page: each fast-tier read is a
+     budget hit, so the trip point is exactly [tier_error_budget]. *)
+  let faults =
+    Faults.Plan.create (Faults.Config.make ~seed:11 ~media_rate:1.0 ())
+  in
+  let engine, stats, swap, t = mk_tiers ~faults cfg in
+  let slots =
+    List.init 16 (fun i ->
+        Option.get (Storage.Swap_area.alloc swap (Storage.Content.Anon i)))
+  in
+  List.iter (fun slot -> Storage.Tiers.swap_out t ~slot ~queue:0) slots;
+  Test_util.drain engine;
+  let resident = Storage.Tiers.fast_slots t in
+  Alcotest.(check bool) "some pages admitted fast" true (resident > 0);
+  Alcotest.(check bool) "healthy to start" false
+    (Storage.Tiers.fast_degraded t);
+  (* Two corrupt reads of a fast slot trip the budget.  Stop the engine
+     at the trip, not at quiescence: the probe timer armed by the trip
+     would otherwise recover the tier before we can observe it. *)
+  let fast_slot =
+    List.find (fun s -> Storage.Swap_area.tier swap s = 0) slots
+  in
+  for _ = 1 to cfg.Storage.Tiers.tier_error_budget do
+    Storage.Tiers.swap_in t ~slot:fast_slot
+      ~sector:(Storage.Swap_area.sector_of_slot swap fast_slot)
+      ~nsectors:8 ~queue:0 ~attempt:0 (fun _ -> ())
+  done;
+  Test_util.drain_until engine (fun () -> Storage.Tiers.fast_degraded t);
+  check Alcotest.int "one degraded event" 1
+    stats.Metrics.Stats.tier_degraded_events;
+  Alcotest.(check bool) "pool corruption counted as injected media" true
+    (stats.Metrics.Stats.faults_injected_media
+    >= cfg.Storage.Tiers.tier_error_budget);
+  (* An admission while degraded routes straight to the slow tier. *)
+  let routes0 = stats.Metrics.Stats.tier_failover_routes in
+  let s =
+    Option.get (Storage.Swap_area.alloc swap (Storage.Content.Anon 99))
+  in
+  Storage.Tiers.swap_out t ~slot:s ~queue:0;
+  check Alcotest.int "degraded admission rerouted" (routes0 + 1)
+    stats.Metrics.Stats.tier_failover_routes;
+  check Alcotest.int "rerouted slot lands on tier 1" 1
+    (Storage.Swap_area.tier swap s);
+  (* Quiescence: the drain evacuates every resident fast slot, then the
+     probe finds the reinitialized pool healthy and stops both timers. *)
+  Test_util.drain engine;
+  check Alcotest.int "fast tier fully drained" 0 (Storage.Tiers.fast_slots t);
+  Alcotest.(check bool) "drain went through writeback" true
+    (stats.Metrics.Stats.tier_demotions >= resident);
+  Alcotest.(check bool) "recovered after probe" false
+    (Storage.Tiers.fast_degraded t);
+  check Alcotest.int "one recovery event" 1
+    stats.Metrics.Stats.tier_recovered_events;
+  (* A healthy tier admits again. *)
+  let s2 =
+    Option.get (Storage.Swap_area.alloc swap (Storage.Content.Anon 123))
+  in
+  let adm0 = stats.Metrics.Stats.tier_admissions in
+  Storage.Tiers.swap_out t ~slot:s2 ~queue:0;
+  Test_util.drain engine;
+  check Alcotest.int "admission reopened" (adm0 + 1)
+    stats.Metrics.Stats.tier_admissions
+
+(* A flapping remote fast tier: link timeouts are transient (retry can
+   clear them) but still burn the failover budget, and the probe
+   re-hashes its attempt number until the flap clears. *)
+let tiers_remote_flap_degrades_and_recovers () =
+  let cfg =
+    {
+      Storage.Tiers.disk_only with
+      Storage.Tiers.fast = Storage.Tiers.Remote;
+      fast_share_percent = 25;
+      tier_error_budget = 1;
+      tier_probe_us = 10_000;
+    }
+  in
+  let faults =
+    Faults.Plan.create (Faults.Config.make ~seed:5 ~transient_rate:0.6 ())
+  in
+  let engine, stats, swap, t = mk_tiers ~faults cfg in
+  let slots =
+    List.init 8 (fun i ->
+        Option.get (Storage.Swap_area.alloc swap (Storage.Content.Anon i)))
+  in
+  List.iter (fun slot -> Storage.Tiers.swap_out t ~slot ~queue:0) slots;
+  Test_util.drain engine;
+  Alcotest.(check bool) "remote admits everything" true
+    (Storage.Tiers.fast_slots t = 8);
+  (* At 60% flap rate, hammering one slot with fresh attempts soon finds
+     a timeout; budget 1 trips the tier on the first one. *)
+  let attempt = ref 0 and completed = ref 0 in
+  while (not (Storage.Tiers.fast_degraded t)) && !attempt < 64 do
+    Storage.Tiers.swap_in t ~slot:(List.hd slots)
+      ~sector:(Storage.Swap_area.sector_of_slot swap (List.hd slots))
+      ~nsectors:8 ~queue:0 ~attempt:!attempt (fun _ -> incr completed);
+    incr attempt;
+    Test_util.drain_until engine (fun () -> !completed = !attempt)
+  done;
+  Alcotest.(check bool) "a timeout landed within 64 attempts" true
+    (Storage.Tiers.fast_degraded t);
+  check Alcotest.int "flap tripped the tier" 1
+    stats.Metrics.Stats.tier_degraded_events;
+  Alcotest.(check bool) "timeouts counted as injected transients" true
+    (stats.Metrics.Stats.faults_injected_transient >= 1);
+  (* The probe re-hashes (seed, sector 0, attempt): at 60% it clears
+     within a handful of intervals, recovering the tier; the drain has
+     meanwhile pushed every resident slot back to the disk. *)
+  Test_util.drain engine;
+  Alcotest.(check bool) "link came back" false
+    (Storage.Tiers.fast_degraded t);
+  check Alcotest.int "one recovery event" 1
+    stats.Metrics.Stats.tier_recovered_events;
+  check Alcotest.int "drained while degraded" 0 (Storage.Tiers.fast_slots t)
 
 (* Property: the disk-only composite is call-for-call identical to the
    bare disk — same completion times, same media traffic — over random
@@ -991,6 +1123,10 @@ let tests =
       [
         Alcotest.test_case "routing, promotion, demotion" `Quick
           tiers_routing_promotion_demotion;
+        Alcotest.test_case "failover trip, drain, recover" `Quick
+          tiers_failover_trip_drain_recover;
+        Alcotest.test_case "remote flap degrades and recovers" `Quick
+          tiers_remote_flap_degrades_and_recovers;
         qcheck tiers_passthrough_differential;
       ] );
   ]
