@@ -281,6 +281,36 @@ let write_json ~file ~scale r =
      \"promoted_words\": %.0f, \"top_heap_words\": %d, \"live_words\": %d},\n"
     gq.Gc.minor_words gq.Gc.major_words gq.Gc.promoted_words
     gs.Gc.top_heap_words gs.Gc.live_words;
+  (* Fleet section: present only when the fleet experiment ran; the
+     wall-clocks and speedups inside are this machine's, the counters
+     are deterministic. *)
+  (match Experiments.Exp.fleet_totals () with
+  | None -> ()
+  | Some ft ->
+      out
+        "  \"fleet\": {\"hosts\": %d, \"guests\": %d, \"rejected\": %d, \
+         \"pages\": %d, \"epochs\": %d, \"migrations\": %d, \
+         \"migrations_aborted\": %d, \"throttled_batches\": %d, \
+         \"oom_kills\": %d, \"heap_words_per_page\": %.1f,\n"
+        ft.Experiments.Exp.fleet_hosts ft.Experiments.Exp.fleet_guests
+        ft.Experiments.Exp.fleet_rejected ft.Experiments.Exp.fleet_pages
+        ft.Experiments.Exp.fleet_epochs ft.Experiments.Exp.fleet_migrations
+        ft.Experiments.Exp.fleet_migrations_aborted
+        ft.Experiments.Exp.fleet_throttled_batches
+        ft.Experiments.Exp.fleet_oom_kills
+        ft.Experiments.Exp.fleet_heap_words_per_page;
+      out "    \"per_jobs\": [";
+      List.iteri
+        (fun i p ->
+          out
+            "%s\n      {\"jobs\": %d, \"wall_s\": %.3f, \
+             \"guest_seconds_per_s\": %.0f, \"speedup\": %.2f}"
+            (if i = 0 then "" else ",")
+            p.Experiments.Exp.fj_jobs p.Experiments.Exp.fj_wall_s
+            p.Experiments.Exp.fj_guest_seconds_per_s
+            p.Experiments.Exp.fj_speedup)
+        ft.Experiments.Exp.fleet_per_jobs;
+      out "\n    ]},\n");
   let ps = Parallel.Pool.stats (Parallel.Pool.global ()) in
   out
     "  \"parallel\": {\"jobs\": %d, \"worker_jobs\": %d, \"helper_jobs\": \
@@ -591,7 +621,7 @@ let run_micro ~record () =
              (* The multi-guest sweeps are too heavy to iterate. *)
              not
                (List.mem e.Experiments.Exp.id
-                  [ "fig4"; "fig14"; "memscale"; "degradation" ]))
+                  [ "fig4"; "fig14"; "memscale"; "degradation"; "fleet" ]))
            Experiments.Registry.all)
   in
   let instances = Instance.[ monotonic_clock ] in

@@ -1,0 +1,98 @@
+(** Fleet simulator: N independent host simulations stepped in parallel
+    epochs under a cluster controller.
+
+    Each host shard owns a full simulation stack — its own
+    {!Sim.Engine}, {!Storage.Disk}, swap area, {!Host.Hostmm} and
+    guests — and shares nothing mutable with any other shard, so an
+    epoch steps all hosts concurrently on a {!Parallel.Pool} with zero
+    cross-shard synchronization.  Between epochs a serial barrier runs
+    the controller: it harvests OOM kills and tenant departures,
+    resolves in-flight evacuations, places new arrivals (first-fit
+    decreasing under a configurable overcommit ratio), and starts
+    pressure-driven rebalancing migrations ({!Migration.Migrate} reads
+    the source's pages back through its own tiers/disk, contending with
+    the guests still running there).
+
+    Determinism: every shard is a closed deterministic simulation in
+    virtual time; the controller runs serially in host-index order; the
+    epoch reduction folds per-host stats in host order with
+    order-independent merges ({!Metrics.Stats.add}).  The pool only
+    changes which wall-clock instant each shard steps at — stats,
+    report and fingerprint are byte-identical at any pool width. *)
+
+type config = {
+  hosts : int;
+  host_mem_mb : int;  (** physical memory per host *)
+  host_swap_mb : int;  (** host swap area per host *)
+  overcommit : float;
+      (** placement bound: committed MB <= host_mem_mb * overcommit *)
+  epoch_s : int;  (** simulated seconds per epoch *)
+  epochs : int;
+  seed : int;  (** traffic seed *)
+  mean_arrivals : float;  (** expected tenant arrivals per epoch at load 1 *)
+  base_load : float;
+      (** fraction of a VM's pages touched per epoch at load 1 *)
+  rebalance_swapin_rate : float;
+      (** host swap-ins per simulated second above which the controller
+          evacuates a VM from the host *)
+  link : Migration.Migrate.link;  (** evacuation network link *)
+}
+
+(** 128 hosts x 96 MB, 1.5x overcommit, 12 epochs of 20 simulated
+    seconds, ~2.5 arrivals per host-epoch at load 1. *)
+val default_config : config
+
+(** One barrier row, in epoch order. *)
+type epoch_row = {
+  epoch : int;
+  load : float;  (** diurnal traffic intensity *)
+  live : int;  (** VMs running after this barrier *)
+  placed : int;
+  rejected : int;  (** arrivals refused (no host within the bound) *)
+  departed : int;
+  oom_killed : int;
+  migrations_started : int;
+  migrations_done : int;
+  migrations_aborted : int;
+  swapins : int;  (** fleet-wide host swap-ins during the epoch *)
+  swapouts : int;
+  max_committed_mb : int;  (** most-committed host after placement *)
+}
+
+type result = {
+  rows : epoch_row list;  (** one per epoch, in order *)
+  guests_placed : int;  (** cumulative VMs placed *)
+  guests_rejected : int;
+  pages_placed : int;  (** cumulative pages of placed VMs *)
+  peak_live_pages : int;  (** max concurrent live pages at a barrier *)
+  guest_seconds : int;  (** integral of live VMs over simulated time *)
+  migrations : int;  (** completed evacuations *)
+  migrations_aborted : int;
+  migration_throttled_batches : int;
+      (** dirty-rate backoff delays across all evacuations *)
+  oom_kills : int;
+  totals : Metrics.Stats.t;
+      (** all shards reduced in host order, engine telemetry included *)
+  fingerprint : int;  (** hash of totals + headline counters *)
+  committed_ok : bool;
+      (** no host ever exceeded the overcommit bound (checked at every
+          placement, reservation and migration landing) *)
+  migration_accounting_ok : bool;
+      (** every completed evacuation classified exactly its guest's
+          pages: copied + mappings + skipped = gpa_pages *)
+  live_heap_words : int;
+      (** [Gc] live words at the last barrier, every shard still alive;
+          wall-clock-free but allocator-dependent — keep out of
+          deterministic output *)
+}
+
+(** [run ?pool config] simulates the fleet, stepping shards on [pool]
+    (default {!Parallel.Pool.global}).  The result is independent of
+    the pool width. *)
+val run : ?pool:Parallel.Pool.t -> config -> result
+
+(** [report r] renders the deterministic summary: per-epoch panel,
+    headline counters, invariant checks and fingerprint.  Contains no
+    wall-clock or heap quantities, so two runs of the same config
+    produce byte-identical reports. *)
+val report : result -> string

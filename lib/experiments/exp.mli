@@ -57,6 +57,12 @@ type run_out = {
     collector's getter, invoked after the run. *)
 val run_machine : ?get_marks:(unit -> mark list) -> Vmm.Machine.t -> run_out
 
+(** [record_disk_stats s] folds one run's stats into the cross-run
+    totals below — [run_machine] does it automatically; experiments that
+    drive simulations outside a {!Vmm.Machine} (the fleet) call it
+    directly with their reduced totals. *)
+val record_disk_stats : Metrics.Stats.t -> unit
+
 (** Disk read-batching totals summed over every [run_machine] since the
     last [reset_disk_totals].  Accumulated with atomics so runs on
     parallel sweep domains count too; sums are order-independent, so the
@@ -154,6 +160,40 @@ type async_totals = {
 
 val reset_async_totals : unit -> unit
 val async_totals : unit -> async_totals
+
+(** [smoke ()] is true when VSWAPPER_SMOKE is set to anything but ""/"0":
+    the heavyweight sweeps (fleet, memscale) cut their grids down so the
+    dune smoke aliases stay cheap.  One env var shared by all of them. *)
+val smoke : unit -> bool
+
+(** One (jobs, throughput) point of the fleet scaling table. *)
+type fleet_jobs_point = {
+  fj_jobs : int;
+  fj_wall_s : float;
+  fj_guest_seconds_per_s : float;  (** simulated guest-seconds per wall second *)
+  fj_speedup : float;  (** vs the jobs=1 run of the same sweep *)
+}
+
+(** Fleet-experiment totals for the bench JSON summary, set wholesale by
+    the fleet experiment (both of its runs happen inside one experiment
+    body).  [None] until the fleet experiment has run. *)
+type fleet_totals = {
+  fleet_hosts : int;
+  fleet_guests : int;  (** VMs placed over the whole history *)
+  fleet_rejected : int;
+  fleet_pages : int;  (** pages of placed VMs *)
+  fleet_epochs : int;
+  fleet_migrations : int;  (** completed rebalance evacuations *)
+  fleet_migrations_aborted : int;
+  fleet_throttled_batches : int;  (** dirty-rate backoff delays *)
+  fleet_oom_kills : int;
+  fleet_heap_words_per_page : float;  (** live words / peak live pages *)
+  fleet_per_jobs : fleet_jobs_point list;
+}
+
+val reset_fleet_totals : unit -> unit
+val set_fleet_totals : fleet_totals -> unit
+val fleet_totals : unit -> fleet_totals option
 
 (** [with_exp_tag tag f] runs [f] with the engine-telemetry attribution
     tag set (and restores the previous tag after).  The registry tags

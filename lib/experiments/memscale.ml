@@ -19,8 +19,9 @@
    memscale-smoke rule filters those lines before comparing serial vs
    parallel stdout.  The fault panels are deterministic as usual.
 
-   VSWAPPER_MEMSCALE_MAX_GUESTS caps the guest-count grid (the smoke
-   test runs [1; 2]); VSWAPPER_BENCH_SCALE scales the per-guest page
+   VSWAPPER_MEMSCALE_MAX_GUESTS caps the guest-count grid, and the
+   shared VSWAPPER_SMOKE=1 cap (honored by every heavyweight sweep)
+   clamps it to [1; 2]; VSWAPPER_BENCH_SCALE scales the per-guest page
    count, full scale being 2^20 pages. *)
 
 let guest_counts () =
@@ -31,6 +32,7 @@ let guest_counts () =
         | Some _ | None -> 8)
     | None -> 8
   in
+  let cap = if Exp.smoke () then min cap 2 else cap in
   List.filter (fun n -> n <= cap) [ 1; 2; 4; 8 ]
 
 (* Per-guest pages, rounded to whole MiB so guest construction (which

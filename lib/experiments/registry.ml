@@ -20,6 +20,7 @@ let all =
     Tiering.exp;
     Memscale.exp;
     Degradation.exp;
+    Fleet.exp;
   ]
 
 let find id = List.find_opt (fun e -> e.Exp.id = id) all

@@ -1564,6 +1564,7 @@ let free_frames t = Frames.nfree t.frames
 let total_frames t = Frames.nframes t.frames
 let resident t gid = Cgroup.resident (guest t gid).cgroup
 let mapper_tracked t gid = Mapper.tracked (guest t gid).mapper
+let gpa_pages t gid = Array.length (guest t gid).ept
 
 let page_state t ~guest:gid ~gpa =
   match (guest t gid).ept.(gpa) land 7 with

@@ -154,6 +154,10 @@ val free_frames : t -> int
 val total_frames : t -> int
 val resident : t -> guest_id -> int
 val mapper_tracked : t -> guest_id -> int
+
+(** [gpa_pages t gid] is the size of the guest's physical address space
+    in pages (the [gpa_pages] it was registered with). *)
+val gpa_pages : t -> guest_id -> int
 val page_state : t -> guest:guest_id -> gpa:int -> page_state
 val frame_content : t -> guest:guest_id -> gpa:int -> Storage.Content.t option
 val vdisk : t -> guest_id -> Storage.Vdisk.t

@@ -234,6 +234,105 @@ let diff a b =
     fault_pages_lost = a.fault_pages_lost - b.fault_pages_lost;
   }
 
+(* In-place [dst += src].  Every counter is a plain sum except the two
+   highwater gauges, which merge with max: "deepest queue on any host"
+   is the meaningful fleet-wide reading, and max keeps the merge
+   order-independent so barrier reductions stay deterministic. *)
+let add dst src =
+  dst.disk_ops <- dst.disk_ops + src.disk_ops;
+  dst.disk_sectors_read <- dst.disk_sectors_read + src.disk_sectors_read;
+  dst.disk_sectors_written <-
+    dst.disk_sectors_written + src.disk_sectors_written;
+  dst.disk_seq_reads <- dst.disk_seq_reads + src.disk_seq_reads;
+  dst.disk_read_batches <- dst.disk_read_batches + src.disk_read_batches;
+  dst.disk_batched_reads <- dst.disk_batched_reads + src.disk_batched_reads;
+  dst.disk_batch_sectors <- dst.disk_batch_sectors + src.disk_batch_sectors;
+  dst.disk_mq_batches <- dst.disk_mq_batches + src.disk_mq_batches;
+  dst.disk_queue_depth_highwater <-
+    max dst.disk_queue_depth_highwater src.disk_queue_depth_highwater;
+  dst.swap_sectors_read <- dst.swap_sectors_read + src.swap_sectors_read;
+  dst.swap_sectors_written <-
+    dst.swap_sectors_written + src.swap_sectors_written;
+  dst.host_swapins <- dst.host_swapins + src.host_swapins;
+  dst.host_swapouts <- dst.host_swapouts + src.host_swapouts;
+  dst.silent_swap_writes <- dst.silent_swap_writes + src.silent_swap_writes;
+  dst.stale_reads <- dst.stale_reads + src.stale_reads;
+  dst.false_reads <- dst.false_reads + src.false_reads;
+  dst.hypervisor_code_faults <-
+    dst.hypervisor_code_faults + src.hypervisor_code_faults;
+  dst.host_context_faults <- dst.host_context_faults + src.host_context_faults;
+  dst.guest_context_faults <-
+    dst.guest_context_faults + src.guest_context_faults;
+  dst.pages_scanned <- dst.pages_scanned + src.pages_scanned;
+  dst.guest_swapins <- dst.guest_swapins + src.guest_swapins;
+  dst.guest_swapouts <- dst.guest_swapouts + src.guest_swapouts;
+  dst.guest_major_faults <- dst.guest_major_faults + src.guest_major_faults;
+  dst.oom_kills <- dst.oom_kills + src.oom_kills;
+  dst.mapper_tracked <- dst.mapper_tracked + src.mapper_tracked;
+  dst.mapper_discards <- dst.mapper_discards + src.mapper_discards;
+  dst.mapper_refetches <- dst.mapper_refetches + src.mapper_refetches;
+  dst.mapper_invalidations <-
+    dst.mapper_invalidations + src.mapper_invalidations;
+  dst.preventer_remaps <- dst.preventer_remaps + src.preventer_remaps;
+  dst.preventer_merges <- dst.preventer_merges + src.preventer_merges;
+  dst.preventer_timeouts <- dst.preventer_timeouts + src.preventer_timeouts;
+  dst.preventer_rejects <- dst.preventer_rejects + src.preventer_rejects;
+  dst.balloon_inflated_pages <-
+    dst.balloon_inflated_pages + src.balloon_inflated_pages;
+  dst.balloon_deflated_pages <-
+    dst.balloon_deflated_pages + src.balloon_deflated_pages;
+  dst.faults_injected_media <-
+    dst.faults_injected_media + src.faults_injected_media;
+  dst.faults_injected_transient <-
+    dst.faults_injected_transient + src.faults_injected_transient;
+  dst.faults_degraded_batches <-
+    dst.faults_degraded_batches + src.faults_degraded_batches;
+  dst.fault_retries <- dst.fault_retries + src.fault_retries;
+  dst.fault_retry_exhausted <-
+    dst.fault_retry_exhausted + src.fault_retry_exhausted;
+  dst.fault_guest_kills <- dst.fault_guest_kills + src.fault_guest_kills;
+  dst.destage_media_errors <-
+    dst.destage_media_errors + src.destage_media_errors;
+  dst.destage_transient_retries <-
+    dst.destage_transient_retries + src.destage_transient_retries;
+  dst.swap_full_fallbacks <- dst.swap_full_fallbacks + src.swap_full_fallbacks;
+  dst.emergency_steals <- dst.emergency_steals + src.emergency_steals;
+  dst.async_waiter_merges <- dst.async_waiter_merges + src.async_waiter_merges;
+  dst.async_faults_deferred <-
+    dst.async_faults_deferred + src.async_faults_deferred;
+  dst.async_inflight_highwater <-
+    max dst.async_inflight_highwater src.async_inflight_highwater;
+  dst.engine_events_fired <- dst.engine_events_fired + src.engine_events_fired;
+  dst.engine_cancels_reclaimed <-
+    dst.engine_cancels_reclaimed + src.engine_cancels_reclaimed;
+  dst.engine_cascades <- dst.engine_cascades + src.engine_cascades;
+  dst.tier_admissions <- dst.tier_admissions + src.tier_admissions;
+  dst.tier_rejects <- dst.tier_rejects + src.tier_rejects;
+  dst.tier_promotions <- dst.tier_promotions + src.tier_promotions;
+  dst.tier_demotions <- dst.tier_demotions + src.tier_demotions;
+  dst.tier_writeback_sectors <-
+    dst.tier_writeback_sectors + src.tier_writeback_sectors;
+  dst.tier_fast_swapins <- dst.tier_fast_swapins + src.tier_fast_swapins;
+  dst.tier_slow_swapins <- dst.tier_slow_swapins + src.tier_slow_swapins;
+  dst.tier_fast_swapin_us <- dst.tier_fast_swapin_us + src.tier_fast_swapin_us;
+  dst.tier_slow_swapin_us <- dst.tier_slow_swapin_us + src.tier_slow_swapin_us;
+  dst.scrub_scans <- dst.scrub_scans + src.scrub_scans;
+  dst.scrub_verify_reads <- dst.scrub_verify_reads + src.scrub_verify_reads;
+  dst.scrub_media_found <- dst.scrub_media_found + src.scrub_media_found;
+  dst.scrub_relocations <- dst.scrub_relocations + src.scrub_relocations;
+  dst.scrub_reloc_failed <- dst.scrub_reloc_failed + src.scrub_reloc_failed;
+  dst.qos_throttled <- dst.qos_throttled + src.qos_throttled;
+  dst.qos_throttle_wait_us <-
+    dst.qos_throttle_wait_us + src.qos_throttle_wait_us;
+  dst.tier_degraded_events <-
+    dst.tier_degraded_events + src.tier_degraded_events;
+  dst.tier_recovered_events <-
+    dst.tier_recovered_events + src.tier_recovered_events;
+  dst.tier_failover_routes <-
+    dst.tier_failover_routes + src.tier_failover_routes;
+  dst.fault_media_reads <- dst.fault_media_reads + src.fault_media_reads;
+  dst.fault_pages_lost <- dst.fault_pages_lost + src.fault_pages_lost
+
 let fields t =
   [
     ("disk_ops", t.disk_ops);

@@ -154,5 +154,16 @@ val copy : t -> t
 (** [diff a b] is the field-wise [a - b]; useful for per-phase deltas. *)
 val diff : t -> t -> t
 
+(** [add dst src] accumulates [src] into [dst] in place: counters sum,
+    the highwater gauges ([disk_queue_depth_highwater],
+    [async_inflight_highwater]) merge with [max].  Both operations are
+    commutative and associative, so a reduction over per-host stats is
+    independent of merge order. *)
+val add : t -> t -> unit
+
+(** [fields t] lists every counter as [(name, value)], in declaration
+    order — the stable feed for JSON emitters and fingerprint hashes. *)
+val fields : t -> (string * int) list
+
 (** [pp] prints every nonzero counter, one per line. *)
 val pp : Format.formatter -> t -> unit

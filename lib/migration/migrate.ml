@@ -15,6 +15,7 @@ type report = {
   pages_skipped : int;
   source_disk_reads : int;
   retries : int;
+  throttled_batches : int;
 }
 
 type abort = {
@@ -69,16 +70,16 @@ let classify ~host ~gid ~vdisk strategy plan ~gpa =
             :: plan.reads;
           plan.copy_pages <- plan.copy_pages + 1)
 
-let migrate ?(retry_limit = 4) ?(retry_base_us = 500) ~machine ~guest link
-    strategy k =
-  let engine = Vmm.Machine.engine machine in
-  let host = Vmm.Machine.host machine in
-  let disk = Vmm.Machine.disk machine in
+(* Machine-free transfer core: everything it needs (engine, disk, tiers,
+   vdisk, address-space size) is resolved from the host memory manager,
+   so the fleet rebalancer can evacuate a guest from a bare
+   [Engine]+[Hostmm] shard with no [Vmm.Machine] wrapping it. *)
+let migrate_host ?(retry_limit = 4) ?(retry_base_us = 500) ?(batch = 64)
+    ?(max_stalled_batches = 8) ~engine ~host ~guest:gid link strategy k =
+  let disk = H.disk host in
   let tiers = H.tiers host in
-  let os = Vmm.Machine.os machine guest in
-  let gid = Guest.Guestos.gid os in
   let vdisk = H.vdisk host gid in
-  let gpa_pages = (Guest.Guestos.config os).Guest.Gconfig.mem_pages in
+  let gpa_pages = H.gpa_pages host gid in
   let plan = { copy_pages = 0; mappings = 0; skipped = 0; reads = [] } in
   for gpa = 0 to gpa_pages - 1 do
     classify ~host ~gid ~vdisk strategy plan ~gpa
@@ -92,62 +93,144 @@ let migrate ?(retry_limit = 4) ?(retry_base_us = 500) ~machine ~guest link
   in
   let started = Sim.Engine.now engine in
   (* Sort reads by sector so the source streams them like a real
-     migration daemon would, and issue them through the shared disk. *)
-  let reads = List.sort compare plan.reads in
-  let n_reads = List.length reads in
-  (* Typed-error discipline for the source's read-back traffic: a
+     migration daemon would, then issue them in bounded batches through
+     the shared disk.  The batch is the throttling unit: a clean batch
+     is followed immediately by the next one (a clean source runs at
+     full copy rate), while a batch that saw transient errors doubles an
+     inter-batch backoff — the dirty-rate adaptation that lets an
+     evacuation survive a source tier degrading mid-iteration instead
+     of slamming a struggling device with the full read stream.
+
+     Typed-error discipline for the source's read-back traffic: a
      transient error is resubmitted with exponential backoff (the
      attempt number keys the fault hash, so a retry can succeed — for
-     the disk and for a flapping remote tier alike); a media error — or
-     an exhausted retry budget — abandons the whole migration, since
-     the source cannot fabricate the lost page.  Swapped pages read
-     through the tier composite (the page lives wherever its slot's
-     tier keeps it, possibly degraded mid-migration); image blocks read
-     straight off the disk.  The first fatal failure wins; reads
-     already in flight are drained before the abort is reported, so the
-     outcome and its ordering stay deterministic. *)
+     the disk and for a flapping remote tier alike); a read whose
+     in-batch retry budget runs dry is *parked* and reissued with the
+     next, slower batch rather than aborting — only a page parked
+     [max_stalled_batches] times gives up.  A media error is permanent
+     for its sector no matter the pacing, so it still abandons the
+     migration at once.  Swapped pages read through the tier composite
+     (the page lives wherever its slot's tier keeps it, possibly
+     degraded mid-migration); image blocks read straight off the disk.
+     The first fatal failure wins; reads already in flight are drained
+     before the abort is reported, so the outcome and its ordering stay
+     deterministic. *)
+  let reads = Array.of_list (List.sort compare plan.reads) in
+  let n_reads = Array.length reads in
+  let batch = max 1 batch in
+  let attempts = Array.make (max 1 n_reads) 0 in
+  let stalls = Array.make (max 1 n_reads) 0 in
   let retries_total = ref 0 in
+  let throttled_batches = ref 0 in
   let aborted = ref None in
   let finish_disk disk_done =
     if n_reads = 0 then disk_done ()
     else begin
-      let remaining = ref n_reads in
-      let one_done () =
-        decr remaining;
-        if !remaining = 0 then disk_done ()
+      let parked = Queue.create () in
+      let next = ref 0 in
+      let consecutive_dirty = ref 0 in
+      let rec run_batch () =
+        let idxs = ref [] in
+        let count = ref 0 in
+        while !count < batch && not (Queue.is_empty parked) do
+          idxs := Queue.pop parked :: !idxs;
+          incr count
+        done;
+        while !count < batch && !next < n_reads do
+          idxs := !next :: !idxs;
+          incr next;
+          incr count
+        done;
+        if !count = 0 then disk_done ()
+        else begin
+          let inflight = ref !count in
+          let dirty = ref false in
+          let one_done () =
+            decr inflight;
+            if !inflight = 0 then begin
+              if
+                !aborted <> None
+                || (Queue.is_empty parked && !next >= n_reads)
+              then disk_done ()
+              else begin
+                let delay =
+                  if !dirty then begin
+                    incr consecutive_dirty;
+                    incr throttled_batches;
+                    retry_base_us lsl min !consecutive_dirty 6
+                  end
+                  else begin
+                    consecutive_dirty := 0;
+                    0
+                  end
+                in
+                if delay = 0 then run_batch ()
+                else Sim.Engine.run_after engine (Sim.Time.us delay) run_batch
+              end
+            end
+          in
+          let issue i =
+            let sector, nsectors, slot = reads.(i) in
+            (* [pass_base] anchors this batch's retry budget; the
+               absolute attempt counter keeps climbing across parks so
+               every reissue rehashes the fault plan. *)
+            let pass_base = attempts.(i) in
+            let rec go () =
+              let attempt = attempts.(i) in
+              let complete (reply : Storage.Disk.reply) =
+                match reply.result with
+                | Ok () -> one_done ()
+                | Error Storage.Disk.Transient when !aborted = None ->
+                    dirty := true;
+                    attempts.(i) <- attempt + 1;
+                    if attempt - pass_base < retry_limit then begin
+                      incr retries_total;
+                      Sim.Engine.run_after engine
+                        (Sim.Time.us (retry_base_us lsl (attempt - pass_base)))
+                        go
+                    end
+                    else begin
+                      stalls.(i) <- stalls.(i) + 1;
+                      if stalls.(i) > max_stalled_batches then begin
+                        aborted :=
+                          Some
+                            {
+                              error = Storage.Disk.Transient;
+                              failed_sector = sector;
+                              retries_before_abort = !retries_total;
+                            };
+                        one_done ()
+                      end
+                      else begin
+                        Queue.add i parked;
+                        one_done ()
+                      end
+                    end
+                | Error error ->
+                    if !aborted = None then
+                      aborted :=
+                        Some
+                          {
+                            error;
+                            failed_sector = sector;
+                            retries_before_abort = !retries_total;
+                          };
+                    one_done ()
+              in
+              match slot with
+              | Some slot ->
+                  Storage.Tiers.swap_in tiers ~slot ~sector ~nsectors ~queue:0
+                    ~attempt complete
+              | None ->
+                  Storage.Disk.submit disk ~sector ~nsectors
+                    ~kind:Storage.Disk.Read ~attempt complete
+            in
+            go ()
+          in
+          List.iter issue (List.rev !idxs)
+        end
       in
-      let rec issue ~attempt sector nsectors slot =
-        let complete (reply : Storage.Disk.reply) =
-          match reply.result with
-          | Ok () -> one_done ()
-          | Error Storage.Disk.Transient
-            when attempt < retry_limit && !aborted = None ->
-              incr retries_total;
-              Sim.Engine.run_after engine
-                (Sim.Time.us (retry_base_us lsl attempt))
-                (fun () -> issue ~attempt:(attempt + 1) sector nsectors slot)
-          | Error error ->
-              if !aborted = None then
-                aborted :=
-                  Some
-                    {
-                      error;
-                      failed_sector = sector;
-                      retries_before_abort = !retries_total;
-                    };
-              one_done ()
-        in
-        match slot with
-        | Some slot ->
-            Storage.Tiers.swap_in tiers ~slot ~sector ~nsectors ~queue:0
-              ~attempt complete
-        | None ->
-            Storage.Disk.submit disk ~sector ~nsectors
-              ~kind:Storage.Disk.Read ~attempt complete
-      in
-      List.iter
-        (fun (sector, nsectors, slot) -> issue ~attempt:0 sector nsectors slot)
-        reads
+      run_batch ()
     end
   in
   finish_disk (fun () ->
@@ -173,7 +256,17 @@ let migrate ?(retry_limit = 4) ?(retry_base_us = 500) ~machine ~guest link
                      pages_skipped = plan.skipped;
                      source_disk_reads = n_reads;
                      retries = !retries_total;
+                     throttled_batches = !throttled_batches;
                    })))
+
+let migrate ?retry_limit ?retry_base_us ?batch ?max_stalled_batches ~machine
+    ~guest link strategy k =
+  let engine = Vmm.Machine.engine machine in
+  let host = Vmm.Machine.host machine in
+  let os = Vmm.Machine.os machine guest in
+  let gid = Guest.Guestos.gid os in
+  migrate_host ?retry_limit ?retry_base_us ?batch ?max_stalled_batches ~engine
+    ~host ~guest:gid link strategy k
 
 let pp_report fmt r =
   Format.fprintf fmt

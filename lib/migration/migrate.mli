@@ -37,6 +37,9 @@ type report = {
   pages_skipped : int;  (** zero/unbacked pages never transferred *)
   source_disk_reads : int;  (** swapped/discarded pages read back first *)
   retries : int;  (** transient read errors retried during the transfer *)
+  throttled_batches : int;
+      (** read batches that were delayed by the dirty-rate backoff
+          because the previous batch saw transient errors *)
 }
 
 (** Why a migration was abandoned: the typed disk error that could not
@@ -56,22 +59,50 @@ type outcome = Completed of report | Aborted of abort
     is treated as paused for the duration; its memory state is not
     modified.
 
-    Source read-back I/O follows the typed-error discipline from
-    {!Faults}: a [Transient] failure is retried up to [retry_limit]
-    times with exponential backoff starting at [retry_base_us]
-    microseconds; a [Media] failure (or an exhausted retry budget)
-    aborts the migration — the source cannot fabricate a page its disk
-    has lost — after all outstanding reads drain, reporting [Aborted]
-    with the first fatal error.  Swapped pages are read back through
-    the host's {!Storage.Tiers} composite — a page resident in the
-    compressed or remote tier is fetched from that tier — so tier-level
-    failures (a flapping remote link, a degraded fast tier) flow
-    through the same retry/abort discipline as raw disk errors. *)
+    Source read-back I/O is issued in bounded batches of [batch] reads
+    and follows the typed-error discipline from {!Faults}: a
+    [Transient] failure is retried up to [retry_limit] times with
+    exponential backoff starting at [retry_base_us] microseconds.  When
+    a read's in-batch retry budget runs dry it is parked and reissued
+    with a later batch instead of aborting, and a batch that saw any
+    transient error doubles an inter-batch delay (reset by the next
+    clean batch) — the copy rate adapts to a source tier degrading
+    mid-iteration, slowing down rather than giving up.  Only a page
+    parked more than [max_stalled_batches] times, or a [Media] failure
+    (permanent for its sector no matter the pacing — the source cannot
+    fabricate a page its disk has lost), aborts the migration, after
+    all outstanding reads drain, reporting [Aborted] with the first
+    fatal error.  Swapped pages are read back through the host's
+    {!Storage.Tiers} composite — a page resident in the compressed or
+    remote tier is fetched from that tier — so tier-level failures (a
+    flapping remote link, a degraded fast tier) flow through the same
+    retry/throttle/abort discipline as raw disk errors. *)
 val migrate :
   ?retry_limit:int ->
   ?retry_base_us:int ->
+  ?batch:int ->
+  ?max_stalled_batches:int ->
   machine:Vmm.Machine.t ->
   guest:int ->
+  link ->
+  strategy ->
+  (outcome -> unit) ->
+  unit
+
+(** [migrate_host ~engine ~host ~guest …] is {!migrate} for a guest
+    living on a bare [Engine] + {!Host.Hostmm} pair with no
+    {!Vmm.Machine} around it — the shape of a fleet shard.  [guest] is
+    the {!Host.Hostmm.guest_id} itself (not a VMM guest index); disk,
+    tiers, vdisk and the address-space size are all resolved from
+    [host].  Same semantics, same defaults. *)
+val migrate_host :
+  ?retry_limit:int ->
+  ?retry_base_us:int ->
+  ?batch:int ->
+  ?max_stalled_batches:int ->
+  engine:Sim.Engine.t ->
+  host:Host.Hostmm.t ->
+  guest:Host.Hostmm.guest_id ->
   link ->
   strategy ->
   (outcome -> unit) ->

@@ -187,6 +187,74 @@ let map (t : t) f xs =
   end;
   Array.to_list (Array.map Option.get results)
 
+(* Barrier fan-out over preallocated thunks — the epoch hot path of the
+   fleet simulator.  Same help-while-waiting discipline as [map], but
+   the caller owns the thunk array (reused every epoch), so beyond the
+   queue nodes themselves nothing is allocated per call: no list
+   conversion, no per-job result boxing.  Exceptions are captured
+   (first one wins, under [done_mutex] so the choice is well-defined)
+   and re-raised after the barrier — every thunk still runs, keeping
+   shard state consistent before the caller sees the failure. *)
+let iter_all (t : t) (thunks : (unit -> unit) array) =
+  let n = Array.length thunks in
+  if n = 0 then ()
+  else if t.jobs <= 1 || n = 1 then begin
+    Array.iter (fun f -> f ()) thunks;
+    ignore (Atomic.fetch_and_add t.helped n)
+  end
+  else begin
+    let done_mutex = Mutex.create () in
+    let done_cond = Condition.create () in
+    let remaining = ref n in
+    let first_exn = ref None in
+    let finish exn =
+      Mutex.lock done_mutex;
+      (match (exn, !first_exn) with
+      | Some e, None -> first_exn := Some e
+      | _ -> ());
+      decr remaining;
+      if !remaining = 0 then Condition.signal done_cond;
+      Mutex.unlock done_mutex
+    in
+    Mutex.lock t.mutex;
+    Array.iter
+      (fun f ->
+        Queue.add
+          (fun () ->
+            match f () with
+            | () -> finish None
+            | exception e -> finish (Some e))
+          t.tasks)
+      thunks;
+    let depth = Queue.length t.tasks in
+    if depth > Atomic.get t.peak then Atomic.set t.peak depth;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    let rec help () =
+      Mutex.lock done_mutex;
+      let mine_done = !remaining = 0 in
+      Mutex.unlock done_mutex;
+      if not mine_done then begin
+        Mutex.lock t.mutex;
+        match Queue.take_opt t.tasks with
+        | Some task ->
+            Mutex.unlock t.mutex;
+            Atomic.incr t.helped;
+            task ();
+            help ()
+        | None ->
+            Mutex.unlock t.mutex;
+            Mutex.lock done_mutex;
+            while !remaining > 0 do
+              Condition.wait done_cond done_mutex
+            done;
+            Mutex.unlock done_mutex
+      end
+    in
+    help ();
+    match !first_exn with Some e -> raise e | None -> ()
+  end
+
 let shutdown t =
   Mutex.lock t.mutex;
   t.closed <- true;

@@ -63,6 +63,17 @@ type stats = {
   peak_queue_depth : int;
 }
 
+(** [iter_all t thunks] runs every thunk to completion before returning —
+    a barrier fan-out for callers that step preallocated shards every
+    epoch.  Unlike {!map} there is no per-job result boxing and no list
+    conversion: the caller owns (and reuses) the thunk array, so the
+    steady-state epoch loop allocates only queue nodes.  The submitter
+    helps execute queued work exactly as in [map], so nested use is
+    safe.  If thunks raise, every thunk still runs and the first
+    exception (in completion order) is re-raised after the barrier.
+    With [jobs t <= 1] the thunks run inline, in array order. *)
+val iter_all : t -> (unit -> unit) array -> unit
+
 val stats : t -> stats
 
 (** [reset_stats t] zeroes the counters (not [jobs]). *)

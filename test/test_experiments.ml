@@ -11,8 +11,9 @@ let registry_complete () =
       Alcotest.(check bool) (id ^ " registered") true (List.mem id ids))
     [ "fig3"; "fig4"; "fig5"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13";
       "fig14"; "fig15"; "tab1"; "tab2" ];
-  check Alcotest.int "twelve paper artifacts + extensions" 20
+  check Alcotest.int "twelve paper artifacts + extensions" 21
     (List.length ids);
+  Alcotest.(check bool) "fleet registered" true (List.mem "fleet" ids);
   Alcotest.(check bool) "degradation registered" true
     (List.mem "degradation" ids);
   Alcotest.(check bool) "scalability registered" true

@@ -5,4 +5,5 @@ let () =
    @ Test_storage.tests
    @ Test_mem.tests @ Test_core.tests @ Test_host.tests @ Test_guest.tests
    @ Test_vmm.tests @ Test_workloads.tests @ Test_balloon.tests
-   @ Test_migration.tests @ Test_experiments.tests @ Test_parallel.tests)
+   @ Test_migration.tests @ Test_cluster.tests @ Test_experiments.tests
+   @ Test_parallel.tests)

@@ -110,6 +110,22 @@ let transient_reads_retry_to_completion () =
       Alcotest.(check bool) "reads happened" true (r.M.source_disk_reads > 0);
       Alcotest.(check bool) "retries happened" true (r.M.retries > 0)
 
+(* Dirty-rate throttling: a source shedding transient errors makes the
+   copy loop back off between read batches instead of slamming the
+   struggling device — the migration still completes, it just paces
+   itself.  A clean source must never be throttled. *)
+let transient_faults_throttle_copy_rate () =
+  let faults = Faults.Config.make ~seed:7 ~transient_rate:0.02 () in
+  let m = tiny_machine ~faults ~vs:Vswapper.Vsconfig.baseline () in
+  (match migrate_outcome ~retry_limit:10 m M.gbe M.Full_copy with
+  | M.Aborted _ -> Alcotest.fail "transient faults must not abort"
+  | M.Completed r ->
+      Alcotest.(check bool) "dirty batches backed off" true
+        (r.M.throttled_batches > 0));
+  let clean = tiny_machine ~vs:Vswapper.Vsconfig.baseline () in
+  let r = migrate clean M.gbe M.Full_copy in
+  check Alcotest.int "clean source runs at full rate" 0 r.M.throttled_batches
+
 (* Swapped pages are read back through the tier composite, not the raw
    disk: on a czram+disk machine the migration's swap reads land on the
    tier that holds each slot, and tier-level failures flow through the
@@ -193,6 +209,8 @@ let tests =
         Alcotest.test_case "transient retries complete" `Quick
           transient_reads_retry_to_completion;
         Alcotest.test_case "media error aborts" `Quick media_error_aborts;
+        Alcotest.test_case "dirty source throttles copy rate" `Quick
+          transient_faults_throttle_copy_rate;
         Alcotest.test_case "tiered reads route through tiers" `Quick
           tiered_swap_reads_route_through_tiers;
         Alcotest.test_case "tiered media abort" `Quick
